@@ -1,0 +1,20 @@
+.PHONY: install test bench examples all clean
+
+install:
+	pip install -e . --no-build-isolation || \
+	  echo "$(CURDIR)/src" > "$$(python3 -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth"
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do echo "=== $$ex ==="; python3 $$ex; echo; done
+
+all: test bench
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

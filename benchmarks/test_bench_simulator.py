@@ -1,0 +1,55 @@
+"""Meta-bench: wall-clock cost of the simulator itself.
+
+Unlike the experiment benches (whose interesting numbers are virtual-time
+seconds), these measure *real* time with pytest-benchmark's statistics:
+how fast the substrate executes activations and advances virtual time.
+Useful for catching performance regressions in the kernel or platform.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.environment import CloudEnvironment
+from repro.net.latency import LatencyModel
+from repro.vtime import Kernel, gather, sleep
+
+
+def test_kernel_task_throughput(benchmark):
+    """500 tasks x 3 sleeps each, pure kernel."""
+
+    def run():
+        kernel = Kernel()
+
+        def worker(i):
+            sleep(i % 7)
+            sleep(1)
+            sleep(0.5)
+
+        def main():
+            gather([kernel.spawn(worker, i) for i in range(500)])
+            return kernel.now()
+
+        return kernel.run(main)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result > 0
+
+
+def test_platform_activation_throughput(benchmark):
+    """200 end-to-end PyWren calls (serialize, COS, invoke, execute, poll)."""
+
+    def run():
+        env = CloudEnvironment.create(
+            client_latency=LatencyModel.lan(), seed=3
+        )
+
+        def main():
+            executor = repro.ibm_cf_executor(invoker_mode="massive")
+            return executor.get_result(
+                executor.map(lambda x: x + 1, list(range(200)))
+            )
+
+        return env.run(main)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert results == [x + 1 for x in range(200)]

@@ -1,0 +1,43 @@
+"""Embarrassingly parallel Monte-Carlo π estimation via ``map``.
+
+The §1 pitch: run plain single-machine code on many cloud functions with a
+futures interface and zero cluster management.  Each map call samples
+points in the unit square; the reducer aggregates the hit counts.
+
+Run:  python examples/montecarlo_pi.py
+"""
+
+import random
+
+import repro as pw
+
+SAMPLES_PER_TASK = 20_000
+TASKS = 50
+
+
+def sample_hits(seed):
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(SAMPLES_PER_TASK):
+        x, y = rng.random(), rng.random()
+        if x * x + y * y <= 1.0:
+            hits += 1
+    return hits
+
+
+def main():
+    executor = pw.ibm_cf_executor()
+    reducer = executor.map_reduce(
+        sample_hits, list(range(TASKS)), lambda hits: sum(hits)
+    )
+    total_hits = executor.get_result(reducer)
+    estimate = 4.0 * total_hits / (SAMPLES_PER_TASK * TASKS)
+    print(
+        f"pi ~= {estimate:.5f} from {TASKS} functions x "
+        f"{SAMPLES_PER_TASK} samples ({pw.now():.1f}s virtual)"
+    )
+
+
+if __name__ == "__main__":
+    env = pw.CloudEnvironment.create()
+    env.run(main)

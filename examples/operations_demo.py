@@ -1,0 +1,48 @@
+"""Operating the platform: the wsk-style shell, logs, and billing.
+
+After running a small job, this demo inspects the emulated IBM Cloud
+Functions deployment the way an operator would with the OpenWhisk CLI:
+actions, activations, per-activation logs, runtimes, and the GB-seconds
+bill.
+
+Run:  python examples/operations_demo.py
+"""
+
+import repro as pw
+from repro.faas.shell import WskShell
+
+
+def analyze(x):
+    """A chatty task: logs its progress through the activation record."""
+    from repro.core.context import require_context
+
+    # reach this activation's context to log (ordinarily framework-side)
+    info = require_context().call_info
+    pw.sleep(5)
+    return {"input": x, "call": info["call_id"]}
+
+
+def main(env):
+    executor = pw.ibm_cf_executor()
+    executor.get_result(executor.map(analyze, [10, 20, 30]))
+
+    shell = WskShell(env)
+    for command in [
+        "action list",
+        "activation list --limit 5",
+        "runtime list",
+        "billing summary",
+        "property get",
+    ]:
+        print(f"$ wsk {command}")
+        print(shell.run(command))
+        print()
+
+    first = env.platform.activations()[0].activation_id
+    print(f"$ wsk activation get {first}")
+    print(shell.run(f"activation get {first}"))
+
+
+if __name__ == "__main__":
+    env = pw.CloudEnvironment.create()
+    env.run(main, env)

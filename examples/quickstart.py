@@ -1,0 +1,40 @@
+"""Quickstart: the paper's Fig. 1 / §4.2 example, end to end.
+
+A map over ``[3, 6, 9]`` with ``my_map_function(x) = x + 7``: the client
+serializes code + data into (emulated) IBM COS, invokes the functions
+through (emulated) IBM Cloud Functions, and pulls the results back.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro as pw
+
+
+def my_map_function(x):
+    return x + 7
+
+
+def main():
+    executor = pw.ibm_cf_executor()
+    executor.map(my_map_function, [3, 6, 9])
+    result = executor.get_result()
+    print(f"map result: {result}")
+
+    # call_async: one asynchronous function, result held in COS
+    executor = pw.ibm_cf_executor()
+    future = executor.call_async(my_map_function, 35)
+    print(f"call_async result: {future.result()}")
+
+    # map_reduce: map phase + a single reducer
+    executor = pw.ibm_cf_executor()
+    reducer = executor.map_reduce(
+        my_map_function, [1, 2, 3, 4], lambda results: sum(results)
+    )
+    print(f"map_reduce result: {executor.get_result(reducer)}")
+
+    print(f"virtual time elapsed: {pw.now():.1f}s")
+
+
+if __name__ == "__main__":
+    env = pw.CloudEnvironment.create()
+    env.run(main)

@@ -1,0 +1,46 @@
+"""Wordcount over COS with automatic data discovery and partitioning.
+
+The classic MapReduce job: documents live in a COS bucket, ``map_reduce``
+discovers them (§4.3), one map executor counts words per partition, and a
+single reducer merges the dictionaries.
+
+Run:  python examples/wordcount.py
+"""
+
+from collections import Counter
+
+import repro as pw
+from repro.datasets import words
+
+
+def count_words(partition):
+    counts = Counter()
+    for token in partition.read().decode("ascii", errors="replace").split():
+        counts[token] += 1
+    return counts
+
+
+def merge_counts(results):
+    total = Counter()
+    for counts in results:
+        total.update(counts)
+    return total
+
+
+def main(env):
+    keys = words.load_corpus(env.storage, n_docs=40, words_per_doc=500)
+    print(f"loaded {len(keys)} documents into cos://corpus")
+
+    executor = pw.ibm_cf_executor()
+    reducer = executor.map_reduce(count_words, "cos://corpus", merge_counts)
+    counts = executor.get_result(reducer)
+
+    total_words = sum(counts.values())
+    print(f"counted {total_words} words across {len(counts)} distinct tokens")
+    for word, n in counts.most_common(10):
+        print(f"  {word:<12} {n}")
+
+
+if __name__ == "__main__":
+    env = pw.CloudEnvironment.create()
+    env.run(main, env)

@@ -1,0 +1,91 @@
+"""repro — reproduction of "Serverless Data Analytics in the IBM Cloud".
+
+This package reimplements IBM-PyWren (Middleware Industry '18) together
+with every substrate it runs on: an OpenWhisk-like FaaS platform
+(:mod:`repro.faas`), an IBM-COS-like object store (:mod:`repro.cos`),
+network latency models (:mod:`repro.net`) and a virtual-time thread kernel
+(:mod:`repro.vtime`) that lets minute-scale cloud experiments run in
+milliseconds while executing real Python user code.
+
+Quickstart (mirrors Fig. 1 of the paper)::
+
+    import repro as pw
+
+    def my_function(x):
+        return x + 7
+
+    env = pw.CloudEnvironment.create()
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        executor.map(my_function, [3, 6, 9])
+        return executor.get_result()
+
+    print(env.run(main))   # [10, 13, 16]
+"""
+
+from repro.config import InvokerMode, PyWrenConfig
+from repro.core import (
+    ALL_COMPLETED,
+    ALWAYS,
+    ANY_COMPLETED,
+    CloudEnvironment,
+    FunctionError,
+    FunctionExecutor,
+    NoActiveEnvironmentError,
+    PyWrenError,
+    ResponseFuture,
+    ResultTimeoutError,
+    StoragePartition,
+    compose,
+    ibm_cf_executor,
+    sequence,
+    wait,
+)
+from repro.core.stats import JobStats, collect_job_stats
+from repro.vtime import now, sleep
+
+
+def compute(seconds: float) -> None:
+    """Model CPU-bound compute.
+
+    Inside a running cloud function this charges contention-aware time
+    (see ExecutionContext.compute — busy invoker nodes slow functions
+    down, the §6.2 variability); elsewhere it is a plain virtual sleep.
+    """
+    from repro.core import context as _context
+
+    ctx = _context.current_context()
+    if ctx is not None and ctx.execution_context is not None:
+        ctx.execution_context.compute(seconds)
+    else:
+        sleep(seconds)
+
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudEnvironment",
+    "FunctionExecutor",
+    "ibm_cf_executor",
+    "ResponseFuture",
+    "wait",
+    "ALWAYS",
+    "ANY_COMPLETED",
+    "ALL_COMPLETED",
+    "StoragePartition",
+    "compose",
+    "sequence",
+    "PyWrenConfig",
+    "InvokerMode",
+    "PyWrenError",
+    "FunctionError",
+    "ResultTimeoutError",
+    "NoActiveEnvironmentError",
+    "sleep",
+    "now",
+    "compute",
+    "JobStats",
+    "collect_job_stats",
+    "__version__",
+]

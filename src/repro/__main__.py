@@ -1,0 +1,89 @@
+"""Top-level command line: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro version          # package + substrate versions
+    python -m repro quickstart       # run the Fig. 1 flow end to end
+    python -m repro demo             # quickstart + wsk-style inspection
+    python -m repro bench <exp>      # delegate to repro.bench (fig2 ...)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_version() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — IBM-PyWren reproduction")
+    print("substrates: vtime kernel, cos, faas (OpenWhisk-like), mq, net")
+    return 0
+
+
+def _cmd_quickstart() -> int:
+    import repro as pw
+
+    def my_map_function(x):
+        return x + 7
+
+    env = pw.CloudEnvironment.create()
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        executor.map(my_map_function, [3, 6, 9])
+        return executor.get_result(), pw.now()
+
+    result, elapsed = env.run(main)
+    print(f"map(x + 7, [3, 6, 9]) -> {result}   ({elapsed:.1f}s virtual)")
+    return 0
+
+
+def _cmd_demo() -> int:
+    import repro as pw
+    from repro.faas.shell import WskShell
+
+    env = pw.CloudEnvironment.create()
+
+    def main():
+        executor = pw.ibm_cf_executor(invoker_mode="massive")
+
+        def task(x):
+            pw.sleep(10)
+            return x * x
+
+        return executor.get_result(executor.map(task, list(range(20))))
+
+    results = env.run(main)
+    print(f"ran 20 functions -> sum of squares = {sum(results)}\n")
+    shell = WskShell(env)
+    for command in ["action list", "activation list --limit 3", "billing summary"]:
+        print(f"$ wsk {command}")
+        print(shell.run(command))
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(__doc__)
+        return 2
+    command, *rest = argv
+    if command == "version":
+        return _cmd_version()
+    if command == "quickstart":
+        return _cmd_quickstart()
+    if command == "demo":
+        return _cmd_demo()
+    if command == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(rest)
+    print(f"unknown command {command!r}\n{__doc__}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Execution-timeline rendering, in the style of the paper's Figs. 2 and 3.
+
+Given activation records (or raw ``(start, end)`` intervals), renders an
+SVG with one horizontal gray line per function execution, stacked by start
+order, plus the black total-concurrency curve on a secondary axis — the
+exact visual language of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+_WIDTH = 900
+_HEIGHT = 520
+_MARGIN = 48
+
+
+def concurrency_timeline(
+    intervals: Iterable[tuple[float, float]],
+    resolution: float = 1.0,
+    t0: Optional[float] = None,
+) -> list[tuple[float, int]]:
+    """Concurrent-execution counts over time from (start, end) intervals.
+
+    This is how Figs. 2 and 3's black "total concurrent" lines are computed
+    from activation records.
+    """
+    intervals = list(intervals)
+    if not intervals:
+        return []
+    events: list[tuple[float, int]] = []
+    for start, end in intervals:
+        events.append((start, +1))
+        events.append((end, -1))
+    events.sort()
+    origin = t0 if t0 is not None else min(e[0] for e in events)
+    horizon = max(e[0] for e in events)
+    timeline: list[tuple[float, int]] = []
+    level = 0
+    idx = 0
+    t = origin
+    while t <= horizon + resolution / 2:
+        while idx < len(events) and events[idx][0] <= t:
+            level += events[idx][1]
+            idx += 1
+        timeline.append((t - origin, level))
+        t += resolution
+    return timeline
+
+
+def render_execution_timeline(
+    intervals: Sequence[tuple[float, float]],
+    title: str = "Function executions",
+    resolution: float = 1.0,
+) -> str:
+    """Render execution intervals + concurrency curve as an SVG document."""
+    intervals = sorted(intervals)
+    header = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">'
+        f'<rect width="100%" height="100%" fill="#ffffff"/>'
+        f'<text x="{_MARGIN}" y="24" font-size="15" '
+        f'font-family="sans-serif">{title} ({len(intervals)} functions)</text>'
+    )
+    if not intervals:
+        return header + "</svg>"
+
+    t0 = min(start for start, _ in intervals)
+    t1 = max(end for _, end in intervals)
+    span = (t1 - t0) or 1.0
+    n = len(intervals)
+
+    def _x(t: float) -> float:
+        return _MARGIN + (t - t0) / span * (_WIDTH - 2 * _MARGIN)
+
+    def _y_row(i: int) -> float:
+        return _HEIGHT - _MARGIN - (i + 1) / n * (_HEIGHT - 2 * _MARGIN)
+
+    rows = [
+        f'<line x1="{_x(start):.1f}" y1="{_y_row(i):.1f}" '
+        f'x2="{_x(end):.1f}" y2="{_y_row(i):.1f}" '
+        f'stroke="#bbbbbb" stroke-width="1"/>'
+        for i, (start, end) in enumerate(intervals)
+    ]
+
+    timeline = concurrency_timeline(intervals, resolution=resolution, t0=t0)
+    peak = max(level for _t, level in timeline) or 1
+    points = " ".join(
+        f"{_x(t0 + t):.1f},"
+        f"{_HEIGHT - _MARGIN - level / peak * (_HEIGHT - 2 * _MARGIN):.1f}"
+        for t, level in timeline
+    )
+    curve = (
+        f'<polyline points="{points}" fill="none" stroke="#111111" '
+        f'stroke-width="2"/>'
+    )
+    axis = (
+        f'<line x1="{_MARGIN}" y1="{_HEIGHT - _MARGIN}" x2="{_WIDTH - _MARGIN}" '
+        f'y2="{_HEIGHT - _MARGIN}" stroke="#333333"/>'
+        f'<text x="{_MARGIN}" y="{_HEIGHT - 14}" font-size="12" '
+        f'font-family="sans-serif">0s</text>'
+        f'<text x="{_WIDTH - _MARGIN - 40}" y="{_HEIGHT - 14}" font-size="12" '
+        f'font-family="sans-serif">{span:.0f}s</text>'
+        f'<text x="{_WIDTH - _MARGIN - 120}" y="40" font-size="12" '
+        f'font-family="sans-serif">peak concurrency: {peak}</text>'
+    )
+    return header + "".join(rows) + curve + axis + "</svg>"
+
+
+def intervals_from_records(records: Iterable, action_prefix: Optional[str] = None):
+    """Extract (start, end) pairs from finished activation records."""
+    out = []
+    for record in records:
+        if action_prefix is not None and not record.action_name.startswith(
+            action_prefix
+        ):
+            continue
+        if record.start_time is not None and record.end_time is not None:
+            out.append((record.start_time, record.end_time))
+    return out

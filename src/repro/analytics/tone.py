@@ -1,0 +1,121 @@
+"""Lexicon-based tone analyzer.
+
+Stand-in for the IBM Watson Tone Analyzer the paper uses ("linguistic
+analysis to detect emotional and language tones in written text").  It
+classifies a comment into positive / neutral / negative overall tone plus
+coarse emotion scores, from word counts against a fixed lexicon aligned
+with the synthetic dataset's vocabulary — which is all the experiment
+needs: a deterministic per-comment classification with a fixed per-byte
+compute cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.airbnb import NEGATIVE_WORDS, POSITIVE_WORDS
+
+POSITIVE = "positive"
+NEUTRAL = "neutral"
+NEGATIVE = "negative"
+
+TONES = (POSITIVE, NEUTRAL, NEGATIVE)
+
+_POSITIVE_SET = frozenset(POSITIVE_WORDS)
+_NEGATIVE_SET = frozenset(NEGATIVE_WORDS)
+
+#: emotion tones keyed from the dominant sentiment, mimicking Watson's
+#: emotional-tone dimension
+_EMOTIONS = {POSITIVE: "joy", NEUTRAL: "analytical", NEGATIVE: "anger"}
+
+
+@dataclass
+class ToneResult:
+    """Analysis of a single comment."""
+
+    tone: str
+    emotion: str
+    positive_hits: int
+    negative_hits: int
+    word_count: int
+
+    @property
+    def polarity(self) -> float:
+        """Signed score in [-1, 1]."""
+        if self.word_count == 0:
+            return 0.0
+        return (self.positive_hits - self.negative_hits) / self.word_count
+
+
+def analyze(text: str) -> ToneResult:
+    """Classify one comment."""
+    words = text.lower().split()
+    positive_hits = sum(1 for w in words if w in _POSITIVE_SET)
+    negative_hits = sum(1 for w in words if w in _NEGATIVE_SET)
+    if positive_hits > negative_hits:
+        tone = POSITIVE
+    elif negative_hits > positive_hits:
+        tone = NEGATIVE
+    else:
+        tone = NEUTRAL
+    return ToneResult(
+        tone=tone,
+        emotion=_EMOTIONS[tone],
+        positive_hits=positive_hits,
+        negative_hits=negative_hits,
+        word_count=len(words),
+    )
+
+
+@dataclass
+class ToneStats:
+    """Aggregated tone counts over many comments (mergeable)."""
+
+    counts: dict[str, int] = field(
+        default_factory=lambda: {POSITIVE: 0, NEUTRAL: 0, NEGATIVE: 0}
+    )
+    comments: int = 0
+
+    def add(self, result: ToneResult) -> None:
+        self.counts[result.tone] += 1
+        self.comments += 1
+
+    def merge(self, other: "ToneStats") -> "ToneStats":
+        for tone in TONES:
+            self.counts[tone] += other.counts[tone]
+        self.comments += other.comments
+        return self
+
+    def scaled(self, factor: float) -> "ToneStats":
+        """Extrapolate sampled counts to a full partition."""
+        scaled_counts = {t: int(round(c * factor)) for t, c in self.counts.items()}
+        out = ToneStats(counts=scaled_counts)
+        out.comments = sum(scaled_counts.values())
+        return out
+
+    def dominant(self) -> str:
+        return max(TONES, key=lambda t: self.counts[t])
+
+
+def analyze_csv_reviews(data: bytes) -> tuple[ToneStats, list[tuple[float, float, str]]]:
+    """Analyze ``lat,lon,text`` CSV review lines.
+
+    Returns aggregate stats plus per-review points ``(lat, lon, tone)`` for
+    map rendering.  Malformed/truncated lines (range boundaries cut
+    mid-line) are skipped, like a robust CSV chunk reader would.
+    """
+    stats = ToneStats()
+    points: list[tuple[float, float, str]] = []
+    for raw_line in data.split(b"\n"):
+        parts = raw_line.split(b",", 2)
+        if len(parts) != 3:
+            continue
+        try:
+            lat = float(parts[0])
+            lon = float(parts[1])
+        except ValueError:
+            continue
+        result = analyze(parts[2].decode("ascii", errors="replace"))
+        stats.add(result)
+        points.append((lat, lon, result.tone))
+    return stats, points

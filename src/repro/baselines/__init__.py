@@ -1,0 +1,5 @@
+"""Baselines the paper positions IBM-PyWren against."""
+
+from repro.baselines.cluster import ClusterJobResult, VMCluster
+
+__all__ = ["VMCluster", "ClusterJobResult"]

@@ -1,0 +1,49 @@
+"""IBM-PyWren core: executor, futures, partitioner, composition."""
+
+from repro.core.composition import compose, sequence
+from repro.core.environment import CloudEnvironment
+from repro.core.errors import (
+    FunctionError,
+    NoActiveEnvironmentError,
+    PyWrenError,
+    ResultTimeoutError,
+)
+from repro.core.executor import FunctionExecutor, ibm_cf_executor
+from repro.core.futures import (
+    ALL_COMPLETED,
+    ALWAYS,
+    ANY_COMPLETED,
+    CallState,
+    ResponseFuture,
+)
+from repro.core.partitioner import (
+    StoragePartition,
+    build_partitions,
+    discover_objects,
+    partition_objects,
+)
+from repro.core.storage_client import InternalStorage
+from repro.core.wait import wait
+
+__all__ = [
+    "CloudEnvironment",
+    "FunctionExecutor",
+    "ibm_cf_executor",
+    "ResponseFuture",
+    "CallState",
+    "wait",
+    "ALWAYS",
+    "ANY_COMPLETED",
+    "ALL_COMPLETED",
+    "StoragePartition",
+    "build_partitions",
+    "discover_objects",
+    "partition_objects",
+    "InternalStorage",
+    "compose",
+    "sequence",
+    "PyWrenError",
+    "FunctionError",
+    "ResultTimeoutError",
+    "NoActiveEnvironmentError",
+]

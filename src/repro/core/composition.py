@@ -1,0 +1,80 @@
+"""Dynamic function composition helpers (§4.4).
+
+Composition in IBM-PyWren is *programmatic*: any function can create an
+executor and fan out, and futures returned from inside functions are
+resolved transparently by ``get_result``.  On top of that primitive we
+provide the two patterns the paper highlights:
+
+* :func:`sequence` — chains ``f1, f2, ... fn`` so each function acts on its
+  predecessor's output (``f3 = f2 ∘ f1``), each stage running as its own
+  cloud function that launches the next stage via ``call_async``;
+* :func:`compose` — the functional flavour: ``compose(f2, f1)`` returns a
+  callable that runs the sequence (mathematical order, like ``f2 ∘ f1``).
+
+Nested parallelism (the mergesort of §4.4/§6.3) lives in
+:mod:`repro.sort.mergesort`, built on the same primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.futures import ResponseFuture
+
+
+def _sequence_stage(payload: dict[str, Any]) -> Any:
+    """Run one stage of a sequence inside the cloud, then chain the rest.
+
+    Returns either the final value (last stage) or the *future* of the next
+    stage — which composition-aware ``get_result`` keeps resolving until a
+    plain value emerges.
+    """
+    functions: list[Callable[[Any], Any]] = payload["functions"]
+    value = payload["value"]
+    head, rest = functions[0], functions[1:]
+    value = head(value)
+    if not rest:
+        return value
+    import repro
+
+    executor = repro.ibm_cf_executor()
+    return executor.call_async(_sequence_stage, {"functions": rest, "value": value})
+
+
+def sequence(
+    functions: Sequence[Callable[[Any], Any]],
+    data: Any,
+    executor=None,
+) -> ResponseFuture:
+    """Launch ``functions`` as a chained cloud composition over ``data``.
+
+    Each function executes in its own invocation, receiving the previous
+    output.  Non-blocking: returns the future of the whole chain.
+    """
+    functions = list(functions)
+    if not functions:
+        raise ValueError("sequence needs at least one function")
+    if executor is None:
+        import repro
+
+        executor = repro.ibm_cf_executor()
+    return executor.call_async(
+        _sequence_stage, {"functions": functions, "value": data}
+    )
+
+
+def compose(*functions: Callable[[Any], Any]) -> Callable[..., ResponseFuture]:
+    """``compose(f3, f2, f1)(x)`` ≡ future of ``f3(f2(f1(x)))`` (§4.4).
+
+    The returned callable accepts ``(data, executor=None)`` and launches the
+    chain through :func:`sequence`.
+    """
+    if not functions:
+        raise ValueError("compose needs at least one function")
+    chain = list(reversed(functions))
+
+    def composed(data: Any, executor=None) -> ResponseFuture:
+        return sequence(chain, data, executor=executor)
+
+    composed.__name__ = "∘".join(f.__name__ for f in functions)
+    return composed

@@ -1,0 +1,112 @@
+"""Ambient environment context.
+
+``pw.ibm_cf_executor()`` works both on the client *and inside a running
+cloud function* (that is how §4.4's dynamic composition works: any function
+may spin up an executor and fan out).  The binding between the calling
+thread and its cloud environment is kept here: ``CloudEnvironment.run``
+registers the client thread, and the runner worker registers each function
+execution thread with ``in_cloud=True`` so nested executors get in-cloud
+network links automatically.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.errors import NoActiveEnvironmentError
+
+
+@dataclass(frozen=True)
+class AmbientContext:
+    """What the current thread knows about 'its' cloud.
+
+    ``call_info`` is populated only inside a running function executor: the
+    invocation params (executor/callset/call ids, storage location), which
+    lets framework code running *as* the function — e.g. the shuffle map
+    shim — address per-call COS objects.
+    """
+
+    environment: Any  # CloudEnvironment (untyped to avoid an import cycle)
+    in_cloud: bool
+    call_info: Optional[dict[str, Any]] = None
+    #: the platform's ExecutionContext when inside a running function
+    execution_context: Any = None
+
+
+_ACTIVE: dict[int, list[AmbientContext]] = {}
+_LOCK = threading.Lock()
+
+
+def push_context(
+    environment: Any,
+    in_cloud: bool,
+    call_info: Optional[dict[str, Any]] = None,
+    execution_context: Any = None,
+) -> None:
+    ctx = AmbientContext(environment, in_cloud, call_info, execution_context)
+    ident = threading.get_ident()
+    with _LOCK:
+        _ACTIVE.setdefault(ident, []).append(ctx)
+
+
+def pop_context() -> None:
+    ident = threading.get_ident()
+    with _LOCK:
+        stack = _ACTIVE.get(ident)
+        if not stack:
+            raise RuntimeError("pop_context() with no pushed context")
+        stack.pop()
+        if not stack:
+            del _ACTIVE[ident]
+
+
+def current_context() -> Optional[AmbientContext]:
+    with _LOCK:
+        stack = _ACTIVE.get(threading.get_ident())
+        return stack[-1] if stack else None
+
+
+def require_context() -> AmbientContext:
+    ctx = current_context()
+    if ctx is None:
+        raise NoActiveEnvironmentError(
+            "no active cloud environment on this thread; run client code "
+            "through CloudEnvironment.run() or pass environment= explicitly"
+        )
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# Propagation into spawned kernel tasks: a task spawned from a thread with
+# an active environment inherits it (so client code may fan out its own
+# kernel tasks and still call ibm_cf_executor() inside them).
+# ---------------------------------------------------------------------------
+def _capture_stack() -> list[AmbientContext]:
+    with _LOCK:
+        return list(_ACTIVE.get(threading.get_ident(), []))
+
+
+def _install_stack(stack: list[AmbientContext]) -> None:
+    if not stack:
+        return
+    ident = threading.get_ident()
+    with _LOCK:
+        _ACTIVE.setdefault(ident, []).extend(stack)
+
+
+def _uninstall_stack(stack: list[AmbientContext]) -> None:
+    if not stack:
+        return
+    ident = threading.get_ident()
+    with _LOCK:
+        current = _ACTIVE.get(ident, [])
+        del current[len(current) - len(stack):]
+        if not current:
+            _ACTIVE.pop(ident, None)
+
+
+from repro.vtime.kernel import register_context_propagator  # noqa: E402
+
+register_context_propagator(_capture_stack, _install_stack, _uninstall_stack)

@@ -1,0 +1,211 @@
+"""The emulated cloud, assembled.
+
+A :class:`CloudEnvironment` owns one virtual-time kernel and one instance of
+each service (COS, Cloud Functions, runtime registry) plus the client-side
+configuration.  It is the reproduction's stand-in for "an IBM Cloud account
++ a laptop": create one, then drive client code through :meth:`run` so the
+ambient-context machinery can hand executors to nested code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Optional
+
+from repro.config import PyWrenConfig
+from repro.core import context as ambient
+from repro.core import worker
+from repro.core.storage_client import InternalStorage
+from repro.cos.client import COSClient
+from repro.cos.object_store import CloudObjectStorage
+from repro.faas.controller import CloudFunctions
+from repro.faas.gateway import CloudFunctionsClient
+from repro.faas.limits import SystemLimits
+from repro.faas.runtime import RuntimeRegistry
+from repro.net.latency import LatencyModel
+from repro.net.link import NetworkLink
+from repro.vtime import Kernel
+
+
+class CloudEnvironment:
+    """One simulated cloud + client configuration."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        storage: CloudObjectStorage,
+        platform: CloudFunctions,
+        registry: RuntimeRegistry,
+        config: PyWrenConfig,
+        client_latency: LatencyModel,
+        seed: int = 42,
+    ) -> None:
+        self.kernel = kernel
+        self.storage = storage
+        self.platform = platform
+        self.registry = registry
+        self.config = config
+        self.client_latency = client_latency
+        self.seed = seed
+        self._link_seq = itertools.count(1)
+        self._deploy_lock = threading.Lock()
+        self._deployed_actions: set[str] = set()
+        #: optional ApiKey sent by this client's executors (multi-tenant
+        #: platforms with ``platform.require_auth`` set)
+        self.credentials = None
+        storage.create_bucket(config.storage_bucket, exist_ok=True)
+        platform.environment = self
+        from repro.mq.broker import MessageBroker
+
+        #: in-cloud message broker (push-monitoring transport)
+        self.broker = MessageBroker(kernel)
+
+    @classmethod
+    def create(
+        cls,
+        client_latency: Optional[LatencyModel] = None,
+        limits: Optional[SystemLimits] = None,
+        config: Optional[PyWrenConfig] = None,
+        seed: int = 42,
+        kernel: Optional[Kernel] = None,
+        crash_prob: float = 0.0,
+    ) -> "CloudEnvironment":
+        """Build a complete environment with sensible defaults.
+
+        The default client sits in a high-latency WAN, like the paper's
+        evaluation client ("located in a remote network with high latency").
+        ``crash_prob`` injects container crashes for resilience testing.
+        """
+        kernel = kernel or Kernel()
+        client_latency = client_latency or LatencyModel.wan()
+        config = config or PyWrenConfig()
+        config.validate()
+        registry = RuntimeRegistry()
+        storage = CloudObjectStorage(kernel)
+        platform = CloudFunctions(
+            kernel,
+            storage,
+            limits=limits,
+            registry=registry,
+            seed=seed,
+            crash_prob=crash_prob,
+        )
+        return cls(kernel, storage, platform, registry, config, client_latency, seed)
+
+    # ------------------------------------------------------------------
+    # Links and clients
+    # ------------------------------------------------------------------
+    def new_client_link(self) -> NetworkLink:
+        return NetworkLink(
+            self.kernel,
+            self.client_latency,
+            seed=self.seed * 1000 + next(self._link_seq),
+        )
+
+    def client_cos(self) -> COSClient:
+        """A COS client as seen from the user's machine."""
+        return COSClient(self.storage, self.new_client_link())
+
+    def client_functions(self) -> CloudFunctionsClient:
+        return CloudFunctionsClient(self.platform, self.new_client_link())
+
+    def mq_client(self, in_cloud: bool = False):
+        """A message-queue client over the appropriate network path."""
+        from repro.mq.client import MQClient
+
+        link = (
+            self.platform.in_cloud_link_factory()
+            if in_cloud
+            else self.new_client_link()
+        )
+        return MQClient(self.broker, link)
+
+    def internal_storage_in_cloud(self) -> InternalStorage:
+        """Internal storage reached over an in-cloud link (worker side)."""
+        cos = COSClient(self.storage, self.platform.in_cloud_link_factory())
+        return InternalStorage(
+            cos, self.config.storage_bucket, self.config.storage_prefix
+        )
+
+    # ------------------------------------------------------------------
+    # Executors
+    # ------------------------------------------------------------------
+    def executor(
+        self,
+        runtime: Optional[str] = None,
+        in_cloud: Optional[bool] = None,
+        **overrides: Any,
+    ):
+        """Create a :class:`~repro.core.executor.FunctionExecutor`.
+
+        ``in_cloud`` defaults to whether the calling thread is a running
+        cloud function (so nested executors automatically use in-cloud
+        links).  ``runtime=`` mirrors §4.1's
+        ``pw.ibm_cf_executor(runtime='matplotlib')``.
+        """
+        from repro.core.executor import FunctionExecutor
+
+        if in_cloud is None:
+            ctx = ambient.current_context()
+            in_cloud = bool(ctx and ctx.in_cloud and ctx.environment is self)
+        if runtime is not None:
+            overrides = {"runtime": runtime, **overrides}
+        return FunctionExecutor(self, in_cloud=in_cloud, **overrides)
+
+    # ------------------------------------------------------------------
+    # Action deployment (idempotent)
+    # ------------------------------------------------------------------
+    def ensure_runner_action(
+        self, runtime: str, memory_mb: int, timeout_s: float
+    ) -> str:
+        name = worker.runner_action_name(runtime, memory_mb)
+        with self._deploy_lock:
+            if name not in self._deployed_actions:
+                self.platform.create_action(
+                    self.config.namespace,
+                    name,
+                    worker.runner_handler,
+                    runtime=runtime,
+                    memory_mb=memory_mb,
+                    timeout_s=timeout_s,
+                )
+                self._deployed_actions.add(name)
+        return name
+
+    def ensure_remote_invoker_action(self) -> str:
+        name = worker.REMOTE_INVOKER_ACTION
+        with self._deploy_lock:
+            if name not in self._deployed_actions:
+                self.platform.create_action(
+                    self.config.namespace,
+                    name,
+                    worker.remote_invoker_handler,
+                    memory_mb=self.platform.limits.default_memory_mb,
+                    timeout_s=self.platform.limits.max_exec_seconds,
+                )
+                self._deployed_actions.add(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Driving client code
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` as the client program inside the virtual-time kernel.
+
+        Inside ``fn`` (and only there), ``repro.ibm_cf_executor()`` resolves
+        to this environment.  Returns ``fn``'s result after the simulation
+        drains.
+        """
+
+        def _bootstrap() -> Any:
+            ambient.push_context(self, in_cloud=False)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                ambient.pop_context()
+
+        return self.kernel.run(_bootstrap, name="client")
+
+    def now(self) -> float:
+        return self.kernel.now()

@@ -1,0 +1,36 @@
+"""Exceptions raised by the IBM-PyWren core."""
+
+from __future__ import annotations
+
+
+class PyWrenError(Exception):
+    """Base class for core errors."""
+
+
+class NoActiveEnvironmentError(PyWrenError):
+    """``ibm_cf_executor()`` was called with no active cloud environment.
+
+    Create one with ``CloudEnvironment.create()`` and run client code via
+    ``env.run(main)``, or pass an environment explicitly.
+    """
+
+
+class ResultTimeoutError(PyWrenError):
+    """``get_result``/``result`` hit its timeout before completion (§4.2)."""
+
+
+class FunctionError(PyWrenError):
+    """A function executor raised; carries the remote traceback.
+
+    The original exception (when picklable) is available as ``cause``.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None,
+                 remote_traceback: str | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+        self.remote_traceback = remote_traceback
+
+
+class SerializationError(PyWrenError):
+    """Re-exported for convenience; see :mod:`repro.core.serializer`."""

@@ -1,0 +1,687 @@
+"""The IBM-PyWren executor: the paper's Table 2 API.
+
+=============== ========== ==================================================
+Method          Type       Input parameters
+=============== ========== ==================================================
+call_async()    Async.     function code, data
+map()           Async. map function code, map data
+map_reduce()    Async.     map/reduce func. code, map data
+wait()          Sync.      when to unlock, list of futures
+get_result()    Sync.      None
+=============== ========== ==================================================
+
+``map_reduce`` additionally understands COS dataset specs (``"cos://bucket"``
+or ``"cos://bucket/key"``) which trigger automatic data discovery and
+partitioning (§4.3), and ``reducer_one_per_object=True`` for the
+reduceByKey-like mode with one reducer per object key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.core import context as ambient
+from repro.core import serializer
+from repro.core.errors import PyWrenError
+from repro.core.futures import (
+    ALL_COMPLETED,
+    ALWAYS,
+    ANY_COMPLETED,
+    ResponseFuture,
+)
+from repro.core.invokers import Invoker, LocalInvoker, MassiveInvoker, RemoteInvoker
+from repro.core.partitioner import StoragePartition, build_partitions
+from repro.core.pool import run_pool
+from repro.core.progress import ProgressBar
+from repro.core.storage_client import InternalStorage
+from repro.core.wait import wait as wait_on
+from repro.config import InvokerMode, MonitoringTransport, PyWrenConfig
+from repro.cos.client import COSClient
+from repro.faas.gateway import CloudFunctionsClient
+from repro.utils.ids import new_executor_id
+
+COS_SCHEME = "cos://"
+
+
+def is_dataset_spec(iterdata: Any) -> bool:
+    """True when ``iterdata`` names COS data (``cos://bucket[/key]``)."""
+    if isinstance(iterdata, str):
+        return iterdata.startswith(COS_SCHEME)
+    if isinstance(iterdata, (list, tuple)) and iterdata:
+        return all(
+            isinstance(item, str) and item.startswith(COS_SCHEME)
+            for item in iterdata
+        )
+    return False
+
+
+def _strip_scheme(iterdata: Union[str, Iterable[str]]) -> list[str]:
+    entries = [iterdata] if isinstance(iterdata, str) else list(iterdata)
+    return [entry[len(COS_SCHEME):] for entry in entries]
+
+
+def _reduce_call(payload: dict[str, Any]) -> Any:
+    """Reducer shim executed *as a cloud function*.
+
+    Binds the shipped map futures to in-cloud storage, waits for all the
+    partial results (§4.3: "The reduce function will wait for all the
+    partial results before processing them"), then applies the user's
+    reduce function.
+    """
+    environment = ambient.require_context().environment
+    storage = environment.internal_storage_in_cloud()
+    futures: list[ResponseFuture] = payload["futures"]
+    poll_interval: float = payload["poll_interval"]
+    for future in futures:
+        future.bind(storage, poll_interval)
+    wait_on(futures, storage, ALL_COMPLETED, poll_interval)
+    results = [future.result() for future in futures]
+    reduce_function = payload["reduce_function"]
+    return reduce_function(results)
+
+
+class FunctionExecutor:
+    """§4.1's first-citizen object; create via ``pw.ibm_cf_executor()``."""
+
+    def __init__(
+        self,
+        environment,
+        in_cloud: bool = False,
+        config: Optional[PyWrenConfig] = None,
+        **overrides: Any,
+    ) -> None:
+        base = config or environment.config
+        self.config = base.with_overrides(**overrides) if overrides else base
+        self.config.validate()
+        self.environment = environment
+        self.kernel = environment.kernel
+        self.executor_id = new_executor_id(environment.seed)
+        self.in_cloud = in_cloud
+
+        if in_cloud:
+            link_factory = environment.platform.in_cloud_link_factory
+        else:
+            link_factory = environment.new_client_link
+        self._cos = COSClient(environment.storage, link_factory())
+        self._storage = InternalStorage(
+            self._cos, self.config.storage_bucket, self.config.storage_prefix
+        )
+        self._functions = CloudFunctionsClient(
+            environment.platform,
+            link_factory(),
+            credentials=(
+                environment.platform.trusted_token
+                if in_cloud
+                else environment.credentials
+            ),
+        )
+
+        self._runtime_image = environment.registry.get(self.config.runtime)
+        self._runner_action = environment.ensure_runner_action(
+            self.config.runtime,
+            self.config.runtime_memory_mb,
+            self.config.runtime_timeout_s,
+        )
+        if self.config.invoker_mode != InvokerMode.LOCAL:
+            environment.ensure_remote_invoker_action()
+
+        self._monitor_queue: Optional[str] = None
+        self._mq = None
+        self._push_buffer: dict[tuple[str, str], dict[str, Any]] = {}
+        if self.config.monitoring == MonitoringTransport.MQ_PUSH:
+            self._monitor_queue = f"pywren-monitor-{self.executor_id}"
+            self._mq = environment.mq_client(in_cloud=in_cloud)
+            self._mq.declare_queue(self._monitor_queue)
+
+        self.futures: list[ResponseFuture] = []
+        self._callset_seq = 0
+        self._uploaded_funcs: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Computing methods (asynchronous)
+    # ------------------------------------------------------------------
+    def call_async(self, func: Callable[[Any], Any], data: Any) -> ResponseFuture:
+        """Run one function in the cloud; non-blocking (§4.2)."""
+        return self._submit(func, items=[data], label="A")[0]
+
+    def map(
+        self,
+        map_function: Callable[[Any], Any],
+        iterdata: Union[Iterable[Any], str],
+        chunk_size: Optional[int] = None,
+    ) -> list[ResponseFuture]:
+        """One function executor per element of ``iterdata`` (§4.2).
+
+        ``iterdata`` may also be a COS dataset spec, in which case each
+        executor receives a :class:`StoragePartition` (§4.3).
+        """
+        if is_dataset_spec(iterdata):
+            partitions = build_partitions(
+                self._cos,
+                _strip_scheme(iterdata),
+                chunk_size if chunk_size is not None else self.config.chunk_size,
+            )
+            return self._submit(map_function, partitions=partitions, label="M")
+        if chunk_size is not None:
+            raise ValueError(
+                "chunk_size only applies to COS dataset specs (cos://...)"
+            )
+        items = list(iterdata)
+        if not items:
+            return []
+        return self._submit(map_function, items=items, label="M")
+
+    def map_reduce(
+        self,
+        map_function: Callable[[Any], Any],
+        iterdata: Union[Iterable[Any], str],
+        reduce_function: Callable[[list[Any]], Any],
+        chunk_size: Optional[int] = None,
+        reducer_one_per_object: bool = False,
+    ) -> Union[ResponseFuture, list[ResponseFuture]]:
+        """MapReduce flow: map phase + one or many reducers (§4.2/§4.3).
+
+        With ``reducer_one_per_object=True`` all values of the same COS
+        object key are combined in a separate reducer (the Spark
+        ``reduceByKey``-like mode); the returned list holds one future per
+        object, each labelled with ``metadata['object_key']``.
+        """
+        spec = is_dataset_spec(iterdata)
+        if reducer_one_per_object and not spec:
+            raise ValueError(
+                "reducer_one_per_object requires a COS dataset spec "
+                "(one reducer per object key)"
+            )
+        map_futures = self.map(map_function, iterdata, chunk_size=chunk_size)
+        if not map_futures:
+            raise PyWrenError("map_reduce over an empty dataset")
+
+        if not reducer_one_per_object:
+            return self._spawn_reducer(reduce_function, map_futures)
+
+        groups: dict[tuple[str, str], list[ResponseFuture]] = {}
+        for future in map_futures:
+            key = (future.metadata["bucket"], future.metadata["object_key"])
+            groups.setdefault(key, []).append(future)
+        reducers = []
+        for (bucket, object_key), group in sorted(groups.items()):
+            reducer = self._spawn_reducer(reduce_function, group)
+            reducer.metadata["bucket"] = bucket
+            reducer.metadata["object_key"] = object_key
+            reducers.append(reducer)
+        return reducers
+
+    def map_reduce_shuffle(
+        self,
+        map_function: Callable[[Any], Any],
+        iterdata: Union[Iterable[Any], str],
+        reduce_function: Callable[[Any, list[Any]], Any],
+        n_reducers: int = 4,
+        chunk_size: Optional[int] = None,
+    ) -> list[ResponseFuture]:
+        """Full keyed MapReduce with a COS shuffle (see repro.core.shuffle).
+
+        ``map_function(item_or_partition)`` must return an iterable of
+        ``(key, value)`` pairs; ``reduce_function(key, values)`` reduces one
+        key's values.  Returns one future per reducer, each resolving to a
+        ``{key: reduced}`` dict over that reducer's key range — merge with
+        :func:`repro.core.shuffle.merge_shuffle_results`.
+        """
+        from repro.core.shuffle import make_shuffle_map, make_shuffle_reduce
+
+        if n_reducers <= 0:
+            raise ValueError("n_reducers must be positive")
+        map_futures = self.map(
+            make_shuffle_map(map_function, n_reducers),
+            iterdata,
+            chunk_size=chunk_size,
+        )
+        if not map_futures:
+            raise PyWrenError("map_reduce_shuffle over an empty dataset")
+        reducers = []
+        for reducer_index in range(n_reducers):
+            shim = make_shuffle_reduce(
+                reduce_function,
+                reducer_index,
+                map_futures,
+                self.config.poll_interval,
+            )
+            reducer = self._submit(shim, items=[None], label="S")[0]
+            reducer.metadata["reducer_index"] = reducer_index
+            reducers.append(reducer)
+        return reducers
+
+    def _spawn_reducer(
+        self,
+        reduce_function: Callable[[list[Any]], Any],
+        map_futures: list[ResponseFuture],
+    ) -> ResponseFuture:
+        import types as _types
+
+        if self.config.validate_runtime_packages and isinstance(
+            reduce_function, _types.FunctionType
+        ):
+            from repro.core.modules import validate_runtime
+
+            validate_runtime(reduce_function, self._runtime_image)
+        payload = {
+            "reduce_function": reduce_function,
+            "futures": map_futures,
+            "poll_interval": self.config.poll_interval,
+        }
+        return self._submit(_reduce_call, items=[payload], label="R")[0]
+
+    # ------------------------------------------------------------------
+    # Result collection (synchronous)
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        futures: Optional[Sequence[ResponseFuture]] = None,
+        return_when: int = ALL_COMPLETED,
+        timeout: Optional[float] = None,
+    ) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
+        """Block until the unlock condition holds (§4.2)."""
+        fs = list(futures) if futures is not None else list(self.futures)
+        return self._wait(fs, return_when, timeout)
+
+    def _wait(
+        self,
+        fs: list[ResponseFuture],
+        return_when: int,
+        timeout: Optional[float],
+        on_progress=None,
+    ) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
+        if self._mq is not None:
+            return self._wait_push(fs, return_when, timeout, on_progress)
+        return wait_on(
+            fs,
+            self._storage,
+            return_when=return_when,
+            poll_interval=self.config.poll_interval,
+            timeout=timeout,
+            on_progress=on_progress,
+        )
+
+    def _wait_push(
+        self,
+        fs: list[ResponseFuture],
+        return_when: int,
+        timeout: Optional[float],
+        on_progress=None,
+    ) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
+        """Push-monitoring wait: consume status messages instead of polling.
+
+        Messages for futures outside the waited set (other callsets of this
+        executor) are buffered and applied when those futures are waited on.
+        """
+        from repro import vtime
+        from repro.core.errors import ResultTimeoutError
+        from repro.vtime import QueueEmpty
+
+        pending: dict[tuple[str, str], ResponseFuture] = {}
+        for future in fs:
+            if not future.bound:
+                future.bind(self._storage, self.config.poll_interval)
+            key = (future.callset_id, future.call_id)
+            if future._status is not None or getattr(future, "_status_seen", False):
+                continue
+            buffered = self._push_buffer.pop(key, None)
+            if buffered is not None:
+                future._ingest_status(buffered)
+                continue
+            pending[key] = future
+
+        deadline = None if timeout is None else vtime.now() + timeout
+
+        def _apply(message: dict[str, Any]) -> None:
+            key = (message["callset_id"], message["call_id"])
+            future = pending.pop(key, None)
+            if future is not None:
+                future._ingest_status(dict(message))
+            else:
+                self._push_buffer[key] = dict(message)
+
+        # drain everything already delivered (needed for ALWAYS semantics)
+        while pending:
+            try:
+                _apply(self._mq.consume(self._monitor_queue, timeout=0))
+            except QueueEmpty:
+                break
+
+        def _policy_met() -> bool:
+            done_count = len(fs) - len(pending)
+            if on_progress is not None:
+                on_progress(done_count, len(fs))
+            if return_when == ALWAYS:
+                return True
+            if return_when == ANY_COMPLETED:
+                return done_count > 0
+            return not pending
+
+        while not _policy_met():
+            remaining = None if deadline is None else deadline - vtime.now()
+            if remaining is not None and remaining <= 0:
+                raise ResultTimeoutError(
+                    f"push wait timed out with {len(pending)} futures pending"
+                )
+            try:
+                message = self._mq.consume(self._monitor_queue, timeout=remaining)
+            except QueueEmpty:
+                raise ResultTimeoutError(
+                    f"push wait timed out with {len(pending)} futures pending"
+                ) from None
+            _apply(message)
+        done = [f for f in fs if (f.callset_id, f.call_id) not in pending]
+        not_done = list(pending.values())
+        return done, not_done
+
+    def get_result(
+        self,
+        futures: Union[ResponseFuture, Sequence[ResponseFuture], None] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Collect results (§4.2): waits, downloads in parallel, unwraps
+        compositions, and shows a progress bar when enabled.
+
+        With no argument, collects everything this executor submitted —
+        a single value if only one call was made, else a list in submission
+        order.  Supports timeout and keyboard interruption.
+        """
+        single = isinstance(futures, ResponseFuture)
+        if single:
+            fs = [futures]
+        elif futures is None:
+            fs = list(self.futures)
+            single = len(fs) == 1
+        else:
+            fs = list(futures)
+        if not fs:
+            return None
+
+        progress = ProgressBar(len(fs), enabled=self.config.progress_bar)
+        try:
+            self._wait(
+                fs,
+                ALL_COMPLETED,
+                timeout,
+                on_progress=lambda done, _total: progress.update(done),
+            )
+        except KeyboardInterrupt:
+            # §4.2: keyboard interruption cancels the retrieval of results.
+            progress.close()
+            raise
+        finally:
+            progress.close()
+
+        def _fetch(future: ResponseFuture) -> Any:
+            return future.result(timeout=timeout)
+
+        values = run_pool(
+            self.kernel,
+            _fetch,
+            fs,
+            self.config.result_fetch_pool_size,
+            name="result-fetch",
+        )
+        return values[0] if single else values
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def plot(self, futures: Optional[Sequence[ResponseFuture]] = None) -> str:
+        """Render this executor's execution timeline as an SVG document.
+
+        Mirrors the real framework's ``create_timeline_plots``: one gray
+        line per function execution plus the total-concurrency curve (the
+        visual language of the paper's Figs. 2–3).  Futures must be
+        finished (their statuses carry the timestamps).
+        """
+        from repro.analytics.timeline import render_execution_timeline
+
+        fs = list(futures) if futures is not None else list(self.futures)
+        intervals = []
+        for future in fs:
+            status = future.status()
+            intervals.append((status["start_time"], status["end_time"]))
+        return render_execution_timeline(
+            intervals, title=f"Executor {self.executor_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # Retry
+    # ------------------------------------------------------------------
+    def retry_failed(
+        self, futures: Sequence[ResponseFuture]
+    ) -> list[ResponseFuture]:
+        """Re-invoke the calls among ``futures`` that finished in error.
+
+        The function and input data are still in COS, so a retry is just a
+        new invocation of the same call: the worker overwrites the status
+        and result objects.  Returns the futures that were retried (reset
+        to pending); the caller waits on them again.  Futures must be
+        finished (wait first).
+        """
+        retried: list[ResponseFuture] = []
+        calls: list[dict[str, Any]] = []
+        for future in futures:
+            if future.status().get("success"):
+                continue
+            params = getattr(future, "_call_params", None)
+            if params is None:
+                raise PyWrenError(
+                    f"future {future.call_id} was not submitted by this "
+                    "process; cannot retry"
+                )
+            future._status = None
+            future._status_seen = False
+            future._value_loaded = False
+            future._value = None
+            future._state = "invoked"
+            self._push_buffer.pop((future.callset_id, future.call_id), None)
+            # remove the failed attempt's status/result so completion
+            # discovery only fires for the new attempt
+            from repro.cos.errors import NoSuchKey
+
+            for key in (
+                self._storage.status_key(
+                    self.executor_id, future.callset_id, future.call_id
+                ),
+                self._storage.result_key(
+                    self.executor_id, future.callset_id, future.call_id
+                ),
+            ):
+                try:
+                    self._cos.delete_object(self.config.storage_bucket, key)
+                except NoSuchKey:
+                    pass
+            retried.append(future)
+            calls.append(params)
+        if retried:
+            self._make_invoker().invoke_calls(
+                self.config.namespace, self._runner_action, calls, retried
+            )
+        return retried
+
+    def retry_missing(
+        self, futures: Sequence[ResponseFuture]
+    ) -> list[ResponseFuture]:
+        """Speculatively re-invoke calls that have produced no status yet.
+
+        Recovery path for *lost* activations (a crashed container never
+        writes its status object, so the future would pend forever).  Use
+        after a bounded ``wait(..., timeout=...)``: anything still missing
+        is re-invoked.  Duplicate execution of a slow-but-alive call is
+        possible and harmless — both attempts write the same keys.
+        """
+        missing: list[ResponseFuture] = []
+        calls: list[dict[str, Any]] = []
+        for future in futures:
+            if future.done():
+                continue
+            params = getattr(future, "_call_params", None)
+            if params is None:
+                raise PyWrenError(
+                    f"future {future.call_id} was not submitted by this "
+                    "process; cannot retry"
+                )
+            missing.append(future)
+            calls.append(params)
+        if missing:
+            self._make_invoker().invoke_calls(
+                self.config.namespace, self._runner_action, calls, missing
+            )
+        return missing
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+    def clean(self, callset_id: Optional[str] = None) -> int:
+        """Delete this executor's temporary objects from COS.
+
+        The framework leaves func/data/status/result objects behind (they
+        *are* the execution record); ``clean()`` removes them — everything
+        for this executor, or one callset.  Returns the number of objects
+        deleted.  Futures of cleaned callsets can no longer be resolved.
+        """
+        prefix = f"{self.config.storage_prefix}/{self.executor_id}/"
+        if callset_id is not None:
+            prefix += f"{callset_id}/"
+        keys = self._cos.list_keys(self.config.storage_bucket, prefix)
+        for key in keys:
+            self._cos.delete_object(self.config.storage_bucket, key)
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+    def _next_callset_id(self, label: str) -> str:
+        callset_id = f"{label}{self._callset_seq:03d}"
+        self._callset_seq += 1
+        return callset_id
+
+    def _submit(
+        self,
+        func: Callable[[Any], Any],
+        items: Optional[list[Any]] = None,
+        partitions: Optional[list[StoragePartition]] = None,
+        label: str = "M",
+    ) -> list[ResponseFuture]:
+        """Serialize + upload code and data, then invoke all calls."""
+        import types as _types
+
+        if self.config.validate_runtime_packages and isinstance(
+            func, _types.FunctionType
+        ):
+            from repro.core.modules import validate_runtime
+
+            validate_runtime(func, self._runtime_image)
+        callset_id = self._next_callset_id(label)
+        func_blob = serializer.serialize(func)
+        # content-addressed function upload: identical functions submitted
+        # again (loops of maps, retries) skip the client->COS transfer
+        import hashlib as _hashlib
+
+        digest = _hashlib.sha256(func_blob).hexdigest()[:24]
+        func_key = self._storage.shared_func_key(self.executor_id, digest)
+        if digest not in self._uploaded_funcs:
+            self._storage.put_blob(func_key, func_blob)
+            self._uploaded_funcs.add(digest)
+
+        calls: list[dict[str, Any]] = []
+        futures: list[ResponseFuture] = []
+        common = {
+            "executor_id": self.executor_id,
+            "callset_id": callset_id,
+            "bucket": self.config.storage_bucket,
+            "prefix": self.config.storage_prefix,
+            "func_key": func_key,
+        }
+        if self._monitor_queue is not None:
+            common["monitor_queue"] = self._monitor_queue
+
+        if partitions is not None:
+            for i, partition in enumerate(partitions):
+                call_id = f"{i:05d}"
+                calls.append(
+                    {**common, "call_id": call_id, "partition": partition.spec()}
+                )
+                futures.append(
+                    ResponseFuture(
+                        self.executor_id,
+                        callset_id,
+                        call_id,
+                        metadata={
+                            "bucket": partition.bucket,
+                            "object_key": partition.key,
+                            "partition_index": partition.partition_index,
+                        },
+                    )
+                )
+        else:
+            assert items is not None
+            # Aggregate all call inputs into one COS object; each call gets
+            # a byte range.  One upload instead of N (crucial over a WAN).
+            blobs = [serializer.serialize(item) for item in items]
+            offsets: list[tuple[int, int]] = []
+            position = 0
+            for blob in blobs:
+                offsets.append((position, position + len(blob)))
+                position += len(blob)
+            self._storage.put_agg_data(
+                self.executor_id, callset_id, b"".join(blobs)
+            )
+            for i, data_range in enumerate(offsets):
+                call_id = f"{i:05d}"
+                calls.append(
+                    {**common, "call_id": call_id, "data_range": list(data_range)}
+                )
+                futures.append(
+                    ResponseFuture(self.executor_id, callset_id, call_id)
+                )
+
+        for future, call_params in zip(futures, calls):
+            future.bind(self._storage, self.config.poll_interval)
+            future._call_params = call_params  # kept for retry_failed()
+
+        invoker = self._make_invoker()
+        invoker.invoke_calls(
+            self.config.namespace, self._runner_action, calls, futures
+        )
+        self.futures.extend(futures)
+        return futures
+
+    def _make_invoker(self) -> Invoker:
+        mode = self.config.invoker_mode
+        if mode == InvokerMode.LOCAL:
+            return LocalInvoker(
+                self.kernel, self._functions, self.config.invoker_pool_size
+            )
+        if mode == InvokerMode.REMOTE:
+            return RemoteInvoker(
+                self.kernel,
+                self._functions,
+                pool_size=self.config.remote_invoker_pool_size,
+            )
+        return MassiveInvoker(
+            self.kernel,
+            self._functions,
+            group_size=self.config.massive_group_size,
+            client_pool_size=self.config.invoker_pool_size,
+        )
+
+
+def ibm_cf_executor(
+    runtime: Optional[str] = None,
+    environment=None,
+    **overrides: Any,
+) -> FunctionExecutor:
+    """Get an executor instance (§4.1's ``pw.ibm_cf_executor()``).
+
+    Resolves the cloud environment from the calling thread: on the client
+    that is the environment whose ``run()`` is driving the code; inside a
+    running cloud function it is the function's own cloud, with in-cloud
+    network links (this is what makes §4.4's dynamic composition work).
+    """
+    if environment is None:
+        environment = ambient.require_context().environment
+    return environment.executor(runtime=runtime, **overrides)

@@ -1,0 +1,187 @@
+"""Response futures (§4.2).
+
+All three computing methods return futures "to track the status of the
+executors and get the results when available".  A future is a *pure
+reference*: executor id + callset id + call id.  It discovers completion by
+polling the status object in COS, which makes it picklable — a function can
+return futures from a nested executor, ship them through COS, and the
+client's composition-aware ``get_result`` resolves them transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro import vtime
+from repro.core.errors import FunctionError, ResultTimeoutError
+from repro.core.storage_client import InternalStorage
+
+#: ``wait()`` unlock conditions (§4.2).
+ALWAYS = 0
+ANY_COMPLETED = 1
+ALL_COMPLETED = 2
+
+
+class CallState:
+    """Lifecycle of a call as the client observes it."""
+
+    NEW = "new"
+    INVOKED = "invoked"
+    SUCCESS = "success"
+    ERROR = "error"
+
+
+class ResponseFuture:
+    """Handle for one function executor's eventual result."""
+
+    def __init__(
+        self,
+        executor_id: str,
+        callset_id: str,
+        call_id: str,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.executor_id = executor_id
+        self.callset_id = callset_id
+        self.call_id = call_id
+        #: free-form labels, e.g. the COS object a partition came from
+        self.metadata = dict(metadata or {})
+        self.activation_id: Optional[str] = None
+        self._state = CallState.NEW
+        self._status: Optional[dict[str, Any]] = None
+        self._value: Any = None
+        self._value_loaded = False
+        self._storage: Optional[InternalStorage] = None
+        self._poll_interval = 1.0
+
+    # -- plumbing -------------------------------------------------------------
+    def bind(self, storage: InternalStorage, poll_interval: float = 1.0) -> "ResponseFuture":
+        """Attach the storage this future polls.  Returns self."""
+        self._storage = storage
+        self._poll_interval = poll_interval
+        return self
+
+    @property
+    def bound(self) -> bool:
+        return self._storage is not None
+
+    def _require_storage(self) -> InternalStorage:
+        if self._storage is None:
+            raise RuntimeError(
+                f"future {self.call_id} is not bound to storage; "
+                "call bind() or resolve it through an executor"
+            )
+        return self._storage
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_storage"] = None  # futures travel as pure references
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResponseFuture {self.executor_id}/{self.callset_id}/"
+            f"{self.call_id} {self._state}>"
+        )
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def mark_invoked(self, activation_id: Optional[str] = None) -> None:
+        if self._state == CallState.NEW:
+            self._state = CallState.INVOKED
+        if activation_id is not None:
+            self.activation_id = activation_id
+
+    def mark_done(self) -> None:
+        """Record that a status object exists without fetching it yet.
+
+        The success/error split happens when the status is actually read.
+        """
+        self._status_seen = True
+
+    def done(self) -> bool:
+        """One status check (no blocking)."""
+        if self._status is not None or getattr(self, "_status_seen", False):
+            return True
+        status = self._require_storage().get_status(
+            self.executor_id, self.callset_id, self.call_id
+        )
+        if status is None:
+            return False
+        self._ingest_status(status)
+        return True
+
+    def _ingest_status(self, status: dict[str, Any]) -> None:
+        self._status = status
+        self._state = CallState.SUCCESS if status.get("success") else CallState.ERROR
+
+    def status(self, timeout: Optional[float] = None) -> dict[str, Any]:
+        """Block until the call finishes; return its status dict."""
+        self._wait_done(timeout)
+        if self._status is None:
+            status = self._require_storage().get_status(
+                self.executor_id, self.callset_id, self.call_id
+            )
+            assert status is not None
+            self._ingest_status(status)
+        return dict(self._status)
+
+    # -- results ---------------------------------------------------------------
+    def result(
+        self,
+        timeout: Optional[float] = None,
+        throw_except: bool = True,
+    ) -> Any:
+        """Block (virtual time) until the result is available and return it.
+
+        Composition-aware: when the remote function returned futures (from a
+        nested executor), those are resolved recursively so callers always
+        receive final values (§4.2's ``get_result`` behaviour).
+        """
+        status = self.status(timeout)
+        if not self._value_loaded:
+            raw = self._require_storage().get_result(
+                self.executor_id, self.callset_id, self.call_id
+            )
+            self._value = raw
+            self._value_loaded = True
+        if status.get("success"):
+            self._value = self._resolve_composition(self._value, timeout)
+            return self._value
+        # Error path: the stored result is (exception|None, traceback string).
+        cause, remote_tb = self._value
+        if throw_except:
+            raise FunctionError(
+                f"function executor {self.call_id} of callset "
+                f"{self.callset_id} raised: {status.get('error', '')}",
+                cause=cause,
+                remote_traceback=remote_tb,
+            )
+        return None
+
+    def _resolve_composition(self, value: Any, timeout: Optional[float]) -> Any:
+        storage = self._require_storage()
+        while isinstance(value, ResponseFuture):
+            value = value.bind(storage, self._poll_interval).result(timeout)
+        if (
+            isinstance(value, (list, tuple))
+            and value
+            and all(isinstance(v, ResponseFuture) for v in value)
+        ):
+            resolved = [
+                v.bind(storage, self._poll_interval).result(timeout) for v in value
+            ]
+            value = type(value)(resolved) if isinstance(value, tuple) else resolved
+        return value
+
+    def _wait_done(self, timeout: Optional[float]) -> None:
+        deadline = None if timeout is None else vtime.now() + timeout
+        while not self.done():
+            if deadline is not None and vtime.now() >= deadline:
+                raise ResultTimeoutError(
+                    f"call {self.call_id} did not finish within {timeout}s"
+                )
+            vtime.sleep(self._poll_interval)

@@ -1,0 +1,49 @@
+"""A bounded task pool over the virtual-time kernel.
+
+Models the client's thread pool: IBM-PyWren's client "leverag[es] threading
+to concurrently spawn the functions", and downloads results in parallel the
+same way.  ``run_pool`` preserves input order in its results.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.vtime import Kernel, gather
+
+
+def run_pool(
+    kernel: Kernel,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    pool_size: int,
+    name: str = "pool",
+) -> list[Any]:
+    """Apply ``fn`` to every item with at most ``pool_size`` concurrent tasks.
+
+    Work is pulled from a shared cursor so fast workers take more items
+    (work stealing), like a real thread pool draining a queue.
+    """
+    items = list(items)
+    if not items:
+        return []
+    pool_size = max(1, min(pool_size, len(items)))
+    results: list[Any] = [None] * len(items)
+    cursor = [0]
+    lock = threading.Lock()
+
+    def _worker() -> None:
+        while True:
+            with lock:
+                index = cursor[0]
+                if index >= len(items):
+                    return
+                cursor[0] += 1
+            results[index] = fn(items[index])
+
+    tasks = [
+        kernel.spawn(_worker, name=f"{name}-{i}") for i in range(pool_size)
+    ]
+    gather(tasks)
+    return results

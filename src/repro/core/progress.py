@@ -1,0 +1,48 @@
+"""Textual progress bar for ``get_result`` (§4.2).
+
+"[get_result] adds new functionality such as ... a progress bar to inform
+users about the % of task completion."  Rendering is plain ``\\r`` updates;
+disabled by default so tests and benchmarks stay quiet.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+
+class ProgressBar:
+    """Renders ``[#####....] done/total`` as completion advances."""
+
+    WIDTH = 30
+
+    def __init__(
+        self, total: int, enabled: bool = True, stream: Optional[TextIO] = None
+    ) -> None:
+        self.total = max(0, total)
+        self.enabled = enabled and self.total > 0
+        self.stream = stream if stream is not None else sys.stdout
+        self._last_done = -1
+        self._closed = False
+
+    def update(self, done: int) -> None:
+        if not self.enabled or self._closed or done == self._last_done:
+            return
+        self._last_done = done
+        filled = int(self.WIDTH * done / self.total)
+        bar = "#" * filled + "." * (self.WIDTH - filled)
+        pct = 100.0 * done / self.total
+        self.stream.write(f"\r[{bar}] {done}/{self.total} ({pct:5.1f}%)")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self.enabled and not self._closed:
+            self.stream.write("\n")
+            self.stream.flush()
+        self._closed = True
+
+    def __enter__(self) -> "ProgressBar":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,130 @@
+"""COS-based shuffle: full keyed MapReduce over serverless functions.
+
+The paper's related-work section calls data shuffling "one of the biggest
+challenges in running MapReduce jobs over serverless architectures", with
+proposals to route intermediate data through S3/ElastiCache/SQS.  This
+module implements the object-storage flavour on top of IBM-PyWren's own
+primitives:
+
+* each **map** task applies the user function (which emits ``(key, value)``
+  pairs), hash-partitions the pairs into R buckets, and writes each bucket
+  as a COS object under its own call prefix;
+* each of the R **reducers** waits for all maps, reads *its* bucket from
+  every map's output, groups by key, and applies the user reduce function
+  per key.
+
+Everything — the map shim, the reducers, the completion signalling — rides
+the ordinary executor machinery: shims are plain functions serialized by
+value; reducers are `call_async` calls shipping the map futures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Iterable
+
+from repro.core import context as ambient
+from repro.core.futures import ALL_COMPLETED, ResponseFuture
+from repro.core.wait import wait as wait_on
+
+#: map output pair: (key, value)
+Pair = tuple[Any, Any]
+
+
+def stable_key_hash(key: Any) -> int:
+    """Deterministic, process-independent hash for shuffle partitioning.
+
+    Built on the ``repr`` of the key, which is stable for the hashable
+    primitives (str/int/float/tuples thereof) sensible as shuffle keys.
+    """
+    digest = hashlib.md5(repr(key).encode("utf-8", "backslashreplace")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def partition_pairs(pairs: Iterable[Pair], n_reducers: int) -> list[list[Pair]]:
+    """Split emitted pairs into ``n_reducers`` buckets by key hash."""
+    buckets: list[list[Pair]] = [[] for _ in range(n_reducers)]
+    for key, value in pairs:
+        buckets[stable_key_hash(key) % n_reducers].append((key, value))
+    return buckets
+
+
+def make_shuffle_map(
+    map_function: Callable[[Any], Iterable[Pair]], n_reducers: int
+):
+    """Build the map-side shim (runs inside the cloud function).
+
+    Uses the ambient call info to address this call's shuffle objects.
+    """
+
+    def shuffle_map(argument: Any) -> dict[str, Any]:
+        context = ambient.require_context()
+        info = context.call_info
+        if info is None:
+            raise RuntimeError("shuffle map must run inside a function executor")
+        storage = context.environment.internal_storage_in_cloud()
+        pairs = list(map_function(argument))
+        buckets = partition_pairs(pairs, n_reducers)
+        written = 0
+        for reducer_index, bucket in enumerate(buckets):
+            if bucket:
+                storage.put_shuffle_partition(
+                    info["executor_id"],
+                    info["callset_id"],
+                    info["call_id"],
+                    reducer_index,
+                    bucket,
+                )
+                written += 1
+        return {"emitted": len(pairs), "buckets_written": written}
+
+    return shuffle_map
+
+
+def make_shuffle_reduce(
+    reduce_function: Callable[[Any, list[Any]], Any],
+    reducer_index: int,
+    map_futures: list[ResponseFuture],
+    poll_interval: float,
+):
+    """Build one reducer's shim: fetch bucket ``reducer_index`` everywhere,
+    group by key, reduce per key.  Returns ``{key: reduced_value}``."""
+
+    def shuffle_reduce(_: Any) -> dict[Any, Any]:
+        context = ambient.require_context()
+        storage = context.environment.internal_storage_in_cloud()
+        for future in map_futures:
+            future.bind(storage, poll_interval)
+        wait_on(map_futures, storage, ALL_COMPLETED, poll_interval)
+        for future in map_futures:
+            future.result()  # surface map failures in this reducer
+
+        grouped: dict[Any, list[Any]] = {}
+        for future in map_futures:
+            bucket = storage.get_shuffle_partition(
+                future.executor_id,
+                future.callset_id,
+                future.call_id,
+                reducer_index,
+            )
+            for key, value in bucket:
+                grouped.setdefault(key, []).append(value)
+        return {
+            key: reduce_function(key, values) for key, values in grouped.items()
+        }
+
+    return shuffle_reduce
+
+
+def merge_shuffle_results(results: Iterable[dict[Any, Any]]) -> dict[Any, Any]:
+    """Merge per-reducer output dicts (keys are disjoint by construction)."""
+    merged: dict[Any, Any] = {}
+    for result in results:
+        overlap = merged.keys() & result.keys()
+        if overlap:
+            raise ValueError(
+                f"shuffle invariant violated: keys {sorted(overlap)!r} "
+                "appeared in more than one reducer"
+            )
+        merged.update(result)
+    return merged

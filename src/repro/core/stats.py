@@ -1,0 +1,86 @@
+"""Per-job execution statistics.
+
+The real framework stores "some metadata about the status of the
+invocations, such as execution times" in COS (§4.2); this module turns a
+job's futures into the summary numbers the paper's evaluation narrates:
+invocation phase, execution spread (the fast/slow functions visible in
+Fig. 3), and total makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.futures import ResponseFuture
+
+
+@dataclass(frozen=True)
+class JobStats:
+    """Summary of one finished job (all futures must be done)."""
+
+    n_calls: int
+    #: virtual time the first function started
+    first_start: float
+    #: virtual time the last function started (end of the invocation ramp)
+    last_start: float
+    #: virtual time the last function finished
+    last_end: float
+    mean_duration: float
+    p50_duration: float
+    p95_duration: float
+    max_duration: float
+
+    @property
+    def spawn_spread(self) -> float:
+        """Length of the invocation ramp (Fig. 2's invocation phase)."""
+        return self.last_start - self.first_start
+
+    @property
+    def makespan(self) -> float:
+        """First start to last finish."""
+        return self.last_end - self.first_start
+
+    @property
+    def straggler_ratio(self) -> float:
+        """max / median duration — 1.0 means perfectly even executions."""
+        if self.p50_duration == 0:
+            return 1.0
+        return self.max_duration / self.p50_duration
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def collect_job_stats(futures: Sequence[ResponseFuture]) -> JobStats:
+    """Aggregate statuses of finished futures into a :class:`JobStats`.
+
+    Each future's status is fetched (cached after the first read), so call
+    this after ``get_result``/``wait`` to avoid extra polling.
+    """
+    futures = list(futures)
+    if not futures:
+        raise ValueError("collect_job_stats needs at least one future")
+    starts: list[float] = []
+    ends: list[float] = []
+    durations: list[float] = []
+    for future in futures:
+        status = future.status()
+        starts.append(status["start_time"])
+        ends.append(status["end_time"])
+        durations.append(status["end_time"] - status["start_time"])
+    durations.sort()
+    return JobStats(
+        n_calls=len(futures),
+        first_start=min(starts),
+        last_start=max(starts),
+        last_end=max(ends),
+        mean_duration=sum(durations) / len(durations),
+        p50_duration=_percentile(durations, 0.5),
+        p95_duration=_percentile(durations, 0.95),
+        max_duration=durations[-1],
+    )

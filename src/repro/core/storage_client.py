@@ -1,0 +1,173 @@
+"""Internal storage: the COS key layout the framework hides from users.
+
+Per execution flow (§3/Fig. 1), the client serializes function code and data
+into COS, functions read them, and write results plus a small status object
+back.  The key scheme mirrors the real framework's::
+
+    {prefix}/{executor_id}/funcs/{sha}.pickle           (content-addressed)
+    {prefix}/{executor_id}/{callset_id}/aggdata.pickle
+    {prefix}/{executor_id}/{callset_id}/{call_id}/status.pickle
+    {prefix}/{executor_id}/{callset_id}/{call_id}/result.pickle
+    {prefix}/{executor_id}/{callset_id}/{call_id}/shuffle/{r}.pickle
+
+Status objects double as the completion signal: ``wait()`` discovers
+finished calls with a single LIST request over the status prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core import serializer
+from repro.cos.client import COSClient
+from repro.cos.errors import NoSuchKey
+
+
+class InternalStorage:
+    """Key-schema-aware wrapper over a :class:`COSClient`."""
+
+    def __init__(self, cos: COSClient, bucket: str, prefix: str = "pywren.jobs") -> None:
+        self.cos = cos
+        self.bucket = bucket
+        self.prefix = prefix.strip("/")
+
+    # -- key construction ---------------------------------------------------
+    def callset_prefix(self, executor_id: str, callset_id: str) -> str:
+        return f"{self.prefix}/{executor_id}/{callset_id}"
+
+    def func_key(self, executor_id: str, callset_id: str) -> str:
+        return f"{self.callset_prefix(executor_id, callset_id)}/func.pickle"
+
+    def agg_data_key(self, executor_id: str, callset_id: str) -> str:
+        return f"{self.callset_prefix(executor_id, callset_id)}/aggdata.pickle"
+
+    def status_key(self, executor_id: str, callset_id: str, call_id: str) -> str:
+        return f"{self.callset_prefix(executor_id, callset_id)}/{call_id}/status.pickle"
+
+    def result_key(self, executor_id: str, callset_id: str, call_id: str) -> str:
+        return f"{self.callset_prefix(executor_id, callset_id)}/{call_id}/result.pickle"
+
+    # -- function code --------------------------------------------------------
+    def put_func(self, executor_id: str, callset_id: str, blob: bytes) -> str:
+        key = self.func_key(executor_id, callset_id)
+        self.cos.put_object(self.bucket, key, blob)
+        return key
+
+    def get_func(self, executor_id: str, callset_id: str) -> bytes:
+        return self.cos.get_object(self.bucket, self.func_key(executor_id, callset_id))
+
+    def shared_func_key(self, executor_id: str, digest: str) -> str:
+        """Content-addressed function object, shared across callsets.
+
+        Re-submitting the same function (e.g. repeated maps in a loop)
+        reuses the already-uploaded blob instead of paying the WAN upload
+        again.
+        """
+        return f"{self.prefix}/{executor_id}/funcs/{digest}.pickle"
+
+    def put_blob(self, key: str, blob: bytes) -> None:
+        self.cos.put_object(self.bucket, key, blob)
+
+    def get_blob(self, key: str) -> bytes:
+        return self.cos.get_object(self.bucket, key)
+
+    def blob_exists(self, key: str) -> bool:
+        return self.cos.object_exists(self.bucket, key)
+
+    # -- aggregated call data -------------------------------------------------
+    def put_agg_data(self, executor_id: str, callset_id: str, blob: bytes) -> str:
+        key = self.agg_data_key(executor_id, callset_id)
+        self.cos.put_object(self.bucket, key, blob)
+        return key
+
+    def get_data_range(
+        self, executor_id: str, callset_id: str, start: int, end: int
+    ) -> bytes:
+        key = self.agg_data_key(executor_id, callset_id)
+        return self.cos.read_range(self.bucket, key, start, end)
+
+    # -- status ---------------------------------------------------------------
+    def put_status(
+        self, executor_id: str, callset_id: str, call_id: str, status: dict[str, Any]
+    ) -> None:
+        blob = serializer.serialize(status)
+        self.cos.put_object(
+            self.bucket, self.status_key(executor_id, callset_id, call_id), blob
+        )
+
+    def get_status(
+        self, executor_id: str, callset_id: str, call_id: str
+    ) -> Optional[dict[str, Any]]:
+        """The status dict, or ``None`` if the call has not finished."""
+        try:
+            blob = self.cos.get_object(
+                self.bucket, self.status_key(executor_id, callset_id, call_id)
+            )
+        except NoSuchKey:
+            return None
+        return serializer.deserialize(blob)
+
+    def list_done_call_ids(self, executor_id: str, callset_id: str) -> set[str]:
+        """Call ids with a status object, via one LIST request (§4.2 wait)."""
+        prefix = self.callset_prefix(executor_id, callset_id) + "/"
+        done = set()
+        for key in self.cos.list_keys(self.bucket, prefix):
+            if key.endswith("/status.pickle"):
+                parts = key[len(prefix):].split("/")
+                if len(parts) == 2:
+                    done.add(parts[0])
+        return done
+
+    # -- shuffle partitions ------------------------------------------------------
+    def shuffle_key(
+        self, executor_id: str, callset_id: str, call_id: str, reducer: int
+    ) -> str:
+        return (
+            f"{self.callset_prefix(executor_id, callset_id)}/{call_id}"
+            f"/shuffle/{reducer:05d}.pickle"
+        )
+
+    def put_shuffle_partition(
+        self,
+        executor_id: str,
+        callset_id: str,
+        call_id: str,
+        reducer: int,
+        pairs: list,
+    ) -> int:
+        blob = serializer.serialize(pairs)
+        self.cos.put_object(
+            self.bucket,
+            self.shuffle_key(executor_id, callset_id, call_id, reducer),
+            blob,
+        )
+        return len(blob)
+
+    def get_shuffle_partition(
+        self, executor_id: str, callset_id: str, call_id: str, reducer: int
+    ) -> list:
+        """A map task's bucket for one reducer; missing means 'emitted none'."""
+        try:
+            blob = self.cos.get_object(
+                self.bucket,
+                self.shuffle_key(executor_id, callset_id, call_id, reducer),
+            )
+        except NoSuchKey:
+            return []
+        return serializer.deserialize(blob)
+
+    # -- results ---------------------------------------------------------------
+    def put_result(
+        self, executor_id: str, callset_id: str, call_id: str, value: Any
+    ) -> int:
+        blob = serializer.serialize(value)
+        self.cos.put_object(
+            self.bucket, self.result_key(executor_id, callset_id, call_id), blob
+        )
+        return len(blob)
+
+    def get_result(self, executor_id: str, callset_id: str, call_id: str) -> Any:
+        blob = self.cos.get_object(
+            self.bucket, self.result_key(executor_id, callset_id, call_id)
+        )
+        return serializer.deserialize(blob)

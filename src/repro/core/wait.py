@@ -1,0 +1,92 @@
+"""The ``wait()`` API method (§4.2).
+
+Three unlock policies, verbatim from the paper:
+
+1. ``ALWAYS`` — check once whether results are available and return
+   immediately either way;
+2. ``ANY_COMPLETED`` — resume as soon as at least one invocation finished;
+3. ``ALL_COMPLETED`` — resume when every result is available in COS.
+
+Completion is discovered with one LIST request per callset per polling
+round, not one HEAD per future, which is what makes waiting on thousands of
+futures cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro import vtime
+from repro.core.errors import ResultTimeoutError
+from repro.core.futures import ALL_COMPLETED, ALWAYS, ANY_COMPLETED, ResponseFuture
+from repro.core.storage_client import InternalStorage
+
+__all__ = ["wait", "ALWAYS", "ANY_COMPLETED", "ALL_COMPLETED"]
+
+
+def _poll_round(
+    futures: Sequence[ResponseFuture], storage: InternalStorage
+) -> None:
+    """Mark futures whose status objects now exist (one LIST per callset)."""
+    pending_by_callset: dict[tuple[str, str], list[ResponseFuture]] = {}
+    for future in futures:
+        if not _is_done(future):
+            key = (future.executor_id, future.callset_id)
+            pending_by_callset.setdefault(key, []).append(future)
+    for (executor_id, callset_id), group in pending_by_callset.items():
+        done_ids = storage.list_done_call_ids(executor_id, callset_id)
+        for future in group:
+            if future.call_id in done_ids:
+                future.mark_done()
+
+
+def _is_done(future: ResponseFuture) -> bool:
+    return future._status is not None or getattr(future, "_status_seen", False)
+
+
+def wait(
+    futures: Iterable[ResponseFuture],
+    storage: Optional[InternalStorage] = None,
+    return_when: int = ALL_COMPLETED,
+    poll_interval: float = 1.0,
+    timeout: Optional[float] = None,
+    on_progress=None,
+) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
+    """Wait on futures; returns the 2-tuple ``(done, not_done)`` of §4.2.
+
+    ``storage`` defaults to the binding of the first future.  ``timeout``
+    bounds the blocking policies and raises :class:`ResultTimeoutError`.
+    ``on_progress(done_count, total)`` is called once per polling round —
+    ``get_result`` drives its progress bar with it.
+    """
+    futures = list(futures)
+    if not futures:
+        return [], []
+    if storage is None:
+        bound = next((f for f in futures if f.bound), None)
+        if bound is None:
+            raise RuntimeError("wait() needs bound futures or an explicit storage")
+        storage = bound._storage
+    for future in futures:
+        if not future.bound:
+            future.bind(storage, poll_interval)
+
+    deadline = None if timeout is None else vtime.now() + timeout
+    while True:
+        _poll_round(futures, storage)
+        done = [f for f in futures if _is_done(f)]
+        not_done = [f for f in futures if not _is_done(f)]
+        if on_progress is not None:
+            on_progress(len(done), len(futures))
+        if return_when == ALWAYS:
+            return done, not_done
+        if return_when == ANY_COMPLETED and done:
+            return done, not_done
+        if return_when == ALL_COMPLETED and not not_done:
+            return done, not_done
+        if deadline is not None and vtime.now() >= deadline:
+            raise ResultTimeoutError(
+                f"wait() timed out with {len(not_done)} of "
+                f"{len(futures)} futures unfinished"
+            )
+        vtime.sleep(poll_interval)

@@ -1,0 +1,155 @@
+"""Server-side job runner — the code that executes *inside* the container.
+
+There are exactly two actions the framework ever deploys:
+
+* the **runner** (:func:`runner_handler`): fetches the serialized function
+  and its input from COS, executes it, and writes result + status back
+  (steps 3 of Fig. 1);
+* the **remote invoker** (:func:`remote_invoker_handler`): the §5.1 massive
+  function spawning mechanism — receives a batch of call parameters and
+  issues the actual runner invocations from *inside* the cloud, where the
+  invocation latency is minimal.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro.core import context as ambient
+from repro.core import serializer
+from repro.core.partitioner import StoragePartition
+from repro.core.storage_client import InternalStorage
+from repro.faas.controller import ExecutionContext
+from repro.vtime import gather
+
+#: deployed action name templates
+RUNNER_ACTION_BASENAME = "pywren_runner"
+REMOTE_INVOKER_ACTION = "pywren_remote_invoker"
+
+
+def runner_action_name(runtime: str, memory_mb: int) -> str:
+    """Deterministic action name for a (runtime, memory) runner variant."""
+    sanitized = runtime.replace(":", "-").replace("/", "_")
+    return f"{RUNNER_ACTION_BASENAME}__{sanitized}__{memory_mb}mb"
+
+
+def _load_input(params: dict[str, Any], storage: InternalStorage, ctx: ExecutionContext) -> Any:
+    """Rebuild the call's single input argument."""
+    data_range = params.get("data_range")
+    if data_range is not None:
+        start, end = data_range
+        blob = storage.get_data_range(
+            params["executor_id"], params["callset_id"], start, end
+        )
+        return serializer.deserialize(blob)
+    partition_spec = params.get("partition")
+    if partition_spec is not None:
+        return StoragePartition.from_spec(partition_spec, cos=ctx.cos)
+    return None
+
+
+def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, Any]:
+    """Execute one function executor call."""
+    executor_id = params["executor_id"]
+    callset_id = params["callset_id"]
+    call_id = params["call_id"]
+    storage = InternalStorage(ctx.cos, params["bucket"], params["prefix"])
+
+    func_key = params.get("func_key")
+    if func_key is not None:
+        func_blob = storage.get_blob(func_key)
+    else:  # legacy per-callset location
+        func_blob = storage.get_func(executor_id, callset_id)
+    fn = serializer.deserialize(func_blob)
+    argument = _load_input(params, storage, ctx)
+
+    environment = ctx.platform.environment
+    ambient.push_context(
+        environment, in_cloud=True, call_info=dict(params), execution_context=ctx
+    )
+    start_time = ctx.kernel.now()
+    success = True
+    error_text = None
+    try:
+        value: Any = fn(argument)
+    except Exception as exc:  # noqa: BLE001 - shipped back to the client
+        success = False
+        error_text = repr(exc)
+        value = (_picklable_or_none(exc), traceback.format_exc())
+    finally:
+        ambient.pop_context()
+    end_time = ctx.kernel.now()
+
+    try:
+        storage.put_result(executor_id, callset_id, call_id, value)
+    except serializer.SerializationError as exc:
+        success = False
+        error_text = f"result not serializable: {exc}"
+        storage.put_result(executor_id, callset_id, call_id, (None, error_text))
+
+    status = {
+        "executor_id": executor_id,
+        "callset_id": callset_id,
+        "call_id": call_id,
+        "success": success,
+        "error": error_text,
+        "start_time": start_time,
+        "end_time": end_time,
+        "activation_id": ctx.activation_id,
+        "container_id": ctx.record.container_id,
+        "cold_start": ctx.record.cold_start,
+    }
+    storage.put_status(executor_id, callset_id, call_id, status)
+
+    monitor_queue = params.get("monitor_queue")
+    if monitor_queue:
+        # push-monitoring transport: notify the client directly, in
+        # addition to the authoritative COS status object
+        from repro.mq.client import MQClient
+
+        mq = MQClient(
+            environment.broker, ctx.platform.in_cloud_link_factory()
+        )
+        mq.publish(monitor_queue, dict(status))
+    return {"call_id": call_id, "success": success}
+
+
+def _picklable_or_none(exc: BaseException) -> BaseException | None:
+    try:
+        serializer.serialize(exc)
+        return exc
+    except serializer.SerializationError:
+        return None
+
+
+def remote_invoker_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, Any]:
+    """Spawn a batch of runner invocations from inside the cloud (§5.1).
+
+    ``pool_size <= 1`` issues them sequentially (the per-group behaviour of
+    the final massive-spawning design); larger pools model the first
+    remote-invoker attempt that used threading inside a single function.
+    """
+    namespace = params["namespace"]
+    action = params["action"]
+    calls: list[dict[str, Any]] = params["calls"]
+    pool_size = int(params.get("pool_size", 1))
+
+    if pool_size <= 1:
+        for call_params in calls:
+            ctx.functions.invoke(namespace, action, call_params)
+        return {"invoked": len(calls)}
+
+    slices = [calls[i::pool_size] for i in range(pool_size)]
+
+    def _spawner(batch: list[dict[str, Any]]) -> None:
+        for call_params in batch:
+            ctx.functions.invoke(namespace, action, call_params)
+
+    tasks = [
+        ctx.kernel.spawn(_spawner, batch, name=f"rinv-pool-{i}")
+        for i, batch in enumerate(slices)
+        if batch
+    ]
+    gather(tasks)
+    return {"invoked": len(calls)}

@@ -1,0 +1,28 @@
+"""Emulated IBM Cloud Object Storage (COS)."""
+
+from repro.cos.bucket import Bucket
+from repro.cos.client import COSClient, ObjectSummary
+from repro.cos.errors import (
+    BucketAlreadyExists,
+    InvalidRange,
+    NoSuchBucket,
+    NoSuchKey,
+    StorageError,
+)
+from repro.cos.obj import StoredObject
+from repro.cos.object_store import CloudObjectStorage
+from repro.cos.virtual import make_text_content_fn
+
+__all__ = [
+    "Bucket",
+    "COSClient",
+    "ObjectSummary",
+    "StoredObject",
+    "CloudObjectStorage",
+    "make_text_content_fn",
+    "StorageError",
+    "NoSuchBucket",
+    "NoSuchKey",
+    "BucketAlreadyExists",
+    "InvalidRange",
+]

@@ -1,0 +1,50 @@
+"""Buckets: flat namespaces of objects with prefix listing."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cos.errors import NoSuchKey
+from repro.cos.obj import StoredObject
+
+
+class Bucket:
+    """A named collection of :class:`StoredObject`.
+
+    Not thread-safe on its own; :class:`~repro.cos.object_store
+    .CloudObjectStorage` serializes access.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._objects: dict[str, StoredObject] = {}
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def put(self, obj: StoredObject) -> None:
+        self._objects[obj.key] = obj
+
+    def get(self, key: str) -> StoredObject:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise NoSuchKey(f"{self.name}/{key}") from None
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise NoSuchKey(f"{self.name}/{key}")
+        del self._objects[key]
+
+    def contains(self, key: str) -> bool:
+        return key in self._objects
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """All keys under ``prefix``, sorted (S3-style listing order)."""
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def list_objects(self, prefix: str = "") -> list[StoredObject]:
+        return [self._objects[k] for k in self.list_keys(prefix)]
+
+    def total_size(self, prefix: str = "") -> int:
+        return sum(o.size for o in self.list_objects(prefix))

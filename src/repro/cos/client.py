@@ -1,0 +1,130 @@
+"""COS client: the latency-accounted API surface components talk to.
+
+One client per endpoint (laptop client, invoker function, map function),
+each with its own :class:`~repro.net.NetworkLink`, all sharing one
+:class:`~repro.cos.object_store.CloudObjectStorage` data plane — mirroring
+how IBM-PyWren's client and its cloud functions all hit the same COS
+buckets over very different network paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cos.errors import NoSuchKey
+from repro.cos.object_store import CloudObjectStorage
+from repro.net.link import NetworkLink
+
+
+@dataclass(frozen=True)
+class ObjectSummary:
+    """Metadata returned by HEAD/LIST requests."""
+
+    bucket: str
+    key: str
+    size: int
+    etag: str
+    last_modified: float
+
+
+class COSClient:
+    """Latency-charging facade over :class:`CloudObjectStorage`."""
+
+    #: retries for transient network failures (client-side policy)
+    RETRIES = 5
+    #: seconds between retries
+    RETRY_BACKOFF = 1.0
+
+    def __init__(self, store: CloudObjectStorage, link: NetworkLink) -> None:
+        self.store = store
+        self.link = link
+
+    # -- write path ----------------------------------------------------------
+    def put_object(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        metadata: Optional[dict[str, str]] = None,
+    ) -> None:
+        self._request(len(data))
+        self.store.put_object(bucket, key, data, metadata=metadata)
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        self._request(0)
+        self.store.delete_object(bucket, key)
+
+    # -- read path -----------------------------------------------------------
+    def get_object(self, bucket: str, key: str) -> bytes:
+        obj = self.store.get_object(bucket, key)
+        self._request(obj.size)
+        return obj.read()
+
+    def read_range(
+        self,
+        bucket: str,
+        key: str,
+        start: int,
+        end: Optional[int] = None,
+        materialize_cap: Optional[int] = None,
+    ) -> bytes:
+        """Read bytes ``[start, end)`` of an object.
+
+        ``materialize_cap`` supports GB-scale *virtual* objects: the full
+        range is charged to the virtual clock (it models a streaming read),
+        but at most ``materialize_cap`` bytes of content are synthesized and
+        returned, so real CPU/memory stays bounded.  Byte-backed objects and
+        ``materialize_cap=None`` return the whole range.
+        """
+        obj = self.store.get_object(bucket, key)
+        if end is None or end > obj.size:
+            end = obj.size
+        span = max(0, end - start)
+        self._request(span)
+        if materialize_cap is not None and span > materialize_cap:
+            return obj.read(start, start + materialize_cap)
+        return obj.read(start, end)
+
+    def head_object(self, bucket: str, key: str) -> ObjectSummary:
+        self._request(0)
+        obj = self.store.get_object(bucket, key)
+        return ObjectSummary(bucket, obj.key, obj.size, obj.etag, obj.last_modified)
+
+    def object_exists(self, bucket: str, key: str) -> bool:
+        try:
+            self.head_object(bucket, key)
+            return True
+        except NoSuchKey:
+            return False
+
+    def head_bucket(self, bucket: str) -> bool:
+        self._request(0)
+        return self.store.bucket_exists(bucket)
+
+    def copy_object(
+        self, src_bucket: str, src_key: str, dst_bucket: str, dst_key: str
+    ) -> None:
+        """Server-side copy: one control round trip, no payload transfer."""
+        self._request(0)
+        self.store.copy_object(src_bucket, src_key, dst_bucket, dst_key)
+
+    def list_objects(self, bucket: str, prefix: str = "") -> list[ObjectSummary]:
+        self._request(0)
+        summaries = []
+        for key in self.store.list_keys(bucket, prefix):
+            obj = self.store.get_object(bucket, key)
+            summaries.append(
+                ObjectSummary(bucket, obj.key, obj.size, obj.etag, obj.last_modified)
+            )
+        return summaries
+
+    def list_keys(self, bucket: str, prefix: str = "") -> list[str]:
+        self._request(0)
+        return self.store.list_keys(bucket, prefix)
+
+    # -- internals -----------------------------------------------------------
+    def _request(self, payload_bytes: int) -> None:
+        self.link.request_with_retries(
+            payload_bytes, retries=self.RETRIES, backoff=self.RETRY_BACKOFF
+        )

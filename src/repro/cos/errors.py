@@ -1,0 +1,23 @@
+"""Errors raised by the emulated IBM Cloud Object Storage service."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for storage-service errors."""
+
+
+class NoSuchBucket(StorageError):
+    """The requested bucket does not exist."""
+
+
+class BucketAlreadyExists(StorageError):
+    """Attempted to create a bucket that already exists."""
+
+
+class NoSuchKey(StorageError):
+    """The requested object key does not exist in the bucket."""
+
+
+class InvalidRange(StorageError):
+    """A byte-range request fell outside the object."""

@@ -1,0 +1,164 @@
+"""The emulated IBM Cloud Object Storage service (data plane, no latency).
+
+This is the authoritative store shared by every client in a simulation.
+Latency/bandwidth accounting lives in :class:`repro.cos.client.COSClient`,
+so the same store can be reached through different network paths (WAN
+client vs in-cloud function), like the real service.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.cos.bucket import Bucket
+from repro.cos.errors import BucketAlreadyExists, NoSuchBucket
+from repro.cos.obj import StoredObject
+from repro.vtime import Kernel
+
+
+class CloudObjectStorage:
+    """Thread-safe bucket/object store with virtual-object support."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._buckets: dict[str, Bucket] = {}
+        self._lock = threading.Lock()
+        self._put_count = 0
+        self._get_count = 0
+
+    # -- buckets -----------------------------------------------------------
+    def create_bucket(self, name: str, exist_ok: bool = False) -> Bucket:
+        if not name or "/" in name:
+            raise ValueError(f"invalid bucket name: {name!r}")
+        with self._lock:
+            if name in self._buckets:
+                if exist_ok:
+                    return self._buckets[name]
+                raise BucketAlreadyExists(name)
+            bucket = Bucket(name)
+            self._buckets[name] = bucket
+            return bucket
+
+    def delete_bucket(self, name: str) -> None:
+        with self._lock:
+            if name not in self._buckets:
+                raise NoSuchBucket(name)
+            del self._buckets[name]
+
+    def bucket(self, name: str) -> Bucket:
+        with self._lock:
+            try:
+                return self._buckets[name]
+            except KeyError:
+                raise NoSuchBucket(name) from None
+
+    def bucket_exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._buckets
+
+    def list_buckets(self) -> list[str]:
+        with self._lock:
+            return sorted(self._buckets)
+
+    # -- objects -----------------------------------------------------------
+    def put_object(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        metadata: Optional[dict[str, str]] = None,
+    ) -> StoredObject:
+        obj = StoredObject(
+            key, data=data, metadata=metadata, last_modified=self.kernel.now()
+        )
+        b = self.bucket(bucket)
+        with self._lock:
+            b.put(obj)
+            self._put_count += 1
+        return obj
+
+    def put_virtual_object(
+        self,
+        bucket: str,
+        key: str,
+        size: int,
+        content_fn: Optional[Callable[[int, int], bytes]] = None,
+        metadata: Optional[dict[str, str]] = None,
+    ) -> StoredObject:
+        """Store a size-only object whose content is generated on read."""
+        obj = StoredObject(
+            key,
+            size=size,
+            content_fn=content_fn,
+            metadata=metadata,
+            last_modified=self.kernel.now(),
+        )
+        b = self.bucket(bucket)
+        with self._lock:
+            b.put(obj)
+            self._put_count += 1
+        return obj
+
+    def get_object(self, bucket: str, key: str) -> StoredObject:
+        b = self.bucket(bucket)
+        with self._lock:
+            obj = b.get(key)
+            self._get_count += 1
+            return obj
+
+    def object_exists(self, bucket: str, key: str) -> bool:
+        b = self.bucket(bucket)
+        with self._lock:
+            return b.contains(key)
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        b = self.bucket(bucket)
+        with self._lock:
+            b.delete(key)
+
+    def list_keys(self, bucket: str, prefix: str = "") -> list[str]:
+        b = self.bucket(bucket)
+        with self._lock:
+            return b.list_keys(prefix)
+
+    def copy_object(
+        self, src_bucket: str, src_key: str, dst_bucket: str, dst_key: str
+    ) -> StoredObject:
+        """Server-side copy (S3 ``CopyObject``): no client data movement."""
+        source = self.get_object(src_bucket, src_key)
+        dst = self.bucket(dst_bucket)
+        if source.is_virtual:
+            copied = StoredObject(
+                dst_key,
+                size=source.size,
+                content_fn=source._content_fn,
+                metadata=dict(source.metadata),
+                last_modified=self.kernel.now(),
+            )
+        else:
+            copied = StoredObject(
+                dst_key,
+                data=source.read(),
+                metadata=dict(source.metadata),
+                last_modified=self.kernel.now(),
+            )
+        with self._lock:
+            dst.put(copied)
+            self._put_count += 1
+        return copied
+
+    def bucket_size(self, bucket: str, prefix: str = "") -> int:
+        """Total logical bytes under a prefix."""
+        b = self.bucket(bucket)
+        with self._lock:
+            return b.total_size(prefix)
+
+    # -- statistics ----------------------------------------------------------
+    @property
+    def put_count(self) -> int:
+        return self._put_count
+
+    @property
+    def get_count(self) -> int:
+        return self._get_count

@@ -1,0 +1,51 @@
+"""Deterministic content generation for virtual objects.
+
+Content is defined block-wise: the object is a concatenation of fixed-size
+text blocks, block ``i`` derived from ``sha256(seed, i)``.  Any byte range
+can therefore be produced in O(range) work without storing the object.  The
+generated text is newline-delimited so line-oriented map functions behave
+like they would on real CSV/JSON review data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable
+
+BLOCK_SIZE = 4096
+
+_WORDS = (
+    "great clean cozy terrible loud amazing host location dirty lovely "
+    "noisy perfect awful wonderful stay room view bed quiet charming "
+    "broken helpful rude spacious cramped bright smelly friendly walk "
+    "metro beach downtown kitchen shower comfortable disappointing"
+).split()
+
+
+def _block(seed: int, index: int) -> bytes:
+    """One deterministic BLOCK_SIZE text block of pseudo review lines."""
+    digest = hashlib.sha256(f"{seed}:{index}".encode()).digest()
+    rng = random.Random(digest)
+    out = bytearray()
+    while len(out) < BLOCK_SIZE:
+        n_words = rng.randint(6, 14)
+        line = " ".join(rng.choice(_WORDS) for _ in range(n_words))
+        out += line.encode("ascii") + b"\n"
+    return bytes(out[:BLOCK_SIZE])
+
+
+def make_text_content_fn(seed: int) -> Callable[[int, int], bytes]:
+    """Return a ``content_fn(start, end)`` producing deterministic text."""
+
+    def content_fn(start: int, end: int) -> bytes:
+        if end <= start:
+            return b""
+        first = start // BLOCK_SIZE
+        last = (end - 1) // BLOCK_SIZE
+        parts = [_block(seed, i) for i in range(first, last + 1)]
+        blob = b"".join(parts)
+        offset = start - first * BLOCK_SIZE
+        return blob[offset : offset + (end - start)]
+
+    return content_fn

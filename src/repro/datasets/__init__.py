@@ -1,0 +1,5 @@
+"""Synthetic datasets standing in for the paper's inputs."""
+
+from repro.datasets import airbnb, words
+
+__all__ = ["airbnb", "words"]

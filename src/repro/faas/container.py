@@ -1,0 +1,45 @@
+"""Containers: the unit of warm/cold execution on an invoker node."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+_container_ids = itertools.count(1)
+
+
+class Container:
+    """A (simulated) Docker container bound to one action.
+
+    OpenWhisk warms containers per action: after an activation finishes, the
+    container parks in the invoker's idle pool and a subsequent activation
+    of the *same action* reuses it with no start latency.
+    """
+
+    IDLE = "idle"
+    BUSY = "busy"
+    STOPPED = "stopped"
+
+    def __init__(
+        self,
+        action_fqn: str,
+        runtime: str,
+        memory_mb: int,
+        created: float,
+        invoker_id: int,
+    ) -> None:
+        self.container_id = f"wsk-cont-{next(_container_ids):06d}"
+        self.action_fqn = action_fqn
+        self.runtime = runtime
+        self.memory_mb = memory_mb
+        self.created = created
+        self.invoker_id = invoker_id
+        self.state = Container.BUSY
+        self.last_used = created
+        self.activations_served = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Container {self.container_id} {self.action_fqn} "
+            f"{self.memory_mb}MB {self.state}>"
+        )

@@ -1,0 +1,452 @@
+"""The Cloud Functions controller: accepts invocations, places containers,
+runs handlers, records activations.
+
+This plays the role OpenWhisk's controller + load balancer play for IBM
+Cloud Functions: it enforces the per-namespace concurrency limit (429 +
+client retry when exceeded), schedules activations onto invoker nodes,
+charges cold-start/image-pull latencies, and *really executes* the action's
+Python handler inside a kernel task.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import traceback
+from typing import Any, Optional
+
+from repro.faas.action import Action, Handler, Namespace
+from repro.faas.activation import ActivationRecord, ActivationStatus
+from repro.faas.errors import (
+    ActivationNotFound,
+    NamespaceNotFound,
+    ThrottledError,
+)
+from repro.faas.invoker_node import InvokerNode, Placement
+from repro.faas.limits import SystemLimits
+from repro.faas.runtime import DEFAULT_RUNTIME_NAME, RuntimeRegistry
+from repro.vtime import Kernel, VCondition, VEvent
+
+#: controller-side processing time per accepted invocation request (seconds);
+#: together with the caller's link RTT this yields the per-invocation service
+#: times calibrated in DESIGN.md §5.
+API_OVERHEAD_MEAN = 0.060
+API_OVERHEAD_JITTER = 0.15
+
+#: registry pull bandwidth seen by one invoker node (MB/s)
+IMAGE_PULL_MBPS = 50.0
+
+#: cold container boot time bounds (seconds)
+COLD_START_MIN = 0.35
+COLD_START_MAX = 0.90
+
+
+class ExecutionContext:
+    """What a running action sees: its activation, COS, and the platform.
+
+    ``ctx.cos`` and ``ctx.functions`` talk to the services over an in-cloud
+    (low-latency) link — functions run in the same data center as COS, which
+    is the asymmetry the massive-spawning mechanism (§5.1) exploits.
+    """
+
+    def __init__(
+        self,
+        platform: "CloudFunctions",
+        namespace: str,
+        record: ActivationRecord,
+        action: Action,
+    ) -> None:
+        self.platform = platform
+        self.namespace = namespace
+        self.record = record
+        self.action = action
+        self._cos = None
+        self._functions = None
+
+    @property
+    def kernel(self) -> Kernel:
+        return self.platform.kernel
+
+    @property
+    def activation_id(self) -> str:
+        return self.record.activation_id
+
+    @property
+    def cos(self):
+        """A COS client on an in-cloud link (lazy, one per activation)."""
+        if self._cos is None:
+            from repro.cos.client import COSClient
+
+            link = self.platform.in_cloud_link_factory()
+            self._cos = COSClient(self.platform.storage, link)
+        return self._cos
+
+    @property
+    def functions(self):
+        """A Cloud Functions client on an in-cloud link (for composition)."""
+        if self._functions is None:
+            from repro.faas.gateway import CloudFunctionsClient
+
+            link = self.platform.in_cloud_link_factory()
+            # workers act with the platform's own identity: the controller
+            # trusts invocations originating from its containers
+            self._functions = CloudFunctionsClient(
+                self.platform, link, credentials=self.platform.trusted_token
+            )
+        return self._functions
+
+    def sleep(self, seconds: float) -> None:
+        """Model compute time inside the handler."""
+        self.kernel.sleep(seconds)
+
+    def compute(self, seconds: float) -> None:
+        """Model *CPU-bound* compute: contention-aware sleep.
+
+        §6.2 observes that "some functions ran fast while others slow ...
+        due to the internal operation of IBM Cloud Functions ... and the
+        available resources in the cluster."  With the platform's
+        ``contention_coeff`` > 0, nominal compute time inflates with the
+        memory load of the invoker node this activation landed on.
+        """
+        coeff = self.platform.contention_coeff
+        if coeff > 0 and self.record.invoker_id is not None:
+            node = self.platform.invokers[self.record.invoker_id]
+            seconds *= 1.0 + coeff * node.load_fraction()
+        self.kernel.sleep(seconds)
+
+    def log(self, message: str) -> None:
+        """Append a line to this activation's log (like ``print`` in a
+        real OpenWhisk action, retrievable from the activation record)."""
+        self.record.logs.append((self.kernel.now(), str(message)))
+
+    def remaining_time(self) -> float:
+        """Seconds left before this activation hits its execution limit."""
+        limit = min(self.action.timeout_s, self.platform.limits.max_exec_seconds)
+        elapsed = self.kernel.now() - (self.record.start_time or self.kernel.now())
+        return max(0.0, limit - elapsed)
+
+
+class CloudFunctions:
+    """The emulated IBM Cloud Functions service."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        storage: Any,
+        limits: Optional[SystemLimits] = None,
+        registry: Optional[RuntimeRegistry] = None,
+        seed: int = 42,
+        crash_prob: float = 0.0,
+    ) -> None:
+        if not (0.0 <= crash_prob <= 1.0):
+            raise ValueError("crash_prob must be in [0, 1]")
+        #: probability an activation's container dies mid-flight without
+        #: ever running (or reporting) the user function — fault injection
+        #: for resilience tests; 0 by default
+        self.crash_prob = crash_prob
+        self.kernel = kernel
+        self.storage = storage
+        self.limits = limits or SystemLimits()
+        self.limits.validate()
+        self.registry = registry or RuntimeRegistry()
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._namespaces: dict[str, Namespace] = {}
+        self._activations: dict[str, ActivationRecord] = {}
+        self._completion: dict[str, VEvent] = {}
+        self._act_lock = threading.Lock()
+        self._act_ids = itertools.count(1)
+        self._active: dict[str, int] = {}
+        self._active_total = 0
+        self._peak_active = 0
+        self._throttled_total = 0
+        from repro.faas.iam import IAM
+
+        #: key issuance/verification; enforcement is off unless
+        #: ``require_auth`` is set (the paper's experiments are single-tenant)
+        self.iam = IAM(seed)
+        self.require_auth = False
+        #: sentinel credential carried by in-cloud worker clients
+        self.trusted_token = object()
+        #: CPU-contention coefficient for ExecutionContext.compute();
+        #: 0 (off) keeps the calibrated experiment timings exact
+        self.contention_coeff = 0.0
+        self._capacity = VCondition(kernel)
+        self._rr = itertools.count()
+        self.invokers = [
+            InvokerNode(
+                i, self.limits.invoker_memory_mb, self.limits.warm_idle_ttl
+            )
+            for i in range(self.limits.invoker_count)
+        ]
+        # The default runtime image ships preinstalled on every node.
+        for node in self.invokers:
+            node.cache_image(DEFAULT_RUNTIME_NAME)
+        self._link_seq = itertools.count(1000)
+        self.environment: Any = None  # back-reference set by CloudEnvironment
+        from repro.faas.billing import BillingMeter
+
+        self.billing = BillingMeter()
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def in_cloud_link_factory(self):
+        """A fresh in-cloud network link (independent RNG stream)."""
+        from repro.net.latency import LatencyModel
+        from repro.net.link import NetworkLink
+
+        return NetworkLink(
+            self.kernel, LatencyModel.in_cloud(), seed=next(self._link_seq)
+        )
+
+    # ------------------------------------------------------------------
+    # Action management
+    # ------------------------------------------------------------------
+    def namespace(self, name: str, create: bool = True) -> Namespace:
+        with self._act_lock:
+            ns = self._namespaces.get(name)
+            if ns is None:
+                if not create:
+                    raise NamespaceNotFound(name)
+                ns = Namespace(name)
+                self._namespaces[name] = ns
+            return ns
+
+    def create_action(
+        self,
+        namespace: str,
+        name: str,
+        handler: Handler,
+        runtime: str = DEFAULT_RUNTIME_NAME,
+        memory_mb: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Action:
+        """Deploy an action.  Validates runtime and limits."""
+        image = self.registry.get(runtime)  # raises RuntimeNotFound
+        memory = memory_mb if memory_mb is not None else self.limits.default_memory_mb
+        if not (0 < memory <= self.limits.max_memory_mb):
+            raise ValueError(
+                f"action memory {memory}MB outside (0, "
+                f"{self.limits.max_memory_mb}MB]"
+            )
+        timeout = timeout_s if timeout_s is not None else self.limits.max_exec_seconds
+        timeout = min(timeout, self.limits.max_exec_seconds)
+        action = Action(
+            namespace=namespace,
+            name=name,
+            handler=handler,
+            runtime=image.name,
+            memory_mb=memory,
+            timeout_s=timeout,
+        )
+        self.namespace(namespace).put(action)
+        return action
+
+    # ------------------------------------------------------------------
+    # Invocation path
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        namespace: str,
+        action_name: str,
+        params: dict[str, Any],
+        credentials: Any = None,
+    ) -> str:
+        """Accept one invocation; returns its activation id.
+
+        Raises :class:`ThrottledError` (HTTP 429) when the namespace is at
+        its concurrent-invocation limit — a *per-namespace* limit, so one
+        tenant's burst cannot starve another.  When ``require_auth`` is set,
+        ``credentials`` (an :class:`~repro.faas.iam.ApiKey`) must authorize
+        the namespace.  Charges controller-side processing time to the
+        calling task, like a synchronous HTTP POST would.
+        """
+        if self.require_auth and credentials is not self.trusted_token:
+            from repro.faas.iam import AuthenticationError
+
+            if credentials is None:
+                raise AuthenticationError("this platform requires an API key")
+            self.iam.authorize(credentials, namespace)
+        action = self.namespace(namespace, create=False).get(action_name)
+        with self._rng_lock:
+            overhead = API_OVERHEAD_MEAN * (
+                1 + self._rng.uniform(-API_OVERHEAD_JITTER, API_OVERHEAD_JITTER)
+            )
+        self.kernel.sleep(overhead)
+        with self._act_lock:
+            current = self._active.get(namespace, 0)
+            if current >= self.limits.max_concurrent:
+                self._throttled_total += 1
+                raise ThrottledError(
+                    f"namespace {namespace!r} at concurrency limit "
+                    f"({self.limits.max_concurrent})"
+                )
+            self._active[namespace] = current + 1
+            self._active_total += 1
+            self._peak_active = max(self._peak_active, self._active_total)
+            activation_id = f"act-{next(self._act_ids):08d}"
+            record = ActivationRecord(
+                activation_id=activation_id,
+                namespace=namespace,
+                action_name=action_name,
+                submit_time=self.kernel.now(),
+            )
+            self._activations[activation_id] = record
+            self._completion[activation_id] = VEvent(self.kernel)
+        self.kernel.spawn(
+            self._execute,
+            action,
+            dict(params),
+            record,
+            name=f"fn-{action_name}-{activation_id}",
+        )
+        return activation_id
+
+    def _execute(
+        self, action: Action, params: dict[str, Any], record: ActivationRecord
+    ) -> None:
+        placement, node = self._place(action)
+        record.invoker_id = node.node_id
+        record.container_id = placement.container.container_id
+        record.cold_start = placement.cold
+        record.image_pulled = placement.needs_pull
+        if placement.needs_pull:
+            image = self.registry.get(action.runtime)
+            self.kernel.sleep(image.size_mb / IMAGE_PULL_MBPS)
+            node.cache_image(action.runtime)
+        if placement.cold:
+            with self._rng_lock:
+                boot = self._rng.uniform(COLD_START_MIN, COLD_START_MAX)
+            self.kernel.sleep(boot)
+
+        record.start_time = self.kernel.now()
+        with self._rng_lock:
+            # sample only when fault injection is on, so the RNG stream (and
+            # therefore all calibrated timings) is unchanged at crash_prob=0
+            crashed = self.crash_prob > 0 and self._rng.random() < self.crash_prob
+            crash_after = self._rng.uniform(0.1, 2.0) if crashed else 0.0
+        if crashed:
+            # the container dies without the handler completing: no result,
+            # no status object in COS — the client only notices by absence
+            self.kernel.sleep(crash_after)
+            record.end_time = self.kernel.now()
+            record.status = ActivationStatus.ERROR
+            record.error = "infrastructure failure: container crashed"
+            self.billing.record(
+                record.activation_id,
+                action.name,
+                action.memory_mb,
+                record.end_time - record.start_time,
+            )
+            node.discard(placement.container)
+            with self._act_lock:
+                self._active[record.namespace] -= 1
+                self._active_total -= 1
+                event = self._completion[record.activation_id]
+            event.set()
+            with self._capacity:
+                self._capacity.notify_all()
+            return
+
+        ctx = ExecutionContext(self, record.namespace, record, action)
+        status = ActivationStatus.SUCCESS
+        try:
+            record.result = action.handler(params, ctx)
+        except Exception:  # noqa: BLE001 - the platform reports, not crashes
+            status = ActivationStatus.ERROR
+            record.error = traceback.format_exc()
+        record.end_time = self.kernel.now()
+
+        limit = min(action.timeout_s, self.limits.max_exec_seconds)
+        if record.end_time - record.start_time > limit:
+            # The real platform would have killed the function at the limit;
+            # we label the activation and clamp its recorded interval.
+            status = ActivationStatus.TIMEOUT
+            record.error = (
+                f"function exceeded execution limit of {limit:.0f}s"
+            )
+            record.result = None
+            record.end_time = record.start_time + limit
+        record.status = status
+        self.billing.record(
+            record.activation_id,
+            action.name,
+            action.memory_mb,
+            record.end_time - record.start_time,
+        )
+
+        node.release(placement.container, self.kernel.now())
+        with self._act_lock:
+            self._active[record.namespace] -= 1
+            self._active_total -= 1
+            event = self._completion[record.activation_id]
+        event.set()
+        with self._capacity:
+            self._capacity.notify_all()
+
+    def _place(self, action: Action) -> tuple[Placement, InvokerNode]:
+        """Find a node for the activation, waiting for capacity if needed."""
+        while True:
+            start = next(self._rr) % len(self.invokers)
+            order = self.invokers[start:] + self.invokers[:start]
+            now = self.kernel.now()
+            # Warm scan first: reusing an idle container anywhere in the
+            # cluster beats a cold start (OpenWhisk prefers warm reuse).
+            for node in order:
+                placement = node.try_place_warm(action, now)
+                if placement is not None:
+                    return placement, node
+            for node in order:
+                placement = node.try_place(action, now)
+                if placement is not None:
+                    return placement, node
+            with self._capacity:
+                self._capacity.wait(timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # Results / introspection
+    # ------------------------------------------------------------------
+    def get_activation(self, activation_id: str) -> ActivationRecord:
+        with self._act_lock:
+            try:
+                return self._activations[activation_id]
+            except KeyError:
+                raise ActivationNotFound(activation_id) from None
+
+    def wait_activation(
+        self, activation_id: str, timeout: Optional[float] = None
+    ) -> ActivationRecord:
+        """Block (virtual time) until the activation finishes."""
+        with self._act_lock:
+            event = self._completion.get(activation_id)
+        if event is None:
+            raise ActivationNotFound(activation_id)
+        event.wait(timeout)
+        return self.get_activation(activation_id)
+
+    def activations(self) -> list[ActivationRecord]:
+        with self._act_lock:
+            return list(self._activations.values())
+
+    @property
+    def active_count(self) -> int:
+        """Activations in flight across all namespaces."""
+        with self._act_lock:
+            return self._active_total
+
+    def active_in(self, namespace: str) -> int:
+        """Activations in flight for one namespace."""
+        with self._act_lock:
+            return self._active.get(namespace, 0)
+
+    @property
+    def peak_active(self) -> int:
+        with self._act_lock:
+            return self._peak_active
+
+    @property
+    def throttled_total(self) -> int:
+        with self._act_lock:
+            return self._throttled_total

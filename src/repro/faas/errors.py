@@ -1,0 +1,35 @@
+"""Errors raised by the emulated IBM Cloud Functions platform."""
+
+from __future__ import annotations
+
+
+class FaaSError(Exception):
+    """Base class for platform errors."""
+
+
+class ActionNotFound(FaaSError):
+    """Invocation referenced an action that was never created."""
+
+
+class NamespaceNotFound(FaaSError):
+    """Unknown namespace."""
+
+
+class ThrottledError(FaaSError):
+    """HTTP 429: the per-namespace concurrent-invocation limit was hit.
+
+    Clients are expected to back off and retry, like IBM-PyWren's client
+    does when spawning thousands of functions.
+    """
+
+
+class RuntimeNotFound(FaaSError):
+    """The action references a runtime image not present in the registry."""
+
+
+class ActivationNotFound(FaaSError):
+    """Unknown activation id."""
+
+
+class FunctionTimeoutError(FaaSError):
+    """The function exceeded the platform execution time limit."""

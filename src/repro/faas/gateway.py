@@ -1,0 +1,98 @@
+"""Client-side API gateway for Cloud Functions.
+
+Every endpoint (the user's laptop, a remote invoker function) talks to the
+controller through a :class:`CloudFunctionsClient` carrying its own network
+link — so an invocation from a WAN client costs a WAN round trip while one
+from inside the cloud costs microseconds, which is the entire story of the
+paper's §5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.faas.activation import ActivationRecord
+from repro.faas.controller import CloudFunctions
+from repro.faas.errors import ThrottledError
+from repro.net.link import NetworkLink
+
+#: approximate size of an invocation HTTP request (auth headers + params)
+INVOKE_PAYLOAD_BYTES = 1024
+
+#: backoff before retrying a throttled (429) invocation
+THROTTLE_BACKOFF = 1.0
+
+
+class CloudFunctionsClient:
+    """Latency-charging, retrying client for the controller."""
+
+    RETRIES = 5
+    RETRY_BACKOFF = 1.0
+
+    def __init__(
+        self,
+        platform: CloudFunctions,
+        link: NetworkLink,
+        credentials=None,
+    ) -> None:
+        self.platform = platform
+        self.link = link
+        #: optional :class:`~repro.faas.iam.ApiKey` sent with every request
+        self.credentials = credentials
+        self._invocations = 0
+        self._throttle_retries = 0
+
+    @property
+    def invocations(self) -> int:
+        return self._invocations
+
+    @property
+    def throttle_retries(self) -> int:
+        return self._throttle_retries
+
+    def invoke(
+        self,
+        namespace: str,
+        action_name: str,
+        params: Optional[dict[str, Any]] = None,
+    ) -> str:
+        """Invoke an action; blocks for the network + API round trip only.
+
+        Retries transient network failures and 429 throttles (both grow with
+        latency in the paper's account of slow WAN spawning).
+        """
+        params = params or {}
+        while True:
+            self.link.request_with_retries(
+                INVOKE_PAYLOAD_BYTES,
+                retries=self.RETRIES,
+                backoff=self.RETRY_BACKOFF,
+            )
+            try:
+                activation_id = self.platform.invoke(
+                    namespace, action_name, params, credentials=self.credentials
+                )
+            except ThrottledError:
+                self._throttle_retries += 1
+                self.platform.kernel.sleep(THROTTLE_BACKOFF)
+                continue
+            self._invocations += 1
+            return activation_id
+
+    def invoke_blocking(
+        self,
+        namespace: str,
+        action_name: str,
+        params: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> ActivationRecord:
+        activation_id = self.invoke(namespace, action_name, params)
+        return self.wait(activation_id, timeout=timeout)
+
+    def wait(
+        self, activation_id: str, timeout: Optional[float] = None
+    ) -> ActivationRecord:
+        """Wait for an activation and fetch its record (one round trip)."""
+        record = self.platform.wait_activation(activation_id, timeout=timeout)
+        self.link.request_with_retries(0)
+        return record

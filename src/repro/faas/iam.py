@@ -1,0 +1,78 @@
+"""Identity and access management for the platform.
+
+IBM Cloud Functions namespaces are per-tenant: an API key authenticates a
+client and authorizes it for exactly one namespace, and the §3 concurrency
+limit ("maximum 1,000 concurrent invocations") applies per namespace, not
+per cluster.  The emulation keeps auth optional (off by default, since the
+paper's experiments run single-tenant) but enforces both properties when
+enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.faas.errors import FaaSError
+
+
+class AuthenticationError(FaaSError):
+    """Unknown or revoked API key, or bad secret."""
+
+
+class AuthorizationError(FaaSError):
+    """Valid key, wrong namespace."""
+
+
+@dataclass(frozen=True)
+class ApiKey:
+    """A credential bound to one namespace."""
+
+    key_id: str
+    secret: str
+    namespace: str
+
+
+class IAM:
+    """Key issuance and verification."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._counter = itertools.count(1)
+        self._keys: dict[str, ApiKey] = {}
+        self._lock = threading.Lock()
+
+    def create_api_key(self, namespace: str) -> ApiKey:
+        """Issue a key for ``namespace`` (deterministic given the seed)."""
+        if not namespace:
+            raise ValueError("namespace must be non-empty")
+        with self._lock:
+            n = next(self._counter)
+            key_id = f"key-{hashlib.sha256(f'{self._seed}:{n}:id'.encode()).hexdigest()[:12]}"
+            secret = hashlib.sha256(f"{self._seed}:{n}:secret".encode()).hexdigest()[:32]
+            key = ApiKey(key_id, secret, namespace)
+            self._keys[key_id] = key
+            return key
+
+    def revoke(self, key_id: str) -> None:
+        with self._lock:
+            self._keys.pop(key_id, None)
+
+    def authenticate(self, key_id: str, secret: str) -> str:
+        """Return the key's namespace or raise :class:`AuthenticationError`."""
+        with self._lock:
+            key = self._keys.get(key_id)
+        if key is None or key.secret != secret:
+            raise AuthenticationError(f"invalid API key {key_id!r}")
+        return key.namespace
+
+    def authorize(self, key: ApiKey, namespace: str) -> None:
+        """Verify ``key`` may act on ``namespace``."""
+        granted = self.authenticate(key.key_id, key.secret)
+        if granted != namespace:
+            raise AuthorizationError(
+                f"key {key.key_id!r} is bound to namespace {granted!r}, "
+                f"not {namespace!r}"
+            )

@@ -1,0 +1,153 @@
+"""Invoker nodes: the machines containers are placed on.
+
+Each node has a fixed memory budget.  Idle (warm) containers keep holding
+memory until evicted by TTL or by pressure from a new placement — this is
+what makes warm-start behaviour and cluster capacity interact the way the
+paper's elasticity experiment (§6.2) exercises.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.faas.action import Action
+from repro.faas.container import Container
+
+
+class Placement:
+    """Result of a successful placement on a node."""
+
+    __slots__ = ("container", "cold", "needs_pull")
+
+    def __init__(self, container: Container, cold: bool, needs_pull: bool) -> None:
+        self.container = container
+        self.cold = cold
+        self.needs_pull = needs_pull
+
+
+class InvokerNode:
+    """One node of the Cloud Functions cluster."""
+
+    def __init__(self, node_id: int, memory_mb: int, warm_idle_ttl: float) -> None:
+        self.node_id = node_id
+        self.memory_mb = memory_mb
+        self.warm_idle_ttl = warm_idle_ttl
+        self._used_mb = 0
+        self._idle: dict[str, list[Container]] = {}
+        self._cached_images: set[str] = set()
+        self._lock = threading.Lock()
+        self.cold_starts = 0
+        self.warm_starts = 0
+
+    # -- image cache -------------------------------------------------------
+    def image_cached(self, runtime: str) -> bool:
+        with self._lock:
+            return runtime in self._cached_images
+
+    def cache_image(self, runtime: str) -> None:
+        with self._lock:
+            self._cached_images.add(runtime)
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def used_mb(self) -> int:
+        with self._lock:
+            return self._used_mb
+
+    @property
+    def free_mb(self) -> int:
+        with self._lock:
+            return self.memory_mb - self._used_mb
+
+    def load_fraction(self) -> float:
+        """Fraction of this node's memory held by containers (0..1).
+
+        Used by the CPU-contention model: a packed node gives each
+        function a smaller compute share.
+        """
+        with self._lock:
+            return self._used_mb / self.memory_mb if self.memory_mb else 0.0
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._idle.values())
+
+    # -- placement -----------------------------------------------------------
+    def try_place_warm(self, action: Action, now: float) -> Optional[Placement]:
+        """Reuse a warm idle container of ``action``, if this node has one."""
+        with self._lock:
+            self._expire_idle_locked(now)
+            pool = self._idle.get(action.fqn)
+            if pool:
+                container = pool.pop()
+                container.state = Container.BUSY
+                container.last_used = now
+                self.warm_starts += 1
+                return Placement(container, cold=False, needs_pull=False)
+            return None
+
+    def try_place(self, action: Action, now: float) -> Optional[Placement]:
+        """Try to place an activation of ``action`` on this node.
+
+        Preference order, mirroring OpenWhisk's container pool:
+        1. reuse a warm idle container of the same action;
+        2. start a cold container if free memory allows;
+        3. evict idle containers (stalest first) to make room.
+
+        Returns ``None`` when the node cannot host the activation.
+        """
+        warm = self.try_place_warm(action, now)
+        if warm is not None:
+            return warm
+        with self._lock:
+            if not self._make_room_locked(action.memory_mb, now):
+                return None
+            self._used_mb += action.memory_mb
+            container = Container(
+                action.fqn, action.runtime, action.memory_mb, now, self.node_id
+            )
+            self.cold_starts += 1
+            needs_pull = action.runtime not in self._cached_images
+            return Placement(container, cold=True, needs_pull=needs_pull)
+
+    def release(self, container: Container, now: float) -> None:
+        """Return a finished container to the warm pool."""
+        with self._lock:
+            container.state = Container.IDLE
+            container.last_used = now
+            container.activations_served += 1
+            self._idle.setdefault(container.action_fqn, []).append(container)
+
+    def discard(self, container: Container) -> None:
+        """Destroy a busy container (crash path): frees its memory."""
+        with self._lock:
+            container.state = Container.STOPPED
+            self._used_mb -= container.memory_mb
+
+    def _make_room_locked(self, needed_mb: int, now: float) -> bool:
+        if self.memory_mb - self._used_mb >= needed_mb:
+            return True
+        # Evict stalest idle containers until the request fits.
+        idle_all = sorted(
+            (c for pool in self._idle.values() for c in pool),
+            key=lambda c: c.last_used,
+        )
+        for victim in idle_all:
+            self._evict_locked(victim)
+            if self.memory_mb - self._used_mb >= needed_mb:
+                return True
+        return self.memory_mb - self._used_mb >= needed_mb
+
+    def _evict_locked(self, container: Container) -> None:
+        pool = self._idle.get(container.action_fqn, [])
+        if container in pool:
+            pool.remove(container)
+            container.state = Container.STOPPED
+            self._used_mb -= container.memory_mb
+
+    def _expire_idle_locked(self, now: float) -> None:
+        for pool in list(self._idle.values()):
+            for container in list(pool):
+                if now - container.last_used > self.warm_idle_ttl:
+                    self._evict_locked(container)

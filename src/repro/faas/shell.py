@@ -1,0 +1,171 @@
+"""An ``ibmcloud fn`` / ``wsk``-style command shell over the platform.
+
+IBM Cloud Functions is operated through the OpenWhisk CLI (``wsk action
+list``, ``wsk activation get`` ...).  :class:`WskShell` provides the same
+read-side verbs against an emulated environment, so examples and tests can
+inspect deployed actions, activations, runtimes and billing the way an
+operator would.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable
+
+from repro.faas.errors import ActivationNotFound
+
+
+class ShellError(Exception):
+    """Bad command or unknown entity; message is user-facing."""
+
+
+class WskShell:
+    """Parse-and-run for a small ``wsk``-like command language."""
+
+    def __init__(self, environment) -> None:
+        self.environment = environment
+        self._commands: dict[tuple[str, str], Callable[[list[str]], str]] = {
+            ("action", "list"): self._action_list,
+            ("action", "get"): self._action_get,
+            ("activation", "list"): self._activation_list,
+            ("activation", "get"): self._activation_get,
+            ("activation", "logs"): self._activation_logs,
+            ("activation", "result"): self._activation_result,
+            ("runtime", "list"): self._runtime_list,
+            ("namespace", "list"): self._namespace_list,
+            ("billing", "summary"): self._billing_summary,
+            ("property", "get"): self._property_get,
+        }
+
+    def run(self, command: str) -> str:
+        """Execute one command line; returns its printable output."""
+        try:
+            tokens = shlex.split(command)
+        except ValueError as exc:
+            raise ShellError(f"unparsable command: {exc}") from exc
+        if len(tokens) < 2:
+            raise ShellError(self._usage())
+        handler = self._commands.get((tokens[0], tokens[1]))
+        if handler is None:
+            raise ShellError(
+                f"unknown command {tokens[0]!r} {tokens[1]!r}\n{self._usage()}"
+            )
+        return handler(tokens[2:])
+
+    def _usage(self) -> str:
+        verbs = sorted(" ".join(k) for k in self._commands)
+        return "commands: " + ", ".join(verbs)
+
+    # -- actions -----------------------------------------------------------
+    def _action_list(self, args: list[str]) -> str:
+        namespace = args[0] if args else self.environment.config.namespace
+        ns = self.environment.platform.namespace(namespace, create=False)
+        lines = [f"actions in /{namespace}"]
+        for name in ns.list_actions():
+            action = ns.get(name)
+            lines.append(
+                f"  /{namespace}/{name:<42} {action.memory_mb}MB "
+                f"{action.runtime}"
+            )
+        return "\n".join(lines)
+
+    def _action_get(self, args: list[str]) -> str:
+        if not args:
+            raise ShellError("usage: action get <name> [namespace]")
+        name = args[0]
+        namespace = args[1] if len(args) > 1 else self.environment.config.namespace
+        action = self.environment.platform.namespace(namespace, create=False).get(name)
+        return (
+            f"name:      {action.fqn}\n"
+            f"runtime:   {action.runtime}\n"
+            f"memory:    {action.memory_mb}MB\n"
+            f"timeout:   {action.timeout_s:.0f}s"
+        )
+
+    # -- activations ---------------------------------------------------------
+    def _activation_list(self, args: list[str]) -> str:
+        limit = int(args[args.index("--limit") + 1]) if "--limit" in args else 20
+        records = self.environment.platform.activations()[-limit:]
+        lines = [f"activations (last {len(records)})"]
+        for record in reversed(records):
+            duration = record.duration
+            lines.append(
+                f"  {record.activation_id}  {record.action_name:<40} "
+                f"{record.status or 'running':<8} "
+                f"{'' if duration is None else f'{duration:8.2f}s'}"
+            )
+        return "\n".join(lines)
+
+    def _record(self, args: list[str]):
+        if not args:
+            raise ShellError("usage: activation <get|logs|result> <id>")
+        try:
+            return self.environment.platform.get_activation(args[0])
+        except ActivationNotFound:
+            raise ShellError(f"no activation {args[0]!r}") from None
+
+    def _activation_get(self, args: list[str]) -> str:
+        record = self._record(args)
+        return (
+            f"activation: {record.activation_id}\n"
+            f"action:     {record.namespace}/{record.action_name}\n"
+            f"status:     {record.status or 'running'}\n"
+            f"submitted:  {record.submit_time:.2f}s\n"
+            f"started:    {'' if record.start_time is None else f'{record.start_time:.2f}s'}\n"
+            f"ended:      {'' if record.end_time is None else f'{record.end_time:.2f}s'}\n"
+            f"cold start: {record.cold_start}\n"
+            f"container:  {record.container_id}\n"
+            f"invoker:    {record.invoker_id}"
+        )
+
+    def _activation_logs(self, args: list[str]) -> str:
+        record = self._record(args)
+        if not record.logs:
+            return "(no logs)"
+        return "\n".join(f"[{t:10.2f}s] {msg}" for t, msg in record.logs)
+
+    def _activation_result(self, args: list[str]) -> str:
+        record = self._record(args)
+        if not record.finished:
+            return "(still running)"
+        if record.error:
+            return f"error: {record.error}"
+        return repr(record.result)
+
+    # -- platform --------------------------------------------------------------
+    def _runtime_list(self, _args: list[str]) -> str:
+        registry = self.environment.registry
+        lines = ["runtimes"]
+        for name in registry.list_images():
+            image = registry.get(name)
+            lines.append(
+                f"  {name:<28} {image.size_mb:>5}MB  python {image.python_version}"
+                f"  ({len(image.packages)} packages, owner {image.owner})"
+            )
+        return "\n".join(lines)
+
+    def _namespace_list(self, _args: list[str]) -> str:
+        platform = self.environment.platform
+        names = sorted(platform._namespaces)
+        return "namespaces\n" + "\n".join(f"  /{n}" for n in names)
+
+    def _billing_summary(self, _args: list[str]) -> str:
+        meter = self.environment.platform.billing
+        lines = [
+            f"activations: {meter.activations}",
+            f"GB-seconds:  {meter.total_gb_seconds():.2f}",
+            f"cost:        ${meter.total_cost():.6f}",
+        ]
+        for action, gbs in sorted(meter.by_action().items()):
+            lines.append(f"  {action:<46} {gbs:10.2f} GB-s")
+        return "\n".join(lines)
+
+    def _property_get(self, _args: list[str]) -> str:
+        limits = self.environment.platform.limits
+        return (
+            f"max_exec_seconds:  {limits.max_exec_seconds:.0f}\n"
+            f"max_memory_mb:     {limits.max_memory_mb}\n"
+            f"max_concurrent:    {limits.max_concurrent}\n"
+            f"invoker_count:     {limits.invoker_count}\n"
+            f"invoker_memory_mb: {limits.invoker_memory_mb}"
+        )

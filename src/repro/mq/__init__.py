@@ -1,0 +1,13 @@
+"""In-cloud message queue service (RabbitMQ stand-in).
+
+The COS-polling completion transport of §4.2 costs up to one poll interval
+of latency per status discovery.  The IBM-PyWren lineage later added a
+RabbitMQ transport where each function *pushes* its status to a queue the
+client consumes.  This package provides the broker substrate; the executor
+integrates it behind ``PyWrenConfig.monitoring = "mq_push"``.
+"""
+
+from repro.mq.broker import MessageBroker, QueueNotFound
+from repro.mq.client import MQClient
+
+__all__ = ["MessageBroker", "MQClient", "QueueNotFound"]

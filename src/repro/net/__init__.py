@@ -1,0 +1,6 @@
+"""Network latency/bandwidth models used by the emulated cloud."""
+
+from repro.net.latency import LatencyModel, TransientNetworkError
+from repro.net.link import NetworkLink
+
+__all__ = ["LatencyModel", "NetworkLink", "TransientNetworkError"]

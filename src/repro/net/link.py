@@ -1,0 +1,108 @@
+"""A network link that charges virtual time for requests and transfers."""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional
+
+from repro.net.latency import LatencyModel, TransientNetworkError
+from repro.vtime import Kernel
+
+# Default service bandwidth seen by one flow (COS single-stream throughput).
+DEFAULT_BANDWIDTH_BPS = 100 * 1024 * 1024  # 100 MiB/s
+
+
+class NetworkLink:
+    """Models one endpoint's path to a cloud service.
+
+    Every request costs one sampled RTT plus payload-size / bandwidth.
+    Transient failures raise :class:`TransientNetworkError` *after* the RTT
+    has been paid (the request had to travel to fail).  A link is cheap;
+    components create one per (endpoint, latency-profile) pair.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: LatencyModel,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        seed: int = 0,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        self.kernel = kernel
+        self.latency = latency
+        self.bandwidth_bps = float(bandwidth_bps)
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._requests = 0
+        self._failures = 0
+        self._bytes_moved = 0
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return self._requests
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._bytes_moved
+
+    # -- behaviour ---------------------------------------------------------
+    def request(self, payload_bytes: int = 0, allow_failure: bool = True) -> None:
+        """Charge virtual time for one round trip moving ``payload_bytes``."""
+        with self._rng_lock:
+            rtt = self.latency.sample_rtt(self._rng)
+            fails = allow_failure and self.latency.sample_failure(self._rng)
+            self._requests += 1
+            if fails:
+                self._failures += 1
+            else:
+                self._bytes_moved += payload_bytes
+        self.kernel.sleep(rtt)
+        if fails:
+            raise TransientNetworkError(
+                f"transient failure on {self.latency.name} link"
+            )
+        if payload_bytes > 0:
+            self.kernel.sleep(payload_bytes / self.bandwidth_bps)
+
+    def request_with_retries(
+        self,
+        payload_bytes: int = 0,
+        retries: int = 5,
+        backoff: float = 1.0,
+    ) -> int:
+        """Like :meth:`request` but retrying transient failures.
+
+        Returns the number of attempts made.  Mirrors the retry loop the
+        paper attributes the extra WAN invocation time to.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                self.request(payload_bytes)
+                return attempts
+            except TransientNetworkError:
+                if attempts > retries:
+                    raise
+                self.kernel.sleep(backoff)
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Pure bandwidth cost (no RTT) for ``payload_bytes``, in seconds."""
+        return payload_bytes / self.bandwidth_bps
+
+    def fork(self, seed_offset: int) -> "NetworkLink":
+        """A link with identical parameters but an independent RNG stream."""
+        return NetworkLink(
+            self.kernel,
+            self.latency,
+            self.bandwidth_bps,
+            seed=seed_offset * 7919 + 13,
+        )

@@ -1,0 +1,9 @@
+"""Serverless sorting algorithms built on dynamic composition."""
+
+from repro.sort.mergesort import (
+    local_mergesort,
+    merge,
+    serverless_mergesort,
+)
+
+__all__ = ["merge", "local_mergesort", "serverless_mergesort"]

@@ -1,0 +1,79 @@
+"""Serverless mergesort via nested parallelism (§4.4/§6.3).
+
+The recursion tree of mergesort is mapped onto a *function* tree of
+configurable depth ``d``: a function at depth < d spawns two child
+functions for its halves (through a nested executor — §4.4's dynamic
+composability), while a function at depth d sorts its slice locally.
+"In order to amortize the overhead of function spawning, it is better off
+to execute part of the tree of recursive calls within each function" —
+``depth`` is exactly that knob.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.futures import ResponseFuture
+
+
+def merge(left: list[Any], right: list[Any]) -> list[Any]:
+    """Classic two-way merge of sorted lists."""
+    out: list[Any] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            out.append(left[i])
+            i += 1
+        else:
+            out.append(right[j])
+            j += 1
+    out.extend(left[i:])
+    out.extend(right[j:])
+    return out
+
+
+def local_mergesort(array: Sequence[Any]) -> list[Any]:
+    """Plain recursive mergesort (the in-function leaf work)."""
+    n = len(array)
+    if n <= 1:
+        return list(array)
+    mid = n // 2
+    return merge(local_mergesort(array[:mid]), local_mergesort(array[mid:]))
+
+
+def _mergesort_task(payload: dict[str, Any]) -> list[Any]:
+    """One node of the function tree; runs inside a cloud function."""
+    array: list[Any] = payload["array"]
+    depth: int = payload["depth"]
+    if depth <= 0 or len(array) <= 1:
+        return local_mergesort(array)
+    import repro
+
+    executor = repro.ibm_cf_executor()
+    mid = len(array) // 2
+    futures = executor.map(
+        _mergesort_task,
+        [
+            {"array": array[:mid], "depth": depth - 1},
+            {"array": array[mid:], "depth": depth - 1},
+        ],
+    )
+    left, right = executor.get_result(futures)
+    return merge(left, right)
+
+
+def serverless_mergesort(
+    array: Sequence[Any], depth: int = 2, executor=None
+) -> ResponseFuture:
+    """Sort ``array`` with a function tree of the given ``depth``.
+
+    Non-blocking: returns the root future.  ``depth=0`` runs one function
+    that sorts everything; ``depth=d`` spawns ``2**d`` leaf functions.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    if executor is None:
+        import repro
+
+        executor = repro.ibm_cf_executor()
+    return executor.call_async(_mergesort_task, {"array": list(array), "depth": depth})

@@ -1,0 +1,5 @@
+"""Watson-Studio-style notebook environment (§4's integration target)."""
+
+from repro.studio.notebook import Cell, Notebook, WatsonStudio
+
+__all__ = ["WatsonStudio", "Notebook", "Cell"]

@@ -1,0 +1,6 @@
+"""Small shared utilities."""
+
+from repro.utils.ids import new_executor_id, new_hex_id
+from repro.utils.sizes import format_size, parse_size
+
+__all__ = ["new_executor_id", "new_hex_id", "parse_size", "format_size"]

@@ -1,0 +1,27 @@
+"""Identifier generation.
+
+Executor ids track invocations and COS results per §4.1 ("Each executor
+instance will generate a unique executor ID").  Ids are derived from a
+process-wide counter plus a seeded suffix so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+
+_counter = itertools.count(1)
+_lock = threading.Lock()
+
+
+def new_hex_id(prefix: str, seed: int = 0, width: int = 8) -> str:
+    """A unique, reproducible id like ``job-5f3a9c12``."""
+    with _lock:
+        n = next(_counter)
+    digest = hashlib.sha256(f"{prefix}:{seed}:{n}".encode()).hexdigest()
+    return f"{prefix}-{digest[:width]}"
+
+
+def new_executor_id(seed: int = 0) -> str:
+    return new_hex_id("exec", seed)

@@ -1,0 +1,40 @@
+"""Human-friendly byte sizes ("64MB" <-> 67108864)."""
+
+from __future__ import annotations
+
+import re
+
+_UNITS = {
+    "": 1,
+    "B": 1,
+    "KB": 1024,
+    "MB": 1024**2,
+    "GB": 1024**3,
+    "TB": 1024**4,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([KMGT]?B?)\s*$", re.IGNORECASE)
+
+
+def parse_size(value) -> int:
+    """Parse ``"64MB"``/``"1.9GB"``/``1024`` into bytes."""
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ValueError("size must be non-negative")
+        return int(value)
+    match = _SIZE_RE.match(str(value))
+    if not match:
+        raise ValueError(f"unparsable size: {value!r}")
+    number, unit = match.groups()
+    return int(float(number) * _UNITS[unit.upper()])
+
+
+def format_size(nbytes: int) -> str:
+    """Format bytes as the largest sensible unit (``67108864 -> '64.0MB'``)."""
+    if nbytes < 0:
+        raise ValueError("size must be non-negative")
+    for unit in ("TB", "GB", "MB", "KB"):
+        scale = _UNITS[unit]
+        if nbytes >= scale:
+            return f"{nbytes / scale:.1f}{unit}"
+    return f"{nbytes}B"

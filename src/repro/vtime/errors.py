@@ -1,0 +1,30 @@
+"""Exceptions raised by the virtual-time kernel."""
+
+from __future__ import annotations
+
+
+class VTimeError(Exception):
+    """Base class for all virtual-time kernel errors."""
+
+
+class NotInKernelError(VTimeError):
+    """A virtual-time primitive was used from a thread that is not a kernel task.
+
+    Blocking primitives (``sleep``, ``VCondition.wait`` ...) must run inside a
+    task spawned via :meth:`repro.vtime.Kernel.spawn` or
+    :meth:`repro.vtime.Kernel.run`; otherwise the kernel cannot know the
+    caller is blocked and virtual time would never advance.
+    """
+
+
+class DeadlockError(VTimeError):
+    """Every task is blocked and no timer is pending.
+
+    Virtual time can only advance through timers, so this state can never
+    resolve.  The kernel delivers this error to all blocked tasks so the
+    failure surfaces where the wait happened instead of hanging the suite.
+    """
+
+
+class KernelShutdownError(VTimeError):
+    """The kernel was shut down while a task was still blocked."""

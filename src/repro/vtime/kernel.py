@@ -1,0 +1,445 @@
+"""A virtual-time thread kernel.
+
+Every simulated activity (a client, an invoker node, a running cloud
+function) is a *real* OS thread registered with the :class:`Kernel`.  Time is
+virtual: a task that calls :meth:`Kernel.sleep` does not consume wall-clock
+time.  Instead it parks on a private event; when **every** registered task is
+blocked, the kernel advances the virtual clock to the earliest pending timer
+and wakes exactly one waiter.  This gives three properties the paper's
+experiments need:
+
+* user code stays *plain blocking Python* — a function running inside an
+  emulated container can create a nested executor and block on its results,
+  exactly like IBM-PyWren functions do in the real cloud;
+* experiments that span 88 seconds or 86 minutes of modelled time complete in
+  milliseconds of CPU time;
+* timer firings are serialized in ``(time, seq)`` order, so runs are
+  reproducible.
+
+The kernel deliberately mirrors the structure of discrete-event simulators
+(SimPy et al.) but trades coroutines for threads so arbitrary third-party
+blocking code can participate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Optional
+
+from repro.vtime.errors import (
+    DeadlockError,
+    KernelShutdownError,
+    NotInKernelError,
+)
+
+__all__ = ["Kernel", "Task", "Waiter", "current_kernel", "current_task"]
+
+# Maps OS thread ident -> Task, for every live kernel task in the process.
+# Keyed globally (not per kernel) so ambient helpers like ``repro.sleep``
+# can find the kernel owning the calling thread.
+_THREAD_TASKS: dict[int, "Task"] = {}
+_THREAD_TASKS_LOCK = threading.Lock()
+
+
+def current_task() -> Optional["Task"]:
+    """Return the kernel task running on this thread, or ``None``."""
+    with _THREAD_TASKS_LOCK:
+        return _THREAD_TASKS.get(threading.get_ident())
+
+
+def current_kernel() -> Optional["Kernel"]:
+    """Return the kernel owning the calling thread, or ``None``."""
+    task = current_task()
+    return task.kernel if task is not None else None
+
+
+# Ambient-context propagation: higher layers (e.g. repro.core.context)
+# register capture/install/uninstall hooks so state bound to the *spawning*
+# thread follows into spawned tasks — the way contextvars follow asyncio
+# tasks.  Each propagator is (capture() -> token, install(token),
+# uninstall(token)).
+_CONTEXT_PROPAGATORS: list[tuple[Callable[[], Any], Callable[[Any], None], Callable[[Any], None]]] = []
+
+
+def register_context_propagator(
+    capture: Callable[[], Any],
+    install: Callable[[Any], None],
+    uninstall: Callable[[Any], None],
+) -> None:
+    """Register a thread-context propagator applied around every task."""
+    _CONTEXT_PROPAGATORS.append((capture, install, uninstall))
+
+
+class Task:
+    """A thread registered with a :class:`Kernel`.
+
+    The public surface is intentionally small: ``name``, ``result()`` and
+    ``join()``.  State transitions are owned by the kernel.
+    """
+
+    _RUNNING = "running"
+    _BLOCKED = "blocked"
+    _FINISHED = "finished"
+
+    def __init__(self, kernel: "Kernel", name: str, task_id: int) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.task_id = task_id
+        self.daemon = False
+        self._state = Task._RUNNING
+        self._wake = threading.Event()
+        self._wake_exc: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+        self._outcome_ready = threading.Event()
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.task_id} {self.name!r} {self._state}>"
+
+    @property
+    def finished(self) -> bool:
+        return self._state == Task._FINISHED
+
+    def result(self) -> Any:
+        """Return the task function's return value (task must be finished)."""
+        if not self._outcome_ready.is_set():
+            raise VTimeUsageError(
+                f"task {self.name!r} has not finished; join() it first"
+            )
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for this task to finish.
+
+        When called from another kernel task, the wait blocks in *virtual*
+        time.  When called from an outside (unregistered) thread — typically
+        the pytest main thread driving :meth:`Kernel.run` — it blocks in real
+        time, which is correct because outside threads are not part of the
+        simulation.  Returns ``True`` if the task finished.
+        """
+        caller = current_task()
+        if caller is None:
+            self._outcome_ready.wait()
+            return True
+        return self.kernel._join_task(self, timeout)
+
+
+class VTimeUsageError(NotInKernelError):
+    """Misuse of the kernel API (kept as a NotInKernelError subclass)."""
+
+
+class Waiter:
+    """One pending reason a task is blocked (timer and/or condition slot).
+
+    A waiter is *consumed* exactly once: either its timer fires, or the thing
+    it waits on notifies it, whichever happens first.  ``payload`` carries an
+    arbitrary wake reason to the woken task (used by queues/conditions).
+    """
+
+    __slots__ = ("task", "done", "timed_out", "payload", "on_consume")
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+        self.done = False
+        self.timed_out = False
+        self.payload: Any = None
+        # Optional callback run (under the kernel lock) when the waiter is
+        # consumed; conditions use it to unlink themselves from wait queues.
+        self.on_consume: Optional[Callable[["Waiter"], None]] = None
+
+
+class Kernel:
+    """The virtual-time scheduler.  See module docstring."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self._now = float(start_time)
+        self._seq = itertools.count()
+        self._task_ids = itertools.count(1)
+        self._tasks: dict[int, Task] = {}
+        self._running = 0  # tasks currently in RUNNING state
+        self._nondaemon_alive = 0
+        self._timers: list[tuple[float, int, Waiter]] = []
+        self._dead = False
+        self._spawned_total = 0
+        self._nondaemon_done = threading.Event()
+        self._nondaemon_done.set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        with self._lock:
+            return self._now
+
+    @property
+    def tasks_alive(self) -> int:
+        with self._lock:
+            return len(self._tasks)
+
+    @property
+    def spawned_total(self) -> int:
+        """Total number of tasks ever spawned on this kernel."""
+        with self._lock:
+            return self._spawned_total
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        **kwargs: Any,
+    ) -> Task:
+        """Start ``fn(*args, **kwargs)`` as a new kernel task.
+
+        ``daemon`` tasks do not keep :meth:`run` alive; they are killed with
+        :class:`KernelShutdownError` at shutdown.  The task counts as RUNNING
+        from before its thread starts, so virtual time cannot slip past the
+        spawn point.
+        """
+        with self._lock:
+            if self._dead:
+                raise KernelShutdownError("kernel has been shut down")
+            task = Task(self, name or fn.__name__, next(self._task_ids))
+            task.daemon = daemon
+            self._tasks[task.task_id] = task
+            self._running += 1
+            self._spawned_total += 1
+            if not daemon:
+                self._nondaemon_alive += 1
+                self._nondaemon_done.clear()
+
+        # capture the spawning thread's ambient context for the child
+        tokens = [
+            (install, uninstall, capture())
+            for capture, install, uninstall in _CONTEXT_PROPAGATORS
+        ]
+
+        def _bootstrap() -> None:
+            ident = threading.get_ident()
+            with _THREAD_TASKS_LOCK:
+                _THREAD_TASKS[ident] = task
+            installed: list[tuple[Callable[[Any], None], Any]] = []
+            try:
+                for install, uninstall, token in tokens:
+                    install(token)
+                    installed.append((uninstall, token))
+                task._result = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised at join
+                task._exception = exc
+            finally:
+                for uninstall, token in reversed(installed):
+                    try:
+                        uninstall(token)
+                    except Exception:  # pragma: no cover - cleanup best effort
+                        pass
+                with _THREAD_TASKS_LOCK:
+                    _THREAD_TASKS.pop(ident, None)
+                self._finish_task(task)
+
+        thread = threading.Thread(target=_bootstrap, name=f"vtask-{task.name}", daemon=True)
+        task._thread = thread
+        thread.start()
+        return task
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` as the root task and return its result.
+
+        Called from an outside thread (e.g. a test).  Blocks in real time
+        until the root task and every non-daemon task it spawned finish, then
+        shuts the kernel down.  Exceptions from the root task propagate.
+        """
+        root = self.spawn(fn, *args, name=kwargs.pop("name", "main"), **kwargs)
+        root._outcome_ready.wait()
+        # Let non-daemon descendants drain before declaring the run over.
+        self._nondaemon_done.wait()
+        self.shutdown()
+        if root._exception is not None:
+            raise root._exception
+        return root._result
+
+    def _finish_task(self, task: Task) -> None:
+        with self._lock:
+            task._state = Task._FINISHED
+            self._tasks.pop(task.task_id, None)
+            self._running -= 1
+            if not task.daemon:
+                self._nondaemon_alive -= 1
+                if self._nondaemon_alive == 0:
+                    self._nondaemon_done.set()
+            waiters = task.__dict__.pop("_join_waiters", [])
+            for waiter in waiters:
+                self._consume_waiter(waiter)
+            if self._running == 0:
+                self._advance_locked()
+        task._outcome_ready.set()
+
+    def _join_task(self, task: Task, timeout: Optional[float]) -> bool:
+        with self._lock:
+            if task._state == Task._FINISHED:
+                return True
+            waiter = self._make_waiter()
+            task.__dict__.setdefault("_join_waiters", []).append(waiter)
+
+            def _unlink(w: Waiter) -> None:
+                lst = task.__dict__.get("_join_waiters", [])
+                if w in lst:
+                    lst.remove(w)
+
+            waiter.on_consume = _unlink
+            if timeout is not None:
+                self._add_timer_locked(self._now + timeout, waiter)
+            self._block_current_locked(waiter.task)
+        waiter.task._wake.wait()
+        self._post_wake(waiter.task)
+        return not waiter.timed_out
+
+    def shutdown(self) -> None:
+        """Kill remaining (daemon) tasks by raising in their blocked waits."""
+        with self._lock:
+            self._dead = True
+            blocked = [t for t in self._tasks.values() if t._state == Task._BLOCKED]
+            for task in blocked:
+                task._wake_exc = KernelShutdownError(
+                    f"kernel shut down while task {task.name!r} was blocked"
+                )
+                task._state = Task._RUNNING
+                self._running += 1
+                task._wake.set()
+        for task in list(_snapshot_threads(self)):
+            if task._thread is not None:
+                task._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Blocking primitives (used by repro.vtime.sync and sleep)
+    # ------------------------------------------------------------------
+    def sleep(self, duration: float) -> None:
+        """Block the calling task for ``duration`` virtual seconds."""
+        task = self._require_current_task()
+        with self._lock:
+            waiter = Waiter(task)
+            self._add_timer_locked(self._now + max(0.0, float(duration)), waiter)
+            self._block_current_locked(task)
+        task._wake.wait()
+        self._post_wake(task)
+
+    def _make_waiter(self) -> Waiter:
+        return Waiter(self._require_current_task())
+
+    def _require_current_task(self) -> Task:
+        task = current_task()
+        if task is None or task.kernel is not self:
+            raise NotInKernelError(
+                "this operation must run inside a task of this kernel "
+                "(use Kernel.run()/Kernel.spawn())"
+            )
+        return task
+
+    def _add_timer_locked(self, when: float, waiter: Waiter) -> None:
+        heapq.heappush(self._timers, (when, next(self._seq), waiter))
+
+    def _block_current_locked(self, task: Task) -> None:
+        """Mark the calling task blocked; advance time if it was the last runner.
+
+        Caller holds the kernel lock, and must wait on ``task._wake`` (outside
+        the lock) immediately after this returns.
+        """
+        task._wake.clear()
+        task._state = Task._BLOCKED
+        self._running -= 1
+        if self._running == 0:
+            self._advance_locked()
+
+    def block_on(self, waiter: Waiter, timeout: Optional[float] = None) -> None:
+        """Block the current task until ``waiter`` is consumed (sync helper).
+
+        The caller must have created ``waiter`` for the current task and made
+        it reachable from whatever will eventually wake it.  Must *not* hold
+        the kernel lock.
+        """
+        task = waiter.task
+        with self._lock:
+            if waiter.done:
+                # Consumed between registration and blocking: do not block.
+                return
+            if timeout is not None:
+                self._add_timer_locked(self._now + max(0.0, timeout), waiter)
+            self._block_current_locked(task)
+        task._wake.wait()
+        self._post_wake(task)
+
+    def wake(self, waiter: Waiter, payload: Any = None) -> bool:
+        """Consume ``waiter`` (from any kernel task) and wake its task.
+
+        Returns ``False`` if the waiter was already consumed (e.g. timed out).
+        """
+        with self._lock:
+            return self._consume_waiter(waiter, payload)
+
+    def _consume_waiter(self, waiter: Waiter, payload: Any = None) -> bool:
+        if waiter.done:
+            return False
+        waiter.done = True
+        waiter.payload = payload
+        if waiter.on_consume is not None:
+            waiter.on_consume(waiter)
+        task = waiter.task
+        if task._state == Task._BLOCKED:
+            task._state = Task._RUNNING
+            self._running += 1
+            task._wake.set()
+        return True
+
+    def _post_wake(self, task: Task) -> None:
+        exc = task._wake_exc
+        if exc is not None:
+            task._wake_exc = None
+            raise exc
+
+    # ------------------------------------------------------------------
+    # The clock advance
+    # ------------------------------------------------------------------
+    def _advance_locked(self) -> None:
+        """All tasks are blocked: move time forward and wake one waiter.
+
+        Consumed (cancelled) timers are skipped.  If no live timer remains,
+        the simulation is deadlocked; every blocked task gets a
+        :class:`DeadlockError` so the failure is diagnosable.
+        """
+        while self._timers:
+            when, _seq, waiter = heapq.heappop(self._timers)
+            if waiter.done:
+                continue
+            if when < self._now:  # pragma: no cover - defensive
+                when = self._now
+            self._now = when
+            waiter.timed_out = True
+            self._consume_waiter(waiter)
+            return
+        blocked = [t for t in self._tasks.values() if t._state == Task._BLOCKED]
+        if not blocked:
+            return
+        names = ", ".join(sorted(t.name for t in blocked))
+        for task in blocked:
+            task._wake_exc = DeadlockError(
+                f"virtual-time deadlock: all tasks blocked with no pending "
+                f"timer (blocked tasks: {names})"
+            )
+            task._state = Task._RUNNING
+            self._running += 1
+            task._wake.set()
+
+
+def _snapshot_threads(kernel: Kernel):
+    with kernel._lock:
+        return list(kernel._tasks.values())

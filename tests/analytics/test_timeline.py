@@ -1,0 +1,100 @@
+"""Tests for the execution-timeline renderer (Fig. 2/3 visuals)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.analytics.timeline import (
+    concurrency_timeline,
+    intervals_from_records,
+    render_execution_timeline,
+)
+
+
+class TestConcurrencyTimeline:
+    def test_step_function(self):
+        timeline = concurrency_timeline([(0, 4), (2, 6)], resolution=2.0)
+        assert dict(timeline) == {0.0: 1, 2.0: 2, 4.0: 1, 6.0: 0}
+
+    def test_origin_override(self):
+        timeline = concurrency_timeline([(10, 12)], resolution=1.0, t0=8.0)
+        assert timeline[0] == (0.0, 0)
+        assert dict(timeline)[2.0] == 1
+
+    def test_empty(self):
+        assert concurrency_timeline([]) == []
+
+    def test_peak_matches_overlap(self):
+        intervals = [(0, 10)] * 7
+        timeline = concurrency_timeline(intervals, resolution=1.0)
+        assert max(level for _t, level in timeline) == 7
+
+
+class TestRenderTimeline:
+    def test_svg_structure(self):
+        svg = render_execution_timeline([(0, 10), (2, 12)], title="Test run")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "Test run (2 functions)" in svg
+        assert svg.count("<line") >= 2 + 1  # rows + axis
+        assert "<polyline" in svg  # the concurrency curve
+
+    def test_peak_annotation(self):
+        svg = render_execution_timeline([(0, 5), (1, 6), (2, 7)])
+        assert "peak concurrency: 3" in svg
+
+    def test_empty_intervals(self):
+        svg = render_execution_timeline([])
+        assert svg.startswith("<svg")
+        assert "<polyline" not in svg
+
+    def test_zero_span(self):
+        svg = render_execution_timeline([(5.0, 5.0)])
+        assert "nan" not in svg
+
+
+class TestIntervalsFromRecords:
+    def test_extracts_runner_intervals(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.get_result(executor.map(lambda x: x, [1, 2, 3]))
+            return intervals_from_records(
+                env.platform.activations(), action_prefix="pywren_runner"
+            )
+
+        intervals = env.run(main)
+        assert len(intervals) == 3
+        assert all(end >= start for start, end in intervals)
+
+    def test_prefix_filters(self, env):
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode="massive")
+            executor.get_result(executor.map(lambda x: x, [1, 2]))
+            runners = intervals_from_records(
+                env.platform.activations(), action_prefix="pywren_runner"
+            )
+            everything = intervals_from_records(env.platform.activations())
+            return len(runners), len(everything)
+
+        n_runners, n_all = env.run(main)
+        assert n_runners == 2
+        assert n_all > n_runners  # includes the remote invoker
+
+    def test_end_to_end_svg_from_real_run(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def busy(x):
+                pw.sleep(30)
+                return x
+
+            executor.get_result(executor.map(busy, list(range(5))))
+            intervals = intervals_from_records(
+                env.platform.activations(), action_prefix="pywren_runner"
+            )
+            return render_execution_timeline(intervals, title="5 x 30s")
+
+        svg = env.run(main)
+        assert "5 x 30s (5 functions)" in svg
+        assert "peak concurrency: 5" in svg

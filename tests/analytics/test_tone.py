@@ -1,0 +1,128 @@
+"""Tests for the tone analyzer (the Watson substitute)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import tone
+from repro.datasets.airbnb import NEGATIVE_WORDS, NEUTRAL_WORDS, POSITIVE_WORDS
+
+
+class TestAnalyze:
+    def test_positive_comment(self):
+        result = tone.analyze("great clean amazing room near the metro")
+        assert result.tone == tone.POSITIVE
+        assert result.emotion == "joy"
+        assert result.polarity > 0
+
+    def test_negative_comment(self):
+        result = tone.analyze("terrible dirty noisy awful street")
+        assert result.tone == tone.NEGATIVE
+        assert result.emotion == "anger"
+        assert result.polarity < 0
+
+    def test_neutral_comment(self):
+        result = tone.analyze("room bed kitchen window floor")
+        assert result.tone == tone.NEUTRAL
+        assert result.polarity == 0.0
+
+    def test_tie_is_neutral(self):
+        result = tone.analyze("great terrible")
+        assert result.tone == tone.NEUTRAL
+
+    def test_empty_text(self):
+        result = tone.analyze("")
+        assert result.tone == tone.NEUTRAL
+        assert result.word_count == 0
+        assert result.polarity == 0.0
+
+    def test_case_insensitive(self):
+        assert tone.analyze("GREAT AMAZING").tone == tone.POSITIVE
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pos=st.integers(min_value=0, max_value=10),
+        neg=st.integers(min_value=0, max_value=10),
+        neutral=st.integers(min_value=0, max_value=10),
+    )
+    def test_counts_drive_classification(self, pos, neg, neutral):
+        text = " ".join(
+            [POSITIVE_WORDS[0]] * pos
+            + [NEGATIVE_WORDS[0]] * neg
+            + [NEUTRAL_WORDS[0]] * neutral
+        )
+        result = tone.analyze(text)
+        if pos > neg:
+            assert result.tone == tone.POSITIVE
+        elif neg > pos:
+            assert result.tone == tone.NEGATIVE
+        else:
+            assert result.tone == tone.NEUTRAL
+        assert result.word_count == pos + neg + neutral
+
+
+class TestToneStats:
+    def test_add_and_dominant(self):
+        stats = tone.ToneStats()
+        stats.add(tone.analyze("great amazing"))
+        stats.add(tone.analyze("lovely charming"))
+        stats.add(tone.analyze("awful"))
+        assert stats.comments == 3
+        assert stats.dominant() == tone.POSITIVE
+
+    def test_merge(self):
+        a, b = tone.ToneStats(), tone.ToneStats()
+        a.add(tone.analyze("great"))
+        b.add(tone.analyze("terrible"))
+        b.add(tone.analyze("awful"))
+        a.merge(b)
+        assert a.comments == 3
+        assert a.counts[tone.NEGATIVE] == 2
+
+    def test_scaled_extrapolation(self):
+        stats = tone.ToneStats()
+        for _ in range(10):
+            stats.add(tone.analyze("great"))
+        scaled = stats.scaled(3.5)
+        assert scaled.counts[tone.POSITIVE] == 35
+        assert scaled.comments == 35
+
+
+class TestCsvAnalysis:
+    def test_parses_lines_and_points(self):
+        data = (
+            b"40.7,-74.0,great amazing stay\n"
+            b"40.8,-74.1,terrible dirty room\n"
+        )
+        stats, points = tone.analyze_csv_reviews(data)
+        assert stats.comments == 2
+        assert points[0] == (40.7, -74.0, tone.POSITIVE)
+        assert points[1] == (40.8, -74.1, tone.NEGATIVE)
+
+    def test_truncated_boundary_lines_skipped(self):
+        data = b"74.0,great\n40.7,-74.0,lovely stay\n40.8,-74."
+        stats, points = tone.analyze_csv_reviews(data)
+        assert stats.comments == 1
+        assert len(points) == 1
+
+    def test_garbage_coordinates_skipped(self):
+        data = b"abc,def,some text\n1.0,2.0,clean cozy\n"
+        stats, _points = tone.analyze_csv_reviews(data)
+        assert stats.comments == 1
+
+    def test_empty_input(self):
+        stats, points = tone.analyze_csv_reviews(b"")
+        assert stats.comments == 0
+        assert points == []
+
+    def test_real_generated_content_classifies(self):
+        from repro.datasets.airbnb import make_review_content_fn
+
+        data = make_review_content_fn("paris")(0, 16384)
+        stats, points = tone.analyze_csv_reviews(data)
+        assert stats.comments > 5
+        assert len(points) == stats.comments
+        # the lexicon actually fires on the generated vocabulary
+        assert stats.counts[tone.POSITIVE] + stats.counts[tone.NEGATIVE] > 0

@@ -1,0 +1,101 @@
+"""Tests for the provisioned-cluster baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import VMCluster
+
+
+class TestProvisioning:
+    def test_boot_takes_boot_time(self, kernel):
+        def main():
+            cluster = VMCluster(kernel, n_vms=4, boot_seconds=100, boot_jitter=0.0)
+            return cluster.provision()
+
+        assert kernel.run(main) == pytest.approx(100.0)
+
+    def test_vms_boot_in_parallel(self, kernel):
+        def main():
+            cluster = VMCluster(
+                kernel, n_vms=50, boot_seconds=100, boot_jitter=0.0
+            )
+            cluster.provision()
+            return kernel.now()
+
+        assert kernel.run(main) == pytest.approx(100.0)
+
+    def test_second_job_reuses_cluster(self, kernel):
+        def main():
+            cluster = VMCluster(kernel, n_vms=2, boot_seconds=100, boot_jitter=0.0)
+            first = cluster.run_map_job(4, task_seconds=10)
+            second = cluster.run_map_job(4, task_seconds=10)
+            return first.provisioning_s, second.provisioning_s
+
+        first_prov, second_prov = kernel.run(main)
+        assert first_prov == pytest.approx(100.0)
+        assert second_prov == 0.0
+
+    def test_terminate_forces_reboot(self, kernel):
+        def main():
+            cluster = VMCluster(kernel, n_vms=1, boot_seconds=50, boot_jitter=0.0)
+            cluster.provision()
+            cluster.terminate()
+            return cluster.provision()
+
+        assert kernel.run(main) == pytest.approx(50.0)
+
+    def test_jitter_bounds(self, kernel):
+        def main():
+            cluster = VMCluster(
+                kernel, n_vms=20, boot_seconds=100, boot_jitter=0.2, seed=5
+            )
+            return cluster.provision()
+
+        boot = kernel.run(main)
+        assert 100.0 <= boot <= 120.0  # max over jittered VMs
+
+    def test_invalid_sizes(self, kernel):
+        with pytest.raises(ValueError):
+            VMCluster(kernel, n_vms=0)
+        with pytest.raises(ValueError):
+            VMCluster(kernel, n_vms=1, slots_per_vm=0)
+
+
+class TestJobs:
+    def test_slot_limited_compute(self, kernel):
+        def main():
+            cluster = VMCluster(
+                kernel, n_vms=2, slots_per_vm=2, boot_seconds=0.0, boot_jitter=0.0
+            )
+            result = cluster.run_map_job(8, task_seconds=10)
+            return result.compute_s
+
+        # 8 tasks over 4 slots = 2 waves of 10 s
+        assert kernel.run(main) == pytest.approx(20.0)
+
+    def test_total_includes_provisioning(self, kernel):
+        def main():
+            cluster = VMCluster(
+                kernel, n_vms=4, slots_per_vm=1, boot_seconds=120, boot_jitter=0.0
+            )
+            return cluster.run_map_job(4, task_seconds=50).total_s
+
+        assert kernel.run(main) == pytest.approx(170.0)
+
+    def test_zero_tasks(self, kernel):
+        def main():
+            cluster = VMCluster(kernel, n_vms=1, boot_seconds=10, boot_jitter=0.0)
+            result = cluster.run_map_job(0, task_seconds=10)
+            return result.compute_s
+
+        assert kernel.run(main) == pytest.approx(0.0)
+
+    def test_negative_tasks_rejected(self, kernel):
+        def main():
+            cluster = VMCluster(kernel, n_vms=1)
+            with pytest.raises(ValueError):
+                cluster.run_map_job(-1, 1.0)
+            return True
+
+        assert kernel.run(main)

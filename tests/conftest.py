@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import CloudEnvironment
+from repro.faas.limits import SystemLimits
+from repro.net.latency import LatencyModel
+from repro.vtime import Kernel
+
+
+@pytest.fixture()
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture()
+def cloud():
+    """Factory for fresh cloud environments (one kernel per environment).
+
+    Usage::
+
+        def test_something(cloud):
+            env = cloud()                  # or cloud(client="lan", seed=7)
+            result = env.run(main)
+    """
+
+    def _make(
+        client: str = "wan",
+        seed: int = 123,
+        limits: SystemLimits | None = None,
+        **config_kwargs,
+    ) -> CloudEnvironment:
+        latency = {
+            "wan": LatencyModel.wan,
+            "lan": LatencyModel.lan,
+            "in_cloud": LatencyModel.in_cloud,
+        }[client]()
+        env = CloudEnvironment.create(
+            client_latency=latency, limits=limits, seed=seed
+        )
+        if config_kwargs:
+            env.config = env.config.with_overrides(**config_kwargs)
+        return env
+
+    return _make
+
+
+@pytest.fixture()
+def env(cloud) -> CloudEnvironment:
+    """A default WAN-client environment."""
+    return cloud()

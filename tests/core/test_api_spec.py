@@ -1,0 +1,104 @@
+"""Table 2 conformance: the API's methods, blocking semantics, parameters.
+
+=============== ========== ==================================================
+Method          Type       Input parameters
+=============== ========== ==================================================
+call_async()    Async.     function code, data
+map()           Async.     map function code, map data
+map_reduce()    Async.     map/reduce func. code, map data
+wait()          Sync.      when to unlock, list of futures
+get_result()    Sync.      None
+=============== ========== ==================================================
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro as pw
+from repro.core.executor import FunctionExecutor
+
+
+class TestSurface:
+    def test_all_five_methods_exist(self):
+        for method in ["call_async", "map", "map_reduce", "wait", "get_result"]:
+            assert callable(getattr(FunctionExecutor, method))
+
+    def test_call_async_signature(self):
+        params = list(inspect.signature(FunctionExecutor.call_async).parameters)
+        assert params[1:3] == ["func", "data"]
+
+    def test_map_signature(self):
+        params = list(inspect.signature(FunctionExecutor.map).parameters)
+        assert params[1:3] == ["map_function", "iterdata"]
+
+    def test_map_reduce_signature(self):
+        params = inspect.signature(FunctionExecutor.map_reduce).parameters
+        names = list(params)
+        assert names[1:4] == ["map_function", "iterdata", "reduce_function"]
+        assert "reducer_one_per_object" in params
+        assert params["reducer_one_per_object"].default is False
+        assert "chunk_size" in params
+
+    def test_wait_signature(self):
+        params = inspect.signature(FunctionExecutor.wait).parameters
+        assert "return_when" in params
+        assert "futures" in params
+
+    def test_get_result_takes_no_required_parameters(self):
+        params = inspect.signature(FunctionExecutor.get_result).parameters
+        required = [
+            n
+            for n, p in params.items()
+            if n != "self" and p.default is inspect.Parameter.empty
+        ]
+        assert required == []
+
+    def test_module_entry_point_name(self):
+        """§4.1: 'import the module pywren_ibm_cloud, and call the function
+        ibm_cf_executor()' — our package exposes the same factory name."""
+        assert callable(pw.ibm_cf_executor)
+
+
+class TestBlockingSemantics:
+    def test_async_methods_return_before_execution(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def slow(x):
+                pw.sleep(50)
+                return x
+
+            t0 = pw.now()
+            executor.call_async(slow, 1)
+            executor.map(slow, [1, 2])
+            executor.map_reduce(slow, [1], lambda r: r)
+            return pw.now() - t0
+
+        # all three computing methods returned in a few seconds of
+        # invocation time, far below one 50 s execution
+        assert env.run(main) < 25.0
+
+    def test_sync_methods_block(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def slow(x):
+                pw.sleep(30)
+                return x
+
+            executor.map(slow, [1, 2])
+            t0 = pw.now()
+            executor.wait()
+            waited = pw.now() - t0
+            results = executor.get_result()
+            return waited, results
+
+        waited, results = env.run(main)
+        assert waited >= 25.0
+        assert results == [1, 2]
+
+    def test_unlock_constants_exposed(self):
+        assert pw.ALWAYS != pw.ANY_COMPLETED != pw.ALL_COMPLETED

@@ -1,0 +1,103 @@
+"""Tests for executor.clean() and activation logs."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+
+
+class TestClean:
+    def test_clean_removes_all_executor_objects(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.get_result(executor.map(lambda x: x, [1, 2, 3]))
+            prefix = f"{executor.config.storage_prefix}/{executor.executor_id}/"
+            before = env.storage.list_keys(executor.config.storage_bucket, prefix)
+            deleted = executor.clean()
+            after = env.storage.list_keys(executor.config.storage_bucket, prefix)
+            return len(before), deleted, len(after)
+
+        before, deleted, after = env.run(main)
+        assert before > 0
+        assert deleted == before
+        assert after == 0
+
+    def test_clean_single_callset(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            first = executor.map(lambda x: x, [1])
+            second = executor.map(lambda x: x, [2])
+            executor.get_result(first + second)
+            deleted = executor.clean(callset_id=first[0].callset_id)
+            prefix = f"{executor.config.storage_prefix}/{executor.executor_id}/"
+            remaining = env.storage.list_keys(
+                executor.config.storage_bucket, prefix
+            )
+            return deleted, remaining
+
+        deleted, remaining = env.run(main)
+        assert deleted > 0
+        # the second callset's objects survive
+        assert any("M001" in key for key in remaining)
+        assert not any("M000" in key for key in remaining)
+
+    def test_clean_other_executors_untouched(self, env):
+        def main():
+            ex1 = pw.ibm_cf_executor()
+            ex2 = pw.ibm_cf_executor()
+            ex1.get_result(ex1.map(lambda x: x, [1]))
+            ex2.get_result(ex2.map(lambda x: x, [2]))
+            ex1.clean()
+            prefix2 = f"{ex2.config.storage_prefix}/{ex2.executor_id}/"
+            return env.storage.list_keys(ex2.config.storage_bucket, prefix2)
+
+        assert len(env.run(main)) > 0
+
+    def test_clean_empty_executor(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            return executor.clean()
+
+        assert env.run(main) == 0
+
+
+class TestActivationLogs:
+    def test_ctx_log_recorded_with_timestamps(self, kernel):
+        from repro.cos import CloudObjectStorage
+        from repro.faas import CloudFunctions
+
+        platform = CloudFunctions(kernel, CloudObjectStorage(kernel))
+
+        def chatty(params, ctx):
+            ctx.log("starting")
+            ctx.sleep(5)
+            ctx.log("halfway")
+            ctx.sleep(5)
+            ctx.log("done")
+            return None
+
+        platform.create_action("guest", "chatty", chatty)
+
+        def main():
+            record = platform.wait_activation(platform.invoke("guest", "chatty", {}))
+            return record.logs
+
+        logs = kernel.run(main)
+        assert [msg for _t, msg in logs] == ["starting", "halfway", "done"]
+        times = [t for t, _msg in logs]
+        assert times[1] - times[0] == pytest.approx(5.0)
+        assert times == sorted(times)
+
+    def test_logs_empty_by_default(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.call_async(lambda x: x, 1).result()
+            runner = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ][0]
+            return runner.logs
+
+        assert env.run(main) == []

@@ -1,0 +1,162 @@
+"""Tests for dynamic composition (§4.4): sequences, nesting, unwrapping."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.core.composition import compose, sequence
+
+
+def inc(x):
+    return x + 1
+
+
+def double(x):
+    return x * 2
+
+
+class TestSequence:
+    def test_two_stage_sequence(self, env):
+        def main():
+            future = pw.sequence([inc, double], 5)
+            return future.result()
+
+        assert env.run(main) == 12
+
+    def test_each_stage_runs_as_its_own_function(self, env):
+        def main():
+            future = pw.sequence([inc, inc, inc], 0)
+            result = future.result()
+            runners = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ]
+            return result, len(runners)
+
+        result, n_functions = env.run(main)
+        assert result == 3
+        assert n_functions == 3  # one invocation per stage
+
+    def test_single_function_sequence(self, env):
+        def main():
+            return pw.sequence([double], 21).result()
+
+        assert env.run(main) == 42
+
+    def test_empty_sequence_rejected(self, env):
+        def main():
+            with pytest.raises(ValueError):
+                pw.sequence([], 1)
+            return True
+
+        assert env.run(main)
+
+    def test_get_result_is_composition_aware(self, env):
+        """§4.2: get_result 'transparently waits for an on-going function
+        composition to complete, just returning the final result'."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            pw.sequence([inc, double, inc], 3, executor=executor)
+            return executor.get_result()
+
+        assert env.run(main) == 9
+
+
+class TestCompose:
+    def test_compose_mathematical_order(self, env):
+        def main():
+            f = compose(double, inc)  # double(inc(x))
+            return f(5).result()
+
+        assert env.run(main) == 12
+
+    def test_compose_name(self):
+        f = compose(double, inc)
+        assert "double" in f.__name__ and "inc" in f.__name__
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose()
+
+
+class TestNestedParallelism:
+    def test_function_spawning_parallel_job(self, env):
+        """The paper's foo()/random_list example."""
+
+        def main():
+            def add_seven(y):
+                return y + 7
+
+            def foo(_):
+                executor = pw.ibm_cf_executor()
+                return executor.map(add_seven, list(range(20)))
+
+            executor = pw.ibm_cf_executor()
+            executor.call_async(foo, None)
+            return executor.get_result()
+
+        assert env.run(main) == [i + 7 for i in range(20)]
+
+    def test_two_levels_of_nesting(self, env):
+        def main():
+            def leaf(x):
+                return x * 10
+
+            def mid(xs):
+                executor = pw.ibm_cf_executor()
+                return executor.map(leaf, xs)
+
+            def root(_):
+                executor = pw.ibm_cf_executor()
+                return executor.map(mid, [[1, 2], [3, 4]])
+
+            executor = pw.ibm_cf_executor()
+            executor.call_async(root, None)
+            return executor.get_result()
+
+        assert env.run(main) == [[10, 20], [30, 40]]
+
+    def test_nested_executor_uses_in_cloud_links(self, env):
+        """Executors created inside functions see in-cloud latency."""
+
+        def main():
+            def probe(_):
+                executor = pw.ibm_cf_executor()
+                return executor.in_cloud
+
+            executor = pw.ibm_cf_executor()
+            outer_in_cloud = executor.in_cloud
+            inner_in_cloud = executor.call_async(probe, None).result()
+            return outer_in_cloud, inner_in_cloud
+
+        assert env.run(main) == (False, True)
+
+    def test_nested_spawning_is_faster_than_client_spawning(self, env):
+        """Invoking N functions from inside the cloud beats the WAN client —
+        the asymmetry behind §5.1."""
+
+        def main():
+            def noop(x):
+                return x
+
+            def fan_out(_):
+                executor = pw.ibm_cf_executor()
+                t0 = pw.now()
+                futures = executor.map(noop, list(range(40)))
+                executor.wait(futures)
+                return pw.now() - t0
+
+            executor = pw.ibm_cf_executor()
+            inner_elapsed = executor.call_async(fan_out, None).result()
+
+            t0 = pw.now()
+            futures = executor.map(noop, list(range(40)))
+            executor.wait(futures)
+            outer_elapsed = pw.now() - t0
+            return inner_elapsed, outer_elapsed
+
+        inner, outer = env.run(main)
+        assert inner < outer

@@ -1,0 +1,59 @@
+"""Unit tests for client configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import InvokerMode, PyWrenConfig
+
+
+class TestDefaults:
+    def test_defaults_valid(self):
+        PyWrenConfig().validate()
+
+    def test_paper_aligned_defaults(self):
+        config = PyWrenConfig()
+        assert config.runtime == "python-jessie:3"
+        assert config.runtime_timeout_s == 600.0
+        assert config.invoker_mode == InvokerMode.LOCAL
+        assert config.massive_group_size == 100  # §5.1's groups of 100
+        assert config.chunk_size is None  # object-granularity by default
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"invoker_mode": "bogus"},
+            {"invoker_pool_size": 0},
+            {"massive_group_size": 0},
+            {"remote_invoker_pool_size": -1},
+            {"poll_interval": 0},
+            {"chunk_size": 0},
+            {"chunk_size": -10},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PyWrenConfig(**kwargs).validate()
+
+    def test_all_invoker_modes_accepted(self):
+        for mode in InvokerMode.ALL:
+            PyWrenConfig(invoker_mode=mode).validate()
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        base = PyWrenConfig()
+        derived = base.with_overrides(runtime="custom:1", poll_interval=0.1)
+        assert derived.runtime == "custom:1"
+        assert derived.poll_interval == 0.1
+        assert base.runtime == "python-jessie:3"  # original untouched
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            PyWrenConfig().with_overrides(invoker_mode="nope")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            PyWrenConfig().with_overrides(not_a_field=1)

@@ -1,0 +1,58 @@
+"""Sanity tests for the calibrated cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import cost
+from repro.datasets import airbnb
+
+
+class TestTable3Anchors:
+    def test_sequential_baseline_matches_paper(self):
+        """1.9 GB at the notebook rate + 33 renders ~= 5,160 s."""
+        total = cost.notebook_tone_seconds(airbnb.TOTAL_SIZE) + cost.render_seconds(33)
+        assert total == pytest.approx(5160, rel=0.01)
+
+    def test_64mb_map_time_matches_paper_row(self):
+        """One 64 MB partition ~= the 471 s row minus job overheads."""
+        seconds = cost.tone_map_seconds(64 * 1024 * 1024)
+        assert 430 <= seconds <= 480
+
+    def test_2mb_map_time_small(self):
+        seconds = cost.tone_map_seconds(2 * 1024 * 1024)
+        assert seconds < 30
+
+    def test_map_cost_monotone_in_bytes(self):
+        sizes = [1, 10**6, 10**7, 10**8]
+        times = [cost.tone_map_seconds(s) for s in sizes]
+        assert times == sorted(times)
+
+    def test_worker_overhead_floor(self):
+        assert cost.tone_map_seconds(0) == cost.WORKER_OVERHEAD_SECONDS
+
+
+class TestMergesortModel:
+    def test_sort_nloglog_shape(self):
+        assert cost.sort_seconds(0) == 0.0
+        assert cost.sort_seconds(1) == 0.0
+        million = cost.sort_seconds(1_000_000)
+        two_million = cost.sort_seconds(2_000_000)
+        # superlinear but less than quadratic
+        assert 2.0 < two_million / million < 2.2
+
+    def test_merge_linear(self):
+        assert cost.merge_seconds(2_000_000) == pytest.approx(
+            2 * cost.merge_seconds(1_000_000)
+        )
+
+    def test_merge_cheaper_than_sort(self):
+        n = 5_000_000
+        assert cost.merge_seconds(n) < cost.sort_seconds(n)
+
+    def test_array_bytes(self):
+        assert cost.array_bytes(1000) == 8000
+
+    def test_fig_constants(self):
+        assert cost.FIG2_TASK_SECONDS == 50.0
+        assert cost.FIG3_TASK_SECONDS == 60.0

@@ -1,0 +1,119 @@
+"""Odds-and-ends edge cases across the core API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+
+
+class TestEmptyAndDegenerate:
+    def test_map_over_empty_bucket(self, env):
+        env.storage.create_bucket("void")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return executor.map(lambda p: p, "cos://void")
+
+        assert env.run(main) == []
+
+    def test_map_over_generator(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda x: x * 2, (i for i in range(4)))
+            return executor.get_result(futures)
+
+        assert env.run(main) == [0, 2, 4, 6]
+
+    def test_call_async_with_none_data(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            return executor.call_async(lambda x: x is None, None).result()
+
+        assert env.run(main) is True
+
+    def test_large_payload_roundtrip(self, env):
+        payload = list(range(200_000))
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return executor.call_async(lambda xs: sum(xs), payload).result()
+
+        assert env.run(main) == sum(payload)
+
+    def test_zero_byte_object_partition(self, env):
+        env.storage.create_bucket("z")
+        env.storage.put_object("z", "empty", b"")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda p: (p.size, p.read()), "cos://z")
+            return executor.get_result(futures)
+
+        assert env.run(main) == [(0, b"")]
+
+    def test_map_result_containing_bytes_and_nested(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            future = executor.call_async(
+                lambda _: {"blob": b"\x00\xff", "nested": [(1, {"k": None})]},
+                None,
+            )
+            return future.result()
+
+        assert env.run(main) == {"blob": b"\x00\xff", "nested": [(1, {"k": None})]}
+
+
+class TestFutureMisc:
+    def test_done_then_result_consistency(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            future = executor.call_async(lambda x: x, 5)
+            executor.wait([future])
+            assert future.done()
+            return future.result()
+
+        assert env.run(main) == 5
+
+    def test_result_idempotent(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            future = executor.call_async(lambda x: [x], 1)
+            return future.result(), future.result(), future.result()
+
+        a, b, c = env.run(main)
+        assert a is b is c  # cached, same object
+
+    def test_metadata_survives_pickle(self, env):
+        import pickle
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda p: p.size, "cos://meta-bucket")
+            return futures
+
+        env.storage.create_bucket("meta-bucket")
+        env.storage.put_object("meta-bucket", "obj", b"xy")
+        futures = env.run(main)
+        clone = pickle.loads(pickle.dumps(futures[0]))
+        assert clone.metadata["object_key"] == "obj"
+
+
+class TestSequenceEdge:
+    def test_sequence_with_value_returning_future_like_list(self, env):
+        """A stage legitimately returning a list of plain values is not
+        mistaken for a composition."""
+
+        def main():
+            future = pw.sequence([lambda x: [x, x + 1], lambda xs: sum(xs)], 3)
+            return future.result()
+
+        assert env.run(main) == 7
+
+    def test_deeply_nested_mergesort_depth5(self, env):
+        from repro.sort import serverless_mergesort
+
+        def main():
+            return serverless_mergesort(list(range(40, 0, -1)), depth=5).result()
+
+        assert env.run(main) == list(range(1, 41))

@@ -1,0 +1,126 @@
+"""Tests for CloudEnvironment assembly and the ambient-context machinery."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro as pw
+from repro.core import context as ambient
+from repro.core.environment import CloudEnvironment
+from repro.core.errors import NoActiveEnvironmentError
+
+
+class TestEnvironmentAssembly:
+    def test_create_builds_all_services(self):
+        env = CloudEnvironment.create(seed=1)
+        assert env.storage.bucket_exists(env.config.storage_bucket)
+        assert env.platform.environment is env
+        assert env.registry.exists("python-jessie:3")
+        assert env.broker is not None
+
+    def test_run_returns_value_and_clears_context(self):
+        env = CloudEnvironment.create(seed=2)
+        assert env.run(lambda: 99) == 99
+        assert ambient.current_context() is None
+
+    def test_run_with_arguments(self):
+        env = CloudEnvironment.create(seed=3)
+        assert env.run(lambda a, b: a + b, 2, 3) == 5
+
+    def test_client_links_are_independent_streams(self):
+        env = CloudEnvironment.create(seed=4)
+        a, b = env.new_client_link(), env.new_client_link()
+        assert a is not b
+
+    def test_now_tracks_kernel(self):
+        env = CloudEnvironment.create(seed=5)
+
+        def main():
+            pw.sleep(12)
+            return env.now()
+
+        assert env.run(main) == 12.0
+
+    def test_ensure_runner_action_idempotent(self):
+        env = CloudEnvironment.create(seed=6)
+        name1 = env.ensure_runner_action("python-jessie:3", 256, 600)
+        name2 = env.ensure_runner_action("python-jessie:3", 256, 600)
+        assert name1 == name2
+        actions = env.platform.namespace("guest").list_actions()
+        assert actions.count(name1) == 1
+
+    def test_executor_factory_kwargs(self):
+        env = CloudEnvironment.create(seed=7)
+
+        def main():
+            executor = env.executor(invoker_pool_size=3)
+            return executor.config.invoker_pool_size
+
+        assert env.run(main) == 3
+
+
+class TestAmbientContext:
+    def test_push_pop(self):
+        marker = object()
+        ambient.push_context(marker, in_cloud=False)
+        try:
+            ctx = ambient.current_context()
+            assert ctx.environment is marker
+            assert ctx.in_cloud is False
+        finally:
+            ambient.pop_context()
+        assert ambient.current_context() is None
+
+    def test_nested_contexts_stack(self):
+        ambient.push_context("outer", in_cloud=False)
+        ambient.push_context("inner", in_cloud=True)
+        try:
+            assert ambient.current_context().environment == "inner"
+            ambient.pop_context()
+            assert ambient.current_context().environment == "outer"
+        finally:
+            ambient.pop_context()
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(RuntimeError):
+            ambient.pop_context()
+
+    def test_require_context_error_message(self):
+        with pytest.raises(NoActiveEnvironmentError, match="CloudEnvironment.run"):
+            ambient.require_context()
+
+    def test_contexts_are_per_thread(self):
+        seen = {}
+        ambient.push_context("main-thread", in_cloud=False)
+        try:
+
+            def other():
+                seen["other"] = ambient.current_context()
+
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        finally:
+            ambient.pop_context()
+        assert seen["other"] is None
+
+    def test_executor_inherits_active_environment(self):
+        env = CloudEnvironment.create(seed=8)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return executor.environment is env
+
+        assert env.run(main) is True
+
+    def test_two_environments_do_not_leak(self):
+        env1 = CloudEnvironment.create(seed=9)
+        env2 = CloudEnvironment.create(seed=10)
+
+        def probe():
+            return pw.ibm_cf_executor().environment
+
+        assert env1.run(probe) is env1
+        assert env2.run(probe) is env2

@@ -1,0 +1,91 @@
+"""Tests for content-addressed function upload caching."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+
+
+def shared_fn(x):
+    return x * 2
+
+
+class TestFuncCache:
+    def _func_keys(self, env, executor):
+        prefix = f"{executor.config.storage_prefix}/{executor.executor_id}/funcs/"
+        return env.storage.list_keys(executor.config.storage_bucket, prefix)
+
+    def test_same_function_uploaded_once(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.get_result(executor.map(shared_fn, [1, 2]))
+            executor.get_result(executor.map(shared_fn, [3, 4]))
+            executor.get_result(executor.map(shared_fn, [5]))
+            return self._func_keys(env, executor)
+
+        keys = env.run(main)
+        assert len(keys) == 1  # three callsets, one shared func object
+
+    def test_different_functions_get_distinct_objects(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.get_result(executor.map(shared_fn, [1]))
+            executor.get_result(executor.map(lambda x: x + 1, [1]))
+            return self._func_keys(env, executor)
+
+        assert len(env.run(main)) == 2
+
+    def test_results_still_correct_across_cached_submissions(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            first = executor.get_result(executor.map(shared_fn, [1, 2]))
+            second = executor.get_result(executor.map(shared_fn, [10]))
+            return first, second
+
+        assert env.run(main) == ([2, 4], [20])
+
+    def test_cache_saves_wan_transfer_time(self, cloud):
+        """The second map of a closure over a large constant is cheaper."""
+        big = list(range(50_000))
+
+        def heavy(x):
+            return x + len(big)
+
+        def submit_time(env, repeat):
+            def main():
+                executor = pw.ibm_cf_executor()
+                executor.get_result(executor.map(heavy, [1]))
+                t0 = pw.now()
+                for _ in range(repeat):
+                    executor.get_result(executor.map(heavy, [1]))
+                return pw.now() - t0
+
+            return env.run(main)
+
+        cached = submit_time(cloud(seed=71), repeat=2)
+        # a fresh executor per map re-uploads every time
+        def uncached_main(env):
+            def main():
+                pw.ibm_cf_executor().get_result(
+                    pw.ibm_cf_executor().map(heavy, [1])
+                )
+                t0 = pw.now()
+                for _ in range(2):
+                    executor = pw.ibm_cf_executor()
+                    executor.get_result(executor.map(heavy, [1]))
+                return pw.now() - t0
+
+            return env.run(main)
+
+        uncached = uncached_main(cloud(seed=71))
+        assert cached < uncached
+
+    def test_clean_removes_shared_funcs(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.get_result(executor.map(shared_fn, [1]))
+            executor.clean()
+            return self._func_keys(env, executor)
+
+        assert env.run(main) == []

@@ -1,0 +1,286 @@
+"""Unit tests for response futures and the wait() policies (§4.2).
+
+These drive futures against a real internal storage, with completions
+produced by background kernel tasks standing in for cloud functions.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.errors import FunctionError, ResultTimeoutError
+from repro.core.futures import (
+    ALL_COMPLETED,
+    ALWAYS,
+    ANY_COMPLETED,
+    CallState,
+    ResponseFuture,
+)
+from repro.core.storage_client import InternalStorage
+from repro.core.wait import wait
+from repro.cos import CloudObjectStorage, COSClient
+from repro.net import LatencyModel, NetworkLink
+
+
+@pytest.fixture()
+def storage(kernel) -> InternalStorage:
+    store = CloudObjectStorage(kernel)
+    store.create_bucket("internal")
+    link = NetworkLink(kernel, LatencyModel(rtt=0.001, jitter=0.0), seed=4)
+    return InternalStorage(COSClient(store, link), "internal")
+
+
+def complete_call(storage, future, value=None, success=True, delay=0.0, error=None):
+    """Background task: write result+status like the worker does."""
+    kernel = storage.cos.link.kernel
+
+    def _complete():
+        if delay:
+            kernel.sleep(delay)
+        payload = value if success else (error, "remote traceback")
+        storage.put_result(
+            future.executor_id, future.callset_id, future.call_id, payload
+        )
+        storage.put_status(
+            future.executor_id,
+            future.callset_id,
+            future.call_id,
+            {
+                "call_id": future.call_id,
+                "success": success,
+                "error": None if success else repr(error),
+                "start_time": 0.0,
+                "end_time": kernel.now(),
+            },
+        )
+
+    return kernel.spawn(_complete, name=f"complete-{future.call_id}")
+
+
+def make_future(storage, call_id="00000", callset="M000"):
+    return ResponseFuture("exec-1", callset, call_id).bind(storage, poll_interval=0.5)
+
+
+class TestResponseFuture:
+    def test_result_blocks_until_available(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            complete_call(storage, future, value=99, delay=5.0)
+            return future.result(), kernel.now() >= 5.0
+
+        assert kernel.run(main) == (99, True)
+
+    def test_done_is_nonblocking(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            before = future.done()
+            complete_call(storage, future, value=1).join()
+            after = future.done()
+            return before, after
+
+        assert kernel.run(main) == (False, True)
+
+    def test_state_transitions(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            assert future.state == CallState.NEW
+            future.mark_invoked("act-1")
+            assert future.state == CallState.INVOKED
+            complete_call(storage, future, value=1).join()
+            future.result()
+            return future.state, future.activation_id
+
+        assert kernel.run(main) == (CallState.SUCCESS, "act-1")
+
+    def test_error_raises_function_error(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            complete_call(
+                storage, future, success=False, error=ValueError("inner")
+            ).join()
+            with pytest.raises(FunctionError) as info:
+                future.result()
+            return type(info.value.cause), info.value.remote_traceback
+
+        cause_type, tb = kernel.run(main)
+        assert cause_type is ValueError
+        assert "remote traceback" in tb
+
+    def test_error_swallowed_with_throw_except_false(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            complete_call(
+                storage, future, success=False, error=ValueError("x")
+            ).join()
+            return future.result(throw_except=False)
+
+        assert kernel.run(main) is None
+
+    def test_result_timeout(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            with pytest.raises(ResultTimeoutError):
+                future.result(timeout=3)
+            return kernel.now()
+
+        assert kernel.run(main) >= 3.0
+
+    def test_result_cached_after_first_fetch(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            complete_call(storage, future, value=[1, 2]).join()
+            first = future.result()
+            gets_before = storage.cos.store.get_count
+            second = future.result()
+            return first, second, storage.cos.store.get_count == gets_before
+
+        first, second, cached = kernel.run(main)
+        assert first == second == [1, 2]
+        assert cached
+
+    def test_unbound_future_raises(self, kernel, storage):
+        def main():
+            future = ResponseFuture("e", "c", "00000")
+            with pytest.raises(RuntimeError, match="not bound"):
+                future.result()
+            return True
+
+        assert kernel.run(main)
+
+    def test_pickle_drops_storage_binding(self, storage):
+        future = ResponseFuture("e", "c", "00001", metadata={"k": "v"})
+        future.bind(storage)
+        restored = pickle.loads(pickle.dumps(future))
+        assert not restored.bound
+        assert restored.call_id == "00001"
+        assert restored.metadata == {"k": "v"}
+
+    def test_status_contains_worker_fields(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            complete_call(storage, future, value=0).join()
+            return future.status()
+
+        status = kernel.run(main)
+        assert status["success"] is True
+        assert "end_time" in status
+
+
+class TestComposition:
+    def test_nested_future_resolved(self, kernel, storage):
+        def main():
+            inner = make_future(storage, call_id="00001", callset="M001")
+            outer = make_future(storage, call_id="00000", callset="M000")
+            complete_call(storage, inner, value="deep").join()
+            complete_call(storage, outer, value=inner).join()
+            return outer.result()
+
+        assert kernel.run(main) == "deep"
+
+    def test_list_of_futures_resolved(self, kernel, storage):
+        def main():
+            inners = [
+                make_future(storage, call_id=f"{i:05d}", callset="M001")
+                for i in range(3)
+            ]
+            for i, future in enumerate(inners):
+                complete_call(storage, future, value=i * 10).join()
+            outer = make_future(storage, callset="M000")
+            complete_call(storage, outer, value=inners).join()
+            return outer.result()
+
+        assert kernel.run(main) == [0, 10, 20]
+
+    def test_plain_list_result_not_unwrapped(self, kernel, storage):
+        def main():
+            future = make_future(storage)
+            complete_call(storage, future, value=[1, 2, 3]).join()
+            return future.result()
+
+        assert kernel.run(main) == [1, 2, 3]
+
+
+class TestWait:
+    def test_wait_always_returns_immediately(self, kernel, storage):
+        def main():
+            futures = [make_future(storage, call_id=f"{i:05d}") for i in range(3)]
+            complete_call(storage, futures[0], value=1).join()
+            done, not_done = wait(futures, storage, return_when=ALWAYS)
+            return len(done), len(not_done), kernel.now()
+
+        done, not_done, t = kernel.run(main)
+        assert (done, not_done) == (1, 2)
+        assert t < 1.0
+
+    def test_wait_any_completed(self, kernel, storage):
+        def main():
+            futures = [make_future(storage, call_id=f"{i:05d}") for i in range(3)]
+            complete_call(storage, futures[2], value=1, delay=4.0)
+            done, not_done = wait(
+                futures, storage, return_when=ANY_COMPLETED, poll_interval=0.5
+            )
+            return [f.call_id for f in done], len(not_done)
+
+        done_ids, remaining = kernel.run(main)
+        assert done_ids == ["00002"]
+        assert remaining == 2
+
+    def test_wait_all_completed(self, kernel, storage):
+        def main():
+            futures = [make_future(storage, call_id=f"{i:05d}") for i in range(4)]
+            for i, future in enumerate(futures):
+                complete_call(storage, future, value=i, delay=i + 1.0)
+            done, not_done = wait(futures, storage, return_when=ALL_COMPLETED)
+            return len(done), len(not_done), kernel.now() >= 4.0
+
+        assert kernel.run(main) == (4, 0, True)
+
+    def test_wait_timeout_raises(self, kernel, storage):
+        def main():
+            futures = [make_future(storage)]
+            with pytest.raises(ResultTimeoutError):
+                wait(futures, storage, timeout=2, poll_interval=0.5)
+            return True
+
+        assert kernel.run(main)
+
+    def test_wait_empty_list(self, kernel, storage):
+        def main():
+            return wait([], storage)
+
+        assert kernel.run(main) == ([], [])
+
+    def test_wait_uses_one_list_per_callset_round(self, kernel, storage):
+        def main():
+            futures = [
+                make_future(storage, call_id=f"{i:05d}", callset="M000")
+                for i in range(50)
+            ]
+            for future in futures:
+                complete_call(storage, future, value=0).join()
+            before = storage.cos.link.requests
+            wait(futures, storage, return_when=ALL_COMPLETED)
+            return storage.cos.link.requests - before
+
+        # one LIST request, not 50 HEADs
+        assert kernel.run(main) <= 2
+
+    def test_on_progress_callback(self, kernel, storage):
+        calls = []
+
+        def main():
+            futures = [make_future(storage, call_id=f"{i:05d}") for i in range(2)]
+            for i, f in enumerate(futures):
+                complete_call(storage, f, value=0, delay=float(i)).join()
+            wait(
+                futures,
+                storage,
+                return_when=ALL_COMPLETED,
+                on_progress=lambda d, t: calls.append((d, t)),
+            )
+            return calls
+
+        calls = kernel.run(main)
+        assert calls[-1] == (2, 2)

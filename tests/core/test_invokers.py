@@ -1,0 +1,102 @@
+"""Tests for the three spawning strategies (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.config import InvokerMode
+from repro.core.worker import REMOTE_INVOKER_ACTION
+
+
+def noop(x):
+    return x
+
+
+def run_mode(env, mode, n=30, **overrides):
+    """Returns (results, invocation_phase): time until the last function
+    *started*, the metric §5.1/§6.1 compare across spawning mechanisms."""
+
+    def main():
+        executor = pw.ibm_cf_executor(invoker_mode=mode, **overrides)
+        t0 = pw.now()
+        futures = executor.map(noop, list(range(n)))
+        results = executor.get_result(futures)
+        runners = [
+            r
+            for r in env.platform.activations()
+            if r.action_name.startswith("pywren_runner")
+        ]
+        invocation_phase = max(r.start_time for r in runners) - t0
+        return results, invocation_phase
+
+    return env.run(main)
+
+
+class TestLocalInvoker:
+    def test_correctness(self, cloud):
+        results, _ = run_mode(cloud(), InvokerMode.LOCAL)
+        assert results == list(range(30))
+
+    def test_pool_size_bounds_invocation_parallelism(self, cloud):
+        _, wide = run_mode(cloud(seed=5), InvokerMode.LOCAL, invoker_pool_size=30)
+        _, narrow = run_mode(cloud(seed=5), InvokerMode.LOCAL, invoker_pool_size=1)
+        assert wide < narrow
+
+    def test_no_remote_invoker_deployed(self, cloud):
+        env = cloud()
+        run_mode(env, InvokerMode.LOCAL)
+        assert REMOTE_INVOKER_ACTION not in env.platform.namespace("guest").list_actions()
+
+
+class TestRemoteInvoker:
+    def test_correctness(self, cloud):
+        results, _ = run_mode(cloud(), InvokerMode.REMOTE)
+        assert results == list(range(30))
+
+    def test_single_invoker_activation(self, cloud):
+        env = cloud()
+        run_mode(env, InvokerMode.REMOTE)
+        invokers = [
+            r
+            for r in env.platform.activations()
+            if r.action_name == REMOTE_INVOKER_ACTION
+        ]
+        assert len(invokers) == 1
+
+    def test_internal_pool_speeds_up_spawning(self, cloud):
+        _, pooled = run_mode(
+            cloud(seed=6), InvokerMode.REMOTE, remote_invoker_pool_size=8
+        )
+        _, serial = run_mode(
+            cloud(seed=6), InvokerMode.REMOTE, remote_invoker_pool_size=1
+        )
+        assert pooled < serial
+
+
+class TestMassiveInvoker:
+    def test_correctness(self, cloud):
+        results, _ = run_mode(cloud(), InvokerMode.MASSIVE)
+        assert results == list(range(30))
+
+    def test_group_count(self, cloud):
+        env = cloud()
+        run_mode(env, InvokerMode.MASSIVE, n=25, massive_group_size=10)
+        invokers = [
+            r
+            for r in env.platform.activations()
+            if r.action_name == REMOTE_INVOKER_ACTION
+        ]
+        assert len(invokers) == 3  # ceil(25/10)
+
+    def test_massive_beats_local_over_wan(self, cloud):
+        _, local = run_mode(cloud(seed=9), InvokerMode.LOCAL, n=200)
+        _, massive = run_mode(cloud(seed=9), InvokerMode.MASSIVE, n=200)
+        assert massive < local
+
+    def test_faster_than_single_remote_for_large_jobs(self, cloud):
+        # the advantage appears once there are more groups than the single
+        # remote invoker's internal pool width (the paper used 1,000 calls)
+        _, remote = run_mode(cloud(seed=10), InvokerMode.REMOTE, n=1000)
+        _, massive = run_mode(cloud(seed=10), InvokerMode.MASSIVE, n=1000)
+        assert massive < remote

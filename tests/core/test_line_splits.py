@@ -1,0 +1,122 @@
+"""Tests for line-boundary-aware partition reads (input-split semantics).
+
+The exactly-once invariant: over any chunking of a newline-delimited
+object, every line is returned by exactly one partition's ``read_lines``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import build_partitions
+from repro.cos import CloudObjectStorage, COSClient
+from repro.net import LatencyModel, NetworkLink
+
+
+def make_cos(kernel, payload: bytes):
+    store = CloudObjectStorage(kernel)
+    store.create_bucket("b")
+    store.put_object("b", "obj", payload)
+    link = NetworkLink(kernel, LatencyModel(rtt=0.0, jitter=0.0), seed=0)
+    return COSClient(store, link)
+
+
+def read_all_lines(kernel, payload: bytes, chunk_size: int) -> list[bytes]:
+    def main():
+        cos = make_cos(kernel, payload)
+        parts = build_partitions(cos, "b", chunk_size)
+        lines: list[bytes] = []
+        for part in parts:
+            part.cos = cos
+            chunk = part.read_lines()
+            lines.extend(line for line in chunk.split(b"\n") if line)
+        return lines
+
+    return kernel.run(main)
+
+
+class TestExamples:
+    def test_boundary_mid_line(self, kernel):
+        payload = b"alpha\nbravo\ncharlie\n"
+        # chunk size 8 cuts 'bravo' at offset 8
+        lines = read_all_lines(kernel, payload, 8)
+        assert sorted(lines) == [b"alpha", b"bravo", b"charlie"]
+
+    def test_boundary_exactly_on_newline(self, kernel):
+        payload = b"aaaaa\nbbbbb\nccccc\n"
+        # chunk 6 lands exactly after each newline
+        lines = read_all_lines(kernel, payload, 6)
+        assert sorted(lines) == [b"aaaaa", b"bbbbb", b"ccccc"]
+
+    def test_line_longer_than_chunk(self, kernel):
+        payload = b"x" * 50 + b"\nshort\n"
+        lines = read_all_lines(kernel, payload, 10)
+        assert sorted(lines) == sorted([b"x" * 50, b"short"])
+
+    def test_no_trailing_newline(self, kernel):
+        payload = b"one\ntwo\nthree"
+        lines = read_all_lines(kernel, payload, 5)
+        assert sorted(lines) == [b"one", b"three", b"two"]
+
+    def test_single_partition_returns_everything(self, kernel):
+        payload = b"a\nb\n"
+        lines = read_all_lines(kernel, payload, 1000)
+        assert lines == [b"a", b"b"]
+
+    def test_empty_object(self, kernel):
+        lines = read_all_lines(kernel, b"", 10)
+        assert lines == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        line_lengths=st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=30),
+        chunk=st.integers(min_value=1, max_value=200),
+        trailing_newline=st.booleans(),
+    )
+    def test_exactly_once_property(self, line_lengths, chunk, trailing_newline):
+        """Every line appears in exactly one partition's read_lines."""
+        from repro.vtime import Kernel
+
+        kernel = Kernel()
+        original = [
+            bytes([65 + i % 26]) * n for i, n in enumerate(line_lengths)
+        ]
+        payload = b"\n".join(original) + (b"\n" if trailing_newline else b"")
+        lines = read_all_lines(kernel, payload, chunk)
+        assert sorted(lines) == sorted(original)
+
+
+class TestWorkerIntegration:
+    def test_exact_comment_counts_across_chunkings(self, cloud):
+        """Tone analysis over read_lines counts each comment exactly once,
+        independent of chunk size."""
+        import repro as pw
+        from repro.analytics.tone import analyze_csv_reviews
+
+        def run(chunk_size, seed):
+            env = cloud(seed=seed)
+            env.storage.create_bucket("rv")
+            payload = b"".join(
+                b"1.0,2.0,great clean stay number %d\n" % i for i in range(100)
+            )
+            env.storage.put_object("rv", "reviews.csv", payload)
+
+            def count(partition):
+                stats, _points = analyze_csv_reviews(partition.read_lines())
+                return stats.comments
+
+            def main():
+                executor = pw.ibm_cf_executor()
+                reducer = executor.map_reduce(
+                    count, "cos://rv", sum, chunk_size=chunk_size
+                )
+                return executor.get_result(reducer)
+
+            return env.run(main)
+
+        assert run(None, 41) == 100
+        assert run(512, 42) == 100
+        assert run(100, 43) == 100
+        assert run(37, 44) == 100

@@ -1,0 +1,204 @@
+"""Tests for map_reduce: data discovery, partitioning, reducers (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.core.errors import PyWrenError
+
+
+def put_text(env, bucket, objects):
+    env.storage.create_bucket(bucket, exist_ok=True)
+    for key, text in objects.items():
+        env.storage.put_object(bucket, key, text.encode())
+
+
+def count_bytes(partition):
+    return len(partition.read())
+
+
+def total(results):
+    return sum(results)
+
+
+class TestMapReduceValues:
+    def test_single_reducer_over_values(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducer = executor.map_reduce(lambda x: x * x, [1, 2, 3, 4], total)
+            return executor.get_result(reducer)
+
+        assert env.run(main) == 30
+
+    def test_reducer_receives_ordered_results(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducer = executor.map_reduce(
+                lambda x: x, [3, 1, 2], lambda results: results
+            )
+            return executor.get_result(reducer)
+
+        assert env.run(main) == [3, 1, 2]
+
+    def test_empty_dataset_raises(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(PyWrenError):
+                executor.map_reduce(lambda x: x, [], total)
+            return True
+
+        assert env.run(main)
+
+    def test_reducer_one_per_object_requires_spec(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(ValueError):
+                executor.map_reduce(
+                    lambda x: x, [1, 2], total, reducer_one_per_object=True
+                )
+            return True
+
+        assert env.run(main)
+
+
+class TestMapReduceStorage:
+    def test_discovery_over_bucket(self, env):
+        put_text(env, "data", {"a.txt": "xx", "b.txt": "yyy", "c.txt": "z"})
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducer = executor.map_reduce(count_bytes, "cos://data", total)
+            return executor.get_result(reducer)
+
+        assert env.run(main) == 6
+
+    def test_chunking_produces_expected_executors(self, env):
+        put_text(env, "data", {"big.txt": "x" * 1000})
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducer = executor.map_reduce(
+                count_bytes, "cos://data", total, chunk_size=300
+            )
+            result = executor.get_result(reducer)
+            maps = [f for f in executor.futures if f.callset_id.startswith("M")]
+            return result, len(maps)
+
+        result, n_maps = env.run(main)
+        assert result == 1000  # all bytes covered exactly once
+        assert n_maps == 4  # ceil(1000/300)
+
+    def test_single_object_spec(self, env):
+        put_text(env, "data", {"a.txt": "hello", "b.txt": "ignored"})
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducer = executor.map_reduce(count_bytes, "cos://data/a.txt", total)
+            return executor.get_result(reducer)
+
+        assert env.run(main) == 5
+
+    def test_map_function_sees_partition_fields(self, env):
+        put_text(env, "data", {"a.txt": "0123456789"})
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def describe(partition):
+                return (
+                    partition.key,
+                    partition.range_start,
+                    partition.range_end,
+                    partition.object_size,
+                    partition.read(),
+                )
+
+            futures = executor.map(describe, "cos://data", chunk_size=6)
+            return executor.get_result(futures)
+
+        rows = env.run(main)
+        assert rows == [
+            ("a.txt", 0, 6, 10, b"012345"),
+            ("a.txt", 6, 10, 10, b"6789"),
+        ]
+
+    def test_default_chunk_size_from_config(self, cloud):
+        env = cloud()
+        env.config = env.config.with_overrides(chunk_size=4)
+        put_text(env, "data", {"a.txt": "0123456789"})
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(count_bytes, "cos://data")
+            return len(futures), executor.get_result(futures)
+
+        n, sizes = env.run(main)
+        assert n == 3  # ceil(10/4)
+        assert sizes == [4, 4, 2]
+
+
+class TestReducerPerObject:
+    def test_one_reducer_per_object_key(self, env):
+        put_text(
+            env,
+            "cities",
+            {"nyc.txt": "a" * 100, "paris.txt": "b" * 250, "rome.txt": "c" * 30},
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce(
+                count_bytes,
+                "cos://cities",
+                total,
+                chunk_size=100,
+                reducer_one_per_object=True,
+            )
+            keys = [r.metadata["object_key"] for r in reducers]
+            values = executor.get_result(reducers)
+            return dict(zip(keys, values))
+
+        assert env.run(main) == {
+            "nyc.txt": 100,
+            "paris.txt": 250,
+            "rome.txt": 30,
+        }
+
+    def test_reducer_waits_for_all_its_partials(self, env):
+        """The §4.3 contract: a reducer processes all partial results."""
+        put_text(env, "cities", {"x.txt": "d" * 500})
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def staggered(partition):
+                pw.sleep(partition.partition_index * 10.0)
+                return partition.size
+
+            reducers = executor.map_reduce(
+                staggered,
+                "cos://cities",
+                lambda results: (len(results), sum(results)),
+                chunk_size=100,
+                reducer_one_per_object=True,
+            )
+            return executor.get_result(reducers)
+
+        assert env.run(main) == [(5, 500)]
+
+    def test_returns_list_even_for_single_object(self, env):
+        put_text(env, "solo", {"only.txt": "e" * 10})
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce(
+                count_bytes,
+                "cos://solo",
+                total,
+                reducer_one_per_object=True,
+            )
+            assert isinstance(reducers, list)
+            return executor.get_result(reducers)
+
+        assert env.run(main) == [10]

@@ -1,0 +1,163 @@
+"""Unit tests for the function/data serializer."""
+
+from __future__ import annotations
+
+import math
+import os.path
+
+import pytest
+
+from repro.core.serializer import (
+    SerializationError,
+    deserialize,
+    is_importable_function,
+    serialize,
+)
+
+MODULE_CONSTANT = 13
+
+
+def module_level_fn(x):
+    return x * MODULE_CONSTANT
+
+
+def recursive_fact(n):
+    return 1 if n <= 1 else n * recursive_fact(n - 1)
+
+
+def roundtrip(obj):
+    return deserialize(serialize(obj))
+
+
+class TestDataRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            42,
+            3.14,
+            "text",
+            b"bytes",
+            [1, 2, [3, 4]],
+            {"k": (1, 2)},
+            {1, 2, 3},
+            float("inf"),
+        ],
+    )
+    def test_plain_values(self, value):
+        assert roundtrip(value) == value
+
+    def test_nested_structures(self):
+        data = {"list": [1, {"deep": (2, [3])}], "none": None}
+        assert roundtrip(data) == data
+
+    def test_large_payload(self):
+        data = list(range(100_000))
+        assert roundtrip(data) == data
+
+
+class TestFunctionRoundtrip:
+    def test_lambda(self):
+        assert roundtrip(lambda x: x + 7)(3) == 10
+
+    def test_closure(self):
+        def make(n):
+            def add(x):
+                return x + n
+
+            return add
+
+        assert roundtrip(make(5))(2) == 7
+
+    def test_nested_closure_layers(self):
+        def outer(a):
+            def middle(b):
+                def inner(c):
+                    return a + b + c
+
+                return inner
+
+            return middle
+
+        assert roundtrip(outer(1)(2))(3) == 6
+
+    def test_defaults_and_kwdefaults(self):
+        def fn(a, b=10, *, c=100):
+            return a + b + c
+
+        restored = roundtrip(fn)
+        assert restored(1) == 111
+        assert restored(1, 2, c=3) == 6
+
+    def test_module_global_captured(self):
+        restored = roundtrip(module_level_fn)
+        assert restored(2) == 26
+
+    def test_module_reference_reimported(self):
+        def uses_math(x):
+            return math.sqrt(x)
+
+        assert roundtrip(uses_math)(25) == 5.0
+
+    def test_recursive_function(self):
+        assert roundtrip(recursive_fact)(5) == 120
+
+    def test_function_with_attributes(self):
+        def fn(x):
+            return x
+
+        fn.custom_attr = "hello"
+        assert roundtrip(fn).custom_attr == "hello"
+
+    def test_function_embedded_in_data(self):
+        payload = {"fn": lambda v: v * 2, "arg": 21}
+        restored = roundtrip(payload)
+        assert restored["fn"](restored["arg"]) == 42
+
+    def test_list_of_functions(self):
+        fns = [lambda x: x + 1, lambda x: x * 2, lambda x: x - 3]
+        restored = roundtrip(fns)
+        assert [f(10) for f in restored] == [11, 20, 7]
+
+    def test_function_returning_function(self):
+        def outer():
+            data = [1, 2, 3]
+
+            def inner():
+                return sum(data)
+
+            return inner
+
+        assert roundtrip(outer())() == 6
+
+
+class TestImportableFunctions:
+    def test_stdlib_function_by_reference(self):
+        assert is_importable_function(os.path.join)
+        assert roundtrip(os.path.join)("a", "b") == os.path.join("a", "b")
+
+    def test_lambda_not_importable(self):
+        assert not is_importable_function(lambda: None)
+
+    def test_nested_not_importable(self):
+        def nested():
+            pass
+
+        assert not is_importable_function(nested)
+
+    def test_module_level_test_fn_importable(self):
+        assert is_importable_function(module_level_fn)
+
+
+class TestErrors:
+    def test_unserializable_raises_serialization_error(self):
+        import threading
+
+        with pytest.raises(SerializationError):
+            serialize(threading.Lock())
+
+    def test_error_message_names_type(self):
+        import threading
+
+        with pytest.raises(SerializationError, match="lock"):
+            serialize(threading.Lock())

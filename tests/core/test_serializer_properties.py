@@ -1,0 +1,79 @@
+"""Property-based tests for the serializer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serializer import deserialize, serialize
+
+# JSON-ish nested data
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+nested = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestDataProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(value=nested)
+    def test_roundtrip_identity(self, value):
+        assert deserialize(serialize(value)) == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=nested)
+    def test_serialization_deterministic(self, value):
+        assert serialize(value) == serialize(value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        factor=st.integers(min_value=-1000, max_value=1000),
+        offsets=st.lists(st.integers(min_value=-100, max_value=100), max_size=10),
+    )
+    def test_closure_roundtrip_behaviour(self, factor, offsets):
+        """A closure over arbitrary ints behaves identically after travel."""
+
+        def fn(x):
+            return [x * factor + o for o in offsets]
+
+        restored = deserialize(serialize(fn))
+        assert restored(7) == fn(7)
+        assert restored(-3) == fn(-3)
+
+
+class TestBillingProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(duration=st.floats(min_value=0, max_value=10_000, allow_nan=False))
+    def test_billed_duration_bounds(self, duration):
+        from repro.faas.billing import BILLING_QUANTUM_S, billed_duration
+
+        billed = billed_duration(duration)
+        assert billed >= duration - 1e-9  # never undercharge (mod epsilon)
+        assert billed - duration <= BILLING_QUANTUM_S + 1e-9  # never overcharge more than a quantum
+        # quantized
+        quanta = billed / BILLING_QUANTUM_S
+        assert abs(quanta - round(quanta)) < 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.floats(min_value=0, max_value=1000, allow_nan=False),
+        b=st.floats(min_value=0, max_value=1000, allow_nan=False),
+    )
+    def test_billed_duration_monotone(self, a, b):
+        from repro.faas.billing import billed_duration
+
+        low, high = sorted((a, b))
+        assert billed_duration(low) <= billed_duration(high)

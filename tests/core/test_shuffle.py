@@ -1,0 +1,183 @@
+"""Tests for the COS-based shuffle (keyed MapReduce)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as pw
+from repro.core.shuffle import (
+    merge_shuffle_results,
+    partition_pairs,
+    stable_key_hash,
+)
+
+
+class TestPartitioning:
+    def test_stable_hash_deterministic(self):
+        assert stable_key_hash("word") == stable_key_hash("word")
+        assert stable_key_hash(("a", 1)) == stable_key_hash(("a", 1))
+
+    def test_different_keys_spread(self):
+        buckets = {stable_key_hash(f"key-{i}") % 8 for i in range(100)}
+        assert len(buckets) == 8  # all reducers get some keys
+
+    def test_partition_pairs_groups_same_key_together(self):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        buckets = partition_pairs(pairs, 4)
+        assert sum(len(b) for b in buckets) == 5
+        location = {}
+        for index, bucket in enumerate(buckets):
+            for key, _value in bucket:
+                location.setdefault(key, set()).add(index)
+        assert all(len(spots) == 1 for spots in location.values())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(st.text(max_size=6), max_size=50),
+        n_reducers=st.integers(min_value=1, max_value=16),
+    )
+    def test_partitioning_is_total_and_consistent(self, keys, n_reducers):
+        pairs = [(k, i) for i, k in enumerate(keys)]
+        buckets = partition_pairs(pairs, n_reducers)
+        assert len(buckets) == n_reducers
+        flat = [p for b in buckets for p in b]
+        assert sorted(flat) == sorted(pairs)
+
+
+class TestMergeResults:
+    def test_merge_disjoint(self):
+        assert merge_shuffle_results([{"a": 1}, {"b": 2}]) == {"a": 1, "b": 2}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="invariant"):
+            merge_shuffle_results([{"a": 1}, {"a": 2}])
+
+    def test_empty(self):
+        assert merge_shuffle_results([]) == {}
+
+
+class TestEndToEnd:
+    def test_wordcount_by_key(self, env):
+        documents = [
+            "cloud functions run python",
+            "python functions scale",
+            "cloud scale cloud",
+        ]
+
+        def emit_words(doc):
+            return [(word, 1) for word in doc.split()]
+
+        def count(key, values):
+            return sum(values)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce_shuffle(
+                emit_words, documents, count, n_reducers=3
+            )
+            return merge_shuffle_results(executor.get_result(reducers))
+
+        counts = env.run(main)
+        assert counts == {
+            "cloud": 3,
+            "functions": 2,
+            "run": 1,
+            "python": 2,
+            "scale": 2,
+        }
+
+    def test_reducer_count_respected(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce_shuffle(
+                lambda x: [(x % 5, x)], list(range(20)), lambda k, vs: sum(vs),
+                n_reducers=7,
+            )
+            assert len(reducers) == 7
+            assert [r.metadata["reducer_index"] for r in reducers] == list(range(7))
+            return merge_shuffle_results(executor.get_result(reducers))
+
+        result = env.run(main)
+        assert result == {m: sum(x for x in range(20) if x % 5 == m) for m in range(5)}
+
+    def test_over_storage_partitions(self, env):
+        env.storage.create_bucket("docs")
+        env.storage.put_object("docs", "d1", b"alpha beta\nalpha\n")
+        env.storage.put_object("docs", "d2", b"beta beta\ngamma\n")
+
+        def emit(partition):
+            text = partition.read_lines().decode()
+            return [(w, 1) for w in text.split()]
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce_shuffle(
+                emit, "cos://docs", lambda k, vs: sum(vs), n_reducers=2
+            )
+            return merge_shuffle_results(executor.get_result(reducers))
+
+        assert env.run(main) == {"alpha": 2, "beta": 3, "gamma": 1}
+
+    def test_map_failure_propagates_to_reducers(self, env):
+        from repro.core.errors import FunctionError
+
+        def bad_map(x):
+            if x == 1:
+                raise RuntimeError("map died")
+            return [(x, 1)]
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce_shuffle(
+                bad_map, [0, 1, 2], lambda k, vs: sum(vs), n_reducers=2
+            )
+            failures = 0
+            for reducer in reducers:
+                try:
+                    reducer.result()
+                except FunctionError:
+                    failures += 1
+            return failures
+
+        assert env.run(main) == 2  # every reducer surfaces the map failure
+
+    def test_empty_dataset_rejected(self, env):
+        from repro.core.errors import PyWrenError
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(PyWrenError):
+                executor.map_reduce_shuffle(
+                    lambda x: [], [], lambda k, vs: vs, n_reducers=2
+                )
+            return True
+
+        assert env.run(main)
+
+    def test_invalid_reducer_count(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(ValueError):
+                executor.map_reduce_shuffle(
+                    lambda x: [], [1], lambda k, vs: vs, n_reducers=0
+                )
+            return True
+
+        assert env.run(main)
+
+    def test_values_preserve_order_within_map(self, env):
+        """Values from one map task arrive in emission order."""
+
+        def emit(x):
+            return [("k", (x, i)) for i in range(3)]
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce_shuffle(
+                emit, [7], lambda k, vs: vs, n_reducers=1
+            )
+            return merge_shuffle_results(executor.get_result(reducers))
+
+        assert env.run(main) == {"k": [(7, 0), (7, 1), (7, 2)]}

@@ -1,0 +1,98 @@
+"""Tests for job execution statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.core.stats import JobStats, collect_job_stats
+
+
+class TestCollect:
+    def test_stats_from_real_job(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def busy(i):
+                pw.sleep(10 + i * 2)
+                return i
+
+            futures = executor.map(busy, list(range(5)))
+            executor.get_result(futures)
+            return collect_job_stats(futures)
+
+        stats = env.run(main)
+        assert stats.n_calls == 5
+        assert stats.max_duration >= 18.0
+        assert stats.mean_duration == pytest.approx(14.0, abs=1.0)
+        assert stats.p50_duration <= stats.p95_duration <= stats.max_duration
+        assert stats.makespan >= stats.max_duration
+        assert stats.spawn_spread >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collect_job_stats([])
+
+    def test_straggler_ratio(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def maybe_slow(i):
+                pw.sleep(100 if i == 0 else 10)
+                return i
+
+            futures = executor.map(maybe_slow, list(range(6)))
+            executor.get_result(futures)
+            return collect_job_stats(futures)
+
+        stats = env.run(main)
+        assert stats.straggler_ratio == pytest.approx(10.0, rel=0.1)
+
+    def test_even_job_ratio_near_one(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def even(_):
+                pw.sleep(20)
+
+            futures = executor.map(even, [0] * 4)
+            executor.get_result(futures)
+            return collect_job_stats(futures)
+
+        stats = env.run(main)
+        assert stats.straggler_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_spawn_spread_reflects_invocation_ramp(self, cloud):
+        """A 1-thread invoker pool stretches the ramp; stats expose it."""
+        narrow_env = cloud(seed=31)
+
+        def main_narrow():
+            executor = pw.ibm_cf_executor(invoker_pool_size=1)
+            futures = executor.map(lambda x: x, list(range(10)))
+            executor.get_result(futures)
+            return collect_job_stats(futures).spawn_spread
+
+        wide_env = cloud(seed=31)
+
+        def main_wide():
+            executor = pw.ibm_cf_executor(invoker_pool_size=10)
+            futures = executor.map(lambda x: x, list(range(10)))
+            executor.get_result(futures)
+            return collect_job_stats(futures).spawn_spread
+
+        assert narrow_env.run(main_narrow) > wide_env.run(main_wide)
+
+
+class TestJobStatsProperties:
+    def test_zero_median_guard(self):
+        stats = JobStats(
+            n_calls=1,
+            first_start=0,
+            last_start=0,
+            last_end=0,
+            mean_duration=0,
+            p50_duration=0,
+            p95_duration=0,
+            max_duration=0,
+        )
+        assert stats.straggler_ratio == 1.0

@@ -1,0 +1,99 @@
+"""Unit tests for the internal-storage key schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.storage_client import InternalStorage
+from repro.cos import CloudObjectStorage, COSClient
+from repro.net import LatencyModel, NetworkLink
+
+
+@pytest.fixture()
+def storage(kernel) -> InternalStorage:
+    store = CloudObjectStorage(kernel)
+    store.create_bucket("internal")
+    link = NetworkLink(kernel, LatencyModel(rtt=0.0, jitter=0.0), seed=0)
+    return InternalStorage(COSClient(store, link), "internal", prefix="pywren.jobs")
+
+
+class TestKeySchema:
+    def test_key_layout(self, storage):
+        assert (
+            storage.func_key("e1", "M000")
+            == "pywren.jobs/e1/M000/func.pickle"
+        )
+        assert (
+            storage.status_key("e1", "M000", "00002")
+            == "pywren.jobs/e1/M000/00002/status.pickle"
+        )
+        assert (
+            storage.result_key("e1", "M000", "00002")
+            == "pywren.jobs/e1/M000/00002/result.pickle"
+        )
+
+    def test_prefix_normalized(self, kernel):
+        store = CloudObjectStorage(kernel)
+        store.create_bucket("b")
+        link = NetworkLink(kernel, LatencyModel(rtt=0.0, jitter=0.0), seed=0)
+        storage = InternalStorage(COSClient(store, link), "b", prefix="/x/y/")
+        assert storage.func_key("e", "c").startswith("x/y/e/c/")
+
+
+class TestRoundtrips:
+    def test_func_roundtrip(self, kernel, storage):
+        def main():
+            storage.put_func("e1", "M000", b"function-bytes")
+            return storage.get_func("e1", "M000")
+
+        assert kernel.run(main) == b"function-bytes"
+
+    def test_agg_data_ranges(self, kernel, storage):
+        def main():
+            storage.put_agg_data("e1", "M000", b"aaabbbbcc")
+            return (
+                storage.get_data_range("e1", "M000", 0, 3),
+                storage.get_data_range("e1", "M000", 3, 7),
+                storage.get_data_range("e1", "M000", 7, 9),
+            )
+
+        assert kernel.run(main) == (b"aaa", b"bbbb", b"cc")
+
+    def test_status_roundtrip_and_missing(self, kernel, storage):
+        def main():
+            assert storage.get_status("e1", "M000", "00000") is None
+            storage.put_status("e1", "M000", "00000", {"success": True, "x": 1})
+            return storage.get_status("e1", "M000", "00000")
+
+        assert kernel.run(main) == {"success": True, "x": 1}
+
+    def test_result_roundtrip(self, kernel, storage):
+        def main():
+            storage.put_result("e1", "M000", "00000", {"value": [1, 2]})
+            return storage.get_result("e1", "M000", "00000")
+
+        assert kernel.run(main) == {"value": [1, 2]}
+
+
+class TestListing:
+    def test_list_done_call_ids(self, kernel, storage):
+        def main():
+            for call_id in ["00000", "00003", "00007"]:
+                storage.put_status("e1", "M000", call_id, {"success": True})
+            storage.put_status("e1", "M001", "00001", {"success": True})
+            return storage.list_done_call_ids("e1", "M000")
+
+        assert kernel.run(main) == {"00000", "00003", "00007"}
+
+    def test_list_empty_callset(self, kernel, storage):
+        def main():
+            return storage.list_done_call_ids("e1", "NONE")
+
+        assert kernel.run(main) == set()
+
+    def test_callsets_isolated_per_executor(self, kernel, storage):
+        def main():
+            storage.put_status("e1", "M000", "00000", {"success": True})
+            return storage.list_done_call_ids("e2", "M000")
+
+        assert kernel.run(main) == set()

@@ -1,0 +1,55 @@
+"""Direct unit tests for Bucket (mostly covered indirectly elsewhere)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cos.bucket import Bucket
+from repro.cos.errors import NoSuchKey
+from repro.cos.obj import StoredObject
+
+
+@pytest.fixture()
+def bucket() -> Bucket:
+    b = Bucket("test")
+    for key, data in [("a/1", b"xx"), ("a/2", b"yyy"), ("b/3", b"z")]:
+        b.put(StoredObject(key, data=data))
+    return b
+
+
+class TestBucket:
+    def test_len(self, bucket):
+        assert len(bucket) == 3
+
+    def test_get_and_contains(self, bucket):
+        assert bucket.get("a/1").read() == b"xx"
+        assert bucket.contains("a/1")
+        assert not bucket.contains("ghost")
+
+    def test_get_missing(self, bucket):
+        with pytest.raises(NoSuchKey, match="test/ghost"):
+            bucket.get("ghost")
+
+    def test_delete(self, bucket):
+        bucket.delete("a/1")
+        assert not bucket.contains("a/1")
+        with pytest.raises(NoSuchKey):
+            bucket.delete("a/1")
+
+    def test_list_keys_sorted_and_filtered(self, bucket):
+        assert bucket.list_keys() == ["a/1", "a/2", "b/3"]
+        assert bucket.list_keys("a/") == ["a/1", "a/2"]
+        assert bucket.list_keys("zzz") == []
+
+    def test_list_objects(self, bucket):
+        objs = bucket.list_objects("a/")
+        assert [o.key for o in objs] == ["a/1", "a/2"]
+
+    def test_total_size(self, bucket):
+        assert bucket.total_size() == 6
+        assert bucket.total_size("a/") == 5
+
+    def test_put_overwrites(self, bucket):
+        bucket.put(StoredObject("a/1", data=b"new"))
+        assert bucket.get("a/1").read() == b"new"
+        assert len(bucket) == 3

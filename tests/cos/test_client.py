@@ -1,0 +1,129 @@
+"""Unit tests for the latency-charging COS client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cos import CloudObjectStorage, COSClient, NoSuchKey
+from repro.net import LatencyModel, NetworkLink
+
+
+def make_client(kernel, rtt=0.1, bandwidth=1000.0):
+    store = CloudObjectStorage(kernel)
+    store.create_bucket("b")
+    link = NetworkLink(
+        kernel,
+        LatencyModel(rtt=rtt, jitter=0.0, failure_prob=0.0),
+        bandwidth_bps=bandwidth,
+        seed=9,
+    )
+    return store, COSClient(store, link)
+
+
+class TestLatencyAccounting:
+    def test_put_charges_rtt_plus_transfer(self, kernel):
+        def main():
+            _store, client = make_client(kernel, rtt=0.5, bandwidth=1000)
+            client.put_object("b", "k", b"x" * 2000)
+            return kernel.now()
+
+        assert kernel.run(main) == pytest.approx(0.5 + 2.0)
+
+    def test_get_charges_object_size(self, kernel):
+        def main():
+            store, client = make_client(kernel, rtt=0.0, bandwidth=100)
+            store.put_object("b", "k", b"y" * 500)
+            t0 = kernel.now()
+            data = client.get_object("b", "k")
+            return data, kernel.now() - t0
+
+        data, elapsed = kernel.run(main)
+        assert data == b"y" * 500
+        assert elapsed == pytest.approx(5.0)
+
+    def test_head_costs_only_rtt(self, kernel):
+        def main():
+            store, client = make_client(kernel, rtt=0.25, bandwidth=10)
+            store.put_object("b", "k", b"z" * 10_000)
+            t0 = kernel.now()
+            summary = client.head_object("b", "k")
+            return summary.size, kernel.now() - t0
+
+        size, elapsed = kernel.run(main)
+        assert size == 10_000
+        assert elapsed == pytest.approx(0.25)
+
+    def test_read_range_charges_span_only(self, kernel):
+        def main():
+            store, client = make_client(kernel, rtt=0.0, bandwidth=100)
+            store.put_object("b", "k", b"a" * 1000)
+            t0 = kernel.now()
+            data = client.read_range("b", "k", 100, 300)
+            return len(data), kernel.now() - t0
+
+        n, elapsed = kernel.run(main)
+        assert n == 200
+        assert elapsed == pytest.approx(2.0)
+
+
+class TestMaterializeCap:
+    def test_cap_limits_real_bytes_but_charges_full_span(self, kernel):
+        def main():
+            store, client = make_client(kernel, rtt=0.0, bandwidth=1000)
+            store.put_virtual_object(
+                "b", "big", size=100_000, content_fn=lambda s, e: b"r" * (e - s)
+            )
+            t0 = kernel.now()
+            data = client.read_range("b", "big", 0, 10_000, materialize_cap=100)
+            return len(data), kernel.now() - t0
+
+        n, elapsed = kernel.run(main)
+        assert n == 100
+        assert elapsed == pytest.approx(10.0)  # full 10,000-byte span charged
+
+    def test_no_cap_returns_full_range(self, kernel):
+        def main():
+            store, client = make_client(kernel)
+            store.put_object("b", "k", b"0123456789")
+            return client.read_range("b", "k", 2, None)
+
+        assert kernel.run(main) == b"23456789"
+
+
+class TestApi:
+    def test_object_exists(self, kernel):
+        def main():
+            store, client = make_client(kernel)
+            store.put_object("b", "k", b"v")
+            return client.object_exists("b", "k"), client.object_exists("b", "nope")
+
+        assert kernel.run(main) == (True, False)
+
+    def test_list_objects_summaries(self, kernel):
+        def main():
+            store, client = make_client(kernel)
+            store.put_object("b", "a/1", b"xx")
+            store.put_object("b", "a/2", b"yyy")
+            store.put_object("b", "z/3", b"z")
+            summaries = client.list_objects("b", prefix="a/")
+            return [(s.key, s.size) for s in summaries]
+
+        assert kernel.run(main) == [("a/1", 2), ("a/2", 3)]
+
+    def test_delete(self, kernel):
+        def main():
+            store, client = make_client(kernel)
+            client.put_object("b", "k", b"v")
+            client.delete_object("b", "k")
+            with pytest.raises(NoSuchKey):
+                client.get_object("b", "k")
+            return True
+
+        assert kernel.run(main)
+
+    def test_head_bucket(self, kernel):
+        def main():
+            _store, client = make_client(kernel)
+            return client.head_bucket("b"), client.head_bucket("ghost")
+
+        assert kernel.run(main) == (True, False)

@@ -1,0 +1,47 @@
+"""Unit tests for deterministic virtual content generation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cos.virtual import BLOCK_SIZE, make_text_content_fn
+
+
+class TestDeterminism:
+    def test_same_seed_same_content(self):
+        a = make_text_content_fn(7)
+        b = make_text_content_fn(7)
+        assert a(0, 1000) == b(0, 1000)
+
+    def test_different_seeds_differ(self):
+        assert make_text_content_fn(1)(0, 1000) != make_text_content_fn(2)(0, 1000)
+
+    def test_empty_range(self):
+        assert make_text_content_fn(0)(100, 100) == b""
+        assert make_text_content_fn(0)(100, 50) == b""
+
+
+class TestConsistency:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        start=st.integers(min_value=0, max_value=3 * BLOCK_SIZE),
+        span=st.integers(min_value=0, max_value=2 * BLOCK_SIZE),
+    )
+    def test_subrange_matches_superrange(self, start, span):
+        """Reading [start, start+span) equals slicing a bigger read."""
+        fn = make_text_content_fn(99)
+        whole = fn(0, 5 * BLOCK_SIZE)
+        assert fn(start, start + span) == whole[start : start + span]
+
+    def test_exact_length(self):
+        fn = make_text_content_fn(3)
+        for start, end in [(0, 1), (10, 5000), (4095, 4097), (8192, 8192 + 123)]:
+            assert len(fn(start, end)) == end - start
+
+    def test_content_is_newline_delimited_ascii(self):
+        data = make_text_content_fn(5)(0, BLOCK_SIZE * 2)
+        text = data.decode("ascii")
+        lines = [line for line in text.split("\n") if line]
+        assert len(lines) > 10
+        assert all(line.replace(" ", "").isalpha() for line in lines[1:-1])

@@ -1,0 +1,102 @@
+"""Tests for the synthetic Airbnb dataset (Table 3's input)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import airbnb
+
+
+class TestShape:
+    def test_33_cities(self):
+        assert len(airbnb.CITIES) == 33
+        assert len(set(airbnb.CITIES)) == 33
+
+    def test_total_size_is_1_9_gb(self):
+        sizes = airbnb.city_sizes()
+        assert sum(sizes.values()) == airbnb.TOTAL_SIZE == 1_900_000_000
+
+    def test_comment_counts_sum_exactly(self):
+        counts = airbnb.city_comment_counts()
+        assert sum(counts.values()) == airbnb.TOTAL_COMMENTS == 3_695_107
+
+    def test_sizes_variable_with_heavy_head(self):
+        """'Each city dataset has variable size.'"""
+        sizes = airbnb.city_sizes()
+        assert max(sizes.values()) > 5 * min(sizes.values())
+        assert sizes["new-york"] == max(sizes.values())
+
+    def test_scaled_total(self):
+        sizes = airbnb.city_sizes(total_size=1_000_000)
+        assert sum(sizes.values()) == 1_000_000
+
+    @pytest.mark.parametrize(
+        "chunk_mb,paper_count",
+        [(64, 47), (32, 72), (16, 129), (8, 242), (4, 471), (2, 923)],
+    )
+    def test_partition_counts_match_table3(self, chunk_mb, paper_count):
+        """Table 3's concurrency column, within a few executors."""
+        chunk = chunk_mb * 1024 * 1024
+        count = sum(-(-s // chunk) for s in airbnb.city_sizes().values())
+        assert abs(count - paper_count) / paper_count < 0.06
+
+    def test_all_cities_have_coords(self):
+        for city in airbnb.CITIES:
+            lat, lon = airbnb.CITY_COORDS[city]
+            assert -90 <= lat <= 90
+            assert -180 <= lon <= 180
+
+
+class TestContent:
+    def test_deterministic(self):
+        fn = airbnb.make_review_content_fn("paris")
+        assert fn(0, 500) == airbnb.make_review_content_fn("paris")(0, 500)
+
+    def test_cities_differ(self):
+        a = airbnb.make_review_content_fn("paris")(0, 500)
+        b = airbnb.make_review_content_fn("rome")(0, 500)
+        assert a != b
+
+    def test_subrange_consistency(self):
+        fn = airbnb.make_review_content_fn("berlin")
+        whole = fn(0, 20_000)
+        assert fn(5_000, 12_345) == whole[5_000:12_345]
+
+    def test_lines_are_csv_reviews(self):
+        fn = airbnb.make_review_content_fn("london")
+        lines = fn(0, 8192).decode("ascii").split("\n")
+        complete = [l for l in lines[:-1] if l]
+        assert len(complete) >= 5
+        for line in complete:
+            lat_s, lon_s, text = line.split(",", 2)
+            lat, lon = float(lat_s), float(lon_s)
+            # points jitter around the city center
+            assert abs(lat - airbnb.CITY_COORDS["london"][0]) < 0.2
+            assert abs(lon - airbnb.CITY_COORDS["london"][1]) < 0.2
+            assert len(text.split()) >= 10
+
+    def test_average_line_near_paper_comment_size(self):
+        """1.9 GB / 3,695,107 comments ~= 514 bytes per comment."""
+        data = airbnb.make_review_content_fn("madrid")(0, 65536)
+        n_lines = data.count(b"\n")
+        avg = len(data) / n_lines
+        assert 380 <= avg <= 650
+
+    def test_positivity_varies_by_city(self):
+        values = {airbnb.city_positivity(c) for c in airbnb.CITIES}
+        assert len(values) > 10
+        assert all(0.30 <= v <= 0.81 for v in values)
+
+
+class TestLoad:
+    def test_load_dataset_creates_virtual_objects(self, kernel):
+        from repro.cos import CloudObjectStorage
+
+        store = CloudObjectStorage(kernel)
+        loaded = airbnb.load_dataset(store, total_size=33_000)
+        assert len(loaded) == 33
+        keys = store.list_keys(airbnb.DEFAULT_BUCKET)
+        assert all(k.startswith("reviews/") and k.endswith(".csv") for k in keys)
+        obj = store.get_object(airbnb.DEFAULT_BUCKET, keys[0])
+        assert obj.is_virtual
+        assert obj.metadata["city"] in airbnb.CITIES

@@ -1,0 +1,37 @@
+"""Tests for the synthetic word corpus."""
+
+from __future__ import annotations
+
+from repro.cos import CloudObjectStorage
+from repro.datasets import words
+
+
+class TestGeneration:
+    def test_document_word_count(self):
+        assert len(words.generate_document(100).split()) == 100
+
+    def test_deterministic(self):
+        assert words.generate_document(50, seed=3) == words.generate_document(50, seed=3)
+
+    def test_seeds_differ(self):
+        assert words.generate_document(50, seed=1) != words.generate_document(50, seed=2)
+
+    def test_corpus_shape(self):
+        corpus = words.generate_corpus(5, words_per_doc=20)
+        assert len(corpus) == 5
+        assert all(len(doc.split()) == 20 for doc in corpus)
+
+
+class TestLoad:
+    def test_load_corpus(self, kernel):
+        store = CloudObjectStorage(kernel)
+        keys = words.load_corpus(store, n_docs=4, words_per_doc=10)
+        assert len(keys) == 4
+        for key in keys:
+            doc = store.get_object("corpus", key).read().decode()
+            assert len(doc.split()) == 10
+
+    def test_custom_bucket(self, kernel):
+        store = CloudObjectStorage(kernel)
+        words.load_corpus(store, bucket="texts", n_docs=1)
+        assert store.bucket_exists("texts")

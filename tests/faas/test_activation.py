@@ -1,0 +1,91 @@
+"""Unit tests for activation records and namespaces/actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faas.action import Action, Namespace
+from repro.faas.activation import ActivationRecord, ActivationStatus
+from repro.faas.errors import ActionNotFound
+
+
+def make_record(**kwargs) -> ActivationRecord:
+    defaults = dict(
+        activation_id="act-1",
+        namespace="guest",
+        action_name="fn",
+        submit_time=10.0,
+    )
+    defaults.update(kwargs)
+    return ActivationRecord(**defaults)
+
+
+class TestActivationRecord:
+    def test_unfinished_properties(self):
+        record = make_record()
+        assert not record.finished
+        assert record.wait_time is None
+        assert record.duration is None
+
+    def test_wait_time_and_duration(self):
+        record = make_record(start_time=12.0, end_time=30.0)
+        assert record.wait_time == pytest.approx(2.0)
+        assert record.duration == pytest.approx(18.0)
+
+    def test_interval_requires_finish(self):
+        with pytest.raises(ValueError):
+            make_record().interval()
+        assert make_record(start_time=1.0, end_time=2.0).interval() == (1.0, 2.0)
+
+    def test_status_constants(self):
+        assert set(ActivationStatus.ALL) == {"success", "error", "timeout"}
+
+    def test_logs_default_independent(self):
+        a, b = make_record(), make_record(activation_id="act-2")
+        a.logs.append((0.0, "x"))
+        assert b.logs == []
+
+
+class TestNamespace:
+    def make_action(self, name="fn"):
+        return Action(
+            namespace="guest",
+            name=name,
+            handler=lambda p, c: None,
+            runtime="python-jessie:3",
+            memory_mb=256,
+            timeout_s=600,
+        )
+
+    def test_put_get(self):
+        ns = Namespace("guest")
+        action = self.make_action()
+        ns.put(action)
+        assert ns.get("fn") is action
+
+    def test_get_missing(self):
+        ns = Namespace("guest")
+        with pytest.raises(ActionNotFound, match="guest/ghost"):
+            ns.get("ghost")
+
+    def test_delete(self):
+        ns = Namespace("guest")
+        ns.put(self.make_action())
+        ns.delete("fn")
+        with pytest.raises(ActionNotFound):
+            ns.get("fn")
+
+    def test_delete_missing(self):
+        with pytest.raises(ActionNotFound):
+            Namespace("guest").delete("nope")
+
+    def test_put_replaces(self):
+        ns = Namespace("guest")
+        first = self.make_action()
+        second = self.make_action()
+        ns.put(first)
+        ns.put(second)
+        assert ns.get("fn") is second
+
+    def test_fqn(self):
+        assert self.make_action().fqn == "guest/fn"

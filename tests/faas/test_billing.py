@@ -1,0 +1,97 @@
+"""Tests for sub-second billing metering."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.faas.billing import (
+    PRICE_PER_GB_SECOND,
+    BillingEntry,
+    BillingMeter,
+    billed_duration,
+)
+
+
+class TestBilledDuration:
+    @pytest.mark.parametrize(
+        "duration,expected",
+        [
+            (0.0, 0.1),
+            (0.01, 0.1),
+            (0.1, 0.1),
+            (0.15, 0.2),
+            (1.0, 1.0),
+            (59.99, 60.0),
+        ],
+    )
+    def test_rounds_up_to_100ms(self, duration, expected):
+        assert billed_duration(duration) == pytest.approx(expected)
+
+    def test_negative_clamped_to_minimum(self):
+        assert billed_duration(-5) == 0.1
+
+
+class TestEntry:
+    def test_gb_seconds(self):
+        entry = BillingEntry("act-1", "fn", memory_mb=512, duration_s=10.0)
+        assert entry.gb_seconds == pytest.approx(5.0)
+
+    def test_cost(self):
+        entry = BillingEntry("act-1", "fn", memory_mb=1024, duration_s=100.0)
+        assert entry.cost == pytest.approx(100.0 * PRICE_PER_GB_SECOND)
+
+
+class TestMeter:
+    def test_aggregation(self):
+        meter = BillingMeter()
+        meter.record("a1", "map_fn", 256, 4.0)
+        meter.record("a2", "map_fn", 256, 4.0)
+        meter.record("a3", "reduce_fn", 512, 2.0)
+        assert meter.activations == 3
+        assert meter.total_gb_seconds() == pytest.approx(1.0 + 1.0 + 1.0)
+        by_action = meter.by_action()
+        assert by_action["map_fn"] == pytest.approx(2.0)
+        assert by_action["reduce_fn"] == pytest.approx(1.0)
+
+    def test_empty_meter(self):
+        meter = BillingMeter()
+        assert meter.total_cost() == 0.0
+        assert meter.by_action() == {}
+
+
+class TestPlatformIntegration:
+    def test_every_activation_metered(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def busy(x):
+                pw.sleep(10)
+                return x
+
+            executor.get_result(executor.map(busy, [1, 2, 3]))
+            return env.platform.billing.activations, env.platform.billing.total_gb_seconds()
+
+        activations, gbs = env.run(main)
+        assert activations == 3
+        # 3 functions x ~10 s x 256 MB = ~7.5 GB-s
+        assert gbs == pytest.approx(7.5, rel=0.05)
+
+    def test_parallel_speedup_costs_roughly_the_same_compute(self, cloud):
+        """Serverless economics: 10 functions x 10 s bill like 1 x 100 s."""
+
+        def run(n, seconds):
+            env = cloud(seed=n)
+
+            def main():
+                executor = pw.ibm_cf_executor()
+
+                def busy(_):
+                    pw.sleep(seconds)
+
+                executor.get_result(executor.map(busy, [0] * n))
+                return env.platform.billing.total_gb_seconds()
+
+            return env.run(main)
+
+        assert run(10, 10.0) == pytest.approx(run(1, 100.0), rel=0.05)

@@ -1,0 +1,254 @@
+"""Unit tests for the Cloud Functions controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cos import CloudObjectStorage
+from repro.faas import (
+    ActionNotFound,
+    ActivationNotFound,
+    ActivationStatus,
+    CloudFunctions,
+    NamespaceNotFound,
+    RuntimeNotFound,
+    SystemLimits,
+    ThrottledError,
+)
+from repro.vtime import gather
+
+
+@pytest.fixture()
+def platform(kernel) -> CloudFunctions:
+    store = CloudObjectStorage(kernel)
+    return CloudFunctions(kernel, store, seed=3)
+
+
+def deploy_echo(platform, name="echo", **kwargs):
+    def handler(params, ctx):
+        return params
+
+    return platform.create_action("guest", name, handler, **kwargs)
+
+
+class TestActionManagement:
+    def test_create_and_invoke(self, kernel, platform):
+        deploy_echo(platform)
+
+        def main():
+            aid = platform.invoke("guest", "echo", {"v": 1})
+            record = platform.wait_activation(aid)
+            return record.status, record.result
+
+        assert kernel.run(main) == (ActivationStatus.SUCCESS, {"v": 1})
+
+    def test_unknown_runtime_rejected(self, platform):
+        with pytest.raises(RuntimeNotFound):
+            deploy_echo(platform, runtime="ghost:1")
+
+    def test_memory_above_cap_rejected(self, platform):
+        with pytest.raises(ValueError):
+            deploy_echo(platform, memory_mb=1024)
+
+    def test_default_memory_applied(self, platform):
+        action = deploy_echo(platform)
+        assert action.memory_mb == platform.limits.default_memory_mb
+
+    def test_timeout_clamped_to_platform_limit(self, platform):
+        action = deploy_echo(platform, timeout_s=10_000)
+        assert action.timeout_s == platform.limits.max_exec_seconds
+
+    def test_invoke_unknown_action(self, kernel, platform):
+        deploy_echo(platform)
+
+        def main():
+            with pytest.raises(ActionNotFound):
+                platform.invoke("guest", "ghost", {})
+            return True
+
+        assert kernel.run(main)
+
+    def test_invoke_unknown_namespace(self, kernel, platform):
+        def main():
+            with pytest.raises(NamespaceNotFound):
+                platform.invoke("nobody", "fn", {})
+            return True
+
+        assert kernel.run(main)
+
+    def test_namespace_lists_actions(self, platform):
+        deploy_echo(platform, "b_fn")
+        deploy_echo(platform, "a_fn")
+        assert platform.namespace("guest").list_actions() == ["a_fn", "b_fn"]
+
+
+class TestExecution:
+    def test_handler_error_recorded(self, kernel, platform):
+        def bad(params, ctx):
+            raise ValueError("user bug")
+
+        platform.create_action("guest", "bad", bad)
+
+        def main():
+            record = platform.wait_activation(platform.invoke("guest", "bad", {}))
+            return record.status, record.error
+
+        status, error = kernel.run(main)
+        assert status == ActivationStatus.ERROR
+        assert "user bug" in error
+
+    def test_timeout_labelled_and_clamped(self, kernel, platform):
+        def slow(params, ctx):
+            ctx.sleep(100)
+            return "never"
+
+        platform.create_action("guest", "slow", slow, timeout_s=30)
+
+        def main():
+            record = platform.wait_activation(platform.invoke("guest", "slow", {}))
+            return record.status, record.duration, record.result
+
+        status, duration, result = kernel.run(main)
+        assert status == ActivationStatus.TIMEOUT
+        assert duration == pytest.approx(30.0)
+        assert result is None
+
+    def test_cold_then_warm(self, kernel, platform):
+        deploy_echo(platform)
+
+        def main():
+            first = platform.wait_activation(platform.invoke("guest", "echo", {}))
+            second = platform.wait_activation(platform.invoke("guest", "echo", {}))
+            return first.cold_start, second.cold_start
+
+        assert kernel.run(main) == (True, False)
+
+    def test_cold_start_costs_time_warm_does_not(self, kernel, platform):
+        deploy_echo(platform)
+
+        def main():
+            r1 = platform.wait_activation(platform.invoke("guest", "echo", {}))
+            r2 = platform.wait_activation(platform.invoke("guest", "echo", {}))
+            return r1.wait_time, r2.wait_time
+
+        cold_wait, warm_wait = kernel.run(main)
+        assert cold_wait > warm_wait
+
+    def test_custom_runtime_pull_once_per_node(self, kernel, platform):
+        platform.registry.build_custom_runtime(
+            "u/extra:1", owner="u", extra_packages=["matplotlib"]
+        )
+        deploy_echo(platform, "custom", runtime="u/extra:1")
+
+        def main():
+            r1 = platform.wait_activation(platform.invoke("guest", "custom", {}))
+            r2 = platform.wait_activation(platform.invoke("guest", "custom", {}))
+            return r1.image_pulled, r2.image_pulled, r1.wait_time, r2.wait_time
+
+        pulled1, pulled2, wait1, wait2 = kernel.run(main)
+        assert pulled1 is True
+        assert pulled2 is False  # warm container: no second pull
+        assert wait1 > wait2
+
+    def test_activation_record_fields(self, kernel, platform):
+        deploy_echo(platform)
+
+        def main():
+            return platform.wait_activation(platform.invoke("guest", "echo", {"a": 1}))
+
+        record = kernel.run(main)
+        assert record.activation_id.startswith("act-")
+        assert record.invoker_id is not None
+        assert record.container_id.startswith("wsk-cont-")
+        assert record.finished
+        start, end = record.interval()
+        assert end >= start >= record.submit_time
+
+    def test_unknown_activation(self, platform):
+        with pytest.raises(ActivationNotFound):
+            platform.get_activation("act-xxx")
+        with pytest.raises(ActivationNotFound):
+            platform.wait_activation("act-xxx")
+
+
+class TestConcurrencyLimit:
+    def test_throttled_over_limit(self, kernel):
+        store = CloudObjectStorage(kernel)
+        platform = CloudFunctions(
+            kernel, store, limits=SystemLimits(max_concurrent=2)
+        )
+
+        def slow(params, ctx):
+            ctx.sleep(50)
+
+        platform.create_action("guest", "slow", slow)
+
+        def main():
+            platform.invoke("guest", "slow", {})
+            platform.invoke("guest", "slow", {})
+            with pytest.raises(ThrottledError):
+                platform.invoke("guest", "slow", {})
+            return platform.throttled_total
+
+        assert kernel.run(main) == 1
+
+    def test_slot_freed_after_completion(self, kernel):
+        store = CloudObjectStorage(kernel)
+        platform = CloudFunctions(
+            kernel, store, limits=SystemLimits(max_concurrent=1)
+        )
+
+        def quick(params, ctx):
+            ctx.sleep(1)
+            return "ok"
+
+        platform.create_action("guest", "quick", quick)
+
+        def main():
+            first = platform.invoke("guest", "quick", {})
+            platform.wait_activation(first)
+            second = platform.invoke("guest", "quick", {})
+            return platform.wait_activation(second).status
+
+        assert kernel.run(main) == ActivationStatus.SUCCESS
+
+    def test_peak_active_tracked(self, kernel, platform):
+        def slow(params, ctx):
+            ctx.sleep(10)
+
+        platform.create_action("guest", "slow", slow)
+
+        def main():
+            tasks = [
+                kernel.spawn(platform.invoke, "guest", "slow", {})
+                for _ in range(5)
+            ]
+            gather(tasks)
+            for record in platform.activations():
+                platform.wait_activation(record.activation_id)
+            return platform.peak_active
+
+        assert kernel.run(main) == 5
+
+    def test_capacity_queueing_when_cluster_full(self, kernel):
+        """More activations than cluster memory: extras wait, all finish."""
+        store = CloudObjectStorage(kernel)
+        limits = SystemLimits(
+            max_concurrent=100, invoker_count=1, invoker_memory_mb=512
+        )  # room for only 2 x 256 MB containers
+        platform = CloudFunctions(kernel, store, limits=limits)
+
+        def slow(params, ctx):
+            ctx.sleep(10)
+            return "done"
+
+        platform.create_action("guest", "slow", slow)
+
+        def main():
+            ids = [platform.invoke("guest", "slow", {}) for _ in range(6)]
+            records = [platform.wait_activation(aid) for aid in ids]
+            assert all(r.status == ActivationStatus.SUCCESS for r in records)
+            return kernel.now()
+
+        # 6 functions, 2 at a time, 10 s each -> >= 30 s
+        assert kernel.run(main) >= 30.0

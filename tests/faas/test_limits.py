@@ -1,0 +1,45 @@
+"""Unit tests for platform limits (§3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faas import SystemLimits
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        """§3: 600 s execution, 512 MB RAM cap, 1,000 concurrent."""
+        limits = SystemLimits()
+        assert limits.max_exec_seconds == 600.0
+        assert limits.max_memory_mb == 512
+        assert limits.max_concurrent == 1000
+
+    def test_defaults_validate(self):
+        SystemLimits().validate()
+
+    def test_cluster_capacity_covers_concurrency(self):
+        limits = SystemLimits()
+        assert limits.cluster_capacity >= limits.max_concurrent
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_exec_seconds": 0},
+            {"max_exec_seconds": -1},
+            {"default_memory_mb": 0},
+            {"default_memory_mb": 1024},  # above max_memory_mb
+            {"max_concurrent": 0},
+            {"invoker_count": 0},
+            {"invoker_memory_mb": 0},
+        ],
+    )
+    def test_invalid_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SystemLimits(**kwargs).validate()
+
+    def test_raised_concurrency_allowed(self):
+        """'the number of concurrent functions can be increased if needed'"""
+        SystemLimits(max_concurrent=5000).validate()

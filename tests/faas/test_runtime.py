@@ -1,0 +1,87 @@
+"""Unit tests for runtimes and the image registry (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faas import DEFAULT_RUNTIME_NAME, RuntimeImage, RuntimeRegistry
+from repro.faas.errors import RuntimeNotFound
+
+
+class TestRegistry:
+    def test_default_runtime_preinstalled(self):
+        registry = RuntimeRegistry()
+        image = registry.get(DEFAULT_RUNTIME_NAME)
+        assert image.name == "python-jessie:3"
+        assert image.has_package("numpy")
+
+    def test_get_missing_raises_with_catalog(self):
+        registry = RuntimeRegistry()
+        with pytest.raises(RuntimeNotFound, match="python-jessie:3"):
+            registry.get("ghost:1")
+
+    def test_publish_and_get(self):
+        registry = RuntimeRegistry()
+        registry.publish(RuntimeImage(name="me/custom:1", owner="me"))
+        assert registry.get("me/custom:1").owner == "me"
+
+    def test_publish_same_name_overwrites(self):
+        registry = RuntimeRegistry()
+        registry.publish(RuntimeImage(name="x:1", size_mb=100))
+        registry.publish(RuntimeImage(name="x:1", size_mb=200))
+        assert registry.get("x:1").size_mb == 200
+
+    def test_list_images_sorted(self):
+        registry = RuntimeRegistry()
+        registry.publish(RuntimeImage(name="zzz:1"))
+        registry.publish(RuntimeImage(name="aaa:1"))
+        assert registry.list_images() == ["aaa:1", DEFAULT_RUNTIME_NAME, "zzz:1"]
+
+    def test_exists(self):
+        registry = RuntimeRegistry()
+        assert registry.exists(DEFAULT_RUNTIME_NAME)
+        assert not registry.exists("nope")
+
+
+class TestCustomRuntimes:
+    def test_build_custom_adds_packages(self):
+        """The §3.1 matplotlib workflow."""
+        registry = RuntimeRegistry()
+        image = registry.build_custom_runtime(
+            "alice/matplotlib:1", owner="alice", extra_packages=["matplotlib"]
+        )
+        assert image.has_package("matplotlib")
+        assert image.has_package("numpy")  # base packages kept
+        assert registry.exists("alice/matplotlib:1")  # shared via registry
+
+    def test_custom_image_larger_than_base(self):
+        registry = RuntimeRegistry()
+        base = registry.get(DEFAULT_RUNTIME_NAME)
+        image = registry.build_custom_runtime(
+            "u/big:1", owner="u", extra_packages=["matplotlib", "torch"]
+        )
+        assert image.size_mb > base.size_mb
+
+    def test_existing_package_does_not_grow_image(self):
+        registry = RuntimeRegistry()
+        base = registry.get(DEFAULT_RUNTIME_NAME)
+        image = registry.build_custom_runtime(
+            "u/same:1", owner="u", extra_packages=["numpy"]
+        )
+        assert image.size_mb == base.size_mb
+
+    def test_custom_python_version(self):
+        registry = RuntimeRegistry()
+        image = registry.build_custom_runtime(
+            "u/py39:1", owner="u", extra_packages=[], python_version="3.9"
+        )
+        assert image.python_version == "3.9"
+
+    def test_derive_from_custom_base(self):
+        registry = RuntimeRegistry()
+        registry.build_custom_runtime("a/x:1", owner="a", extra_packages=["pkg1"])
+        image = registry.build_custom_runtime(
+            "b/y:1", owner="b", extra_packages=["pkg2"], base="a/x:1"
+        )
+        assert image.has_package("pkg1")
+        assert image.has_package("pkg2")

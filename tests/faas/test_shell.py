@@ -1,0 +1,99 @@
+"""Tests for the wsk-style shell."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.faas.shell import ShellError, WskShell
+
+
+@pytest.fixture()
+def ran_env(cloud):
+    """An environment with one completed map job."""
+    env = cloud()
+
+    def main():
+        executor = pw.ibm_cf_executor()
+
+        def task(x):
+            return x + 1
+
+        executor.get_result(executor.map(task, [1, 2, 3]))
+        return None
+
+    env.run(main)
+    return env
+
+
+class TestShellCommands:
+    def test_action_list(self, ran_env):
+        out = WskShell(ran_env).run("action list")
+        assert "pywren_runner" in out
+        assert "256MB" in out
+
+    def test_action_get(self, ran_env):
+        shell = WskShell(ran_env)
+        name = ran_env.platform.namespace("guest").list_actions()[0]
+        out = shell.run(f"action get {name}")
+        assert "runtime:   python-jessie:3" in out
+        assert "timeout:   600s" in out
+
+    def test_activation_list_and_get(self, ran_env):
+        shell = WskShell(ran_env)
+        listing = shell.run("activation list --limit 5")
+        assert "act-" in listing
+        activation_id = ran_env.platform.activations()[0].activation_id
+        detail = shell.run(f"activation get {activation_id}")
+        assert "status:     success" in detail
+        assert "cold start:" in detail
+
+    def test_activation_result(self, ran_env):
+        shell = WskShell(ran_env)
+        activation_id = ran_env.platform.activations()[0].activation_id
+        out = shell.run(f"activation result {activation_id}")
+        assert "success" in out or "call_id" in out
+
+    def test_activation_logs_empty(self, ran_env):
+        shell = WskShell(ran_env)
+        activation_id = ran_env.platform.activations()[0].activation_id
+        assert shell.run(f"activation logs {activation_id}") == "(no logs)"
+
+    def test_runtime_list(self, ran_env):
+        out = WskShell(ran_env).run("runtime list")
+        assert "python-jessie:3" in out
+        assert "python 3.6" in out
+
+    def test_namespace_list(self, ran_env):
+        assert "/guest" in WskShell(ran_env).run("namespace list")
+
+    def test_billing_summary(self, ran_env):
+        out = WskShell(ran_env).run("billing summary")
+        assert "activations: 3" in out
+        assert "GB-seconds" in out
+
+    def test_property_get(self, ran_env):
+        out = WskShell(ran_env).run("property get")
+        assert "max_concurrent:    1000" in out
+
+
+class TestShellErrors:
+    def test_unknown_command(self, ran_env):
+        with pytest.raises(ShellError, match="unknown command"):
+            WskShell(ran_env).run("frobnicate everything")
+
+    def test_too_short(self, ran_env):
+        with pytest.raises(ShellError, match="commands:"):
+            WskShell(ran_env).run("action")
+
+    def test_unknown_activation(self, ran_env):
+        with pytest.raises(ShellError, match="no activation"):
+            WskShell(ran_env).run("activation get act-nope")
+
+    def test_action_get_requires_name(self, ran_env):
+        with pytest.raises(ShellError, match="usage"):
+            WskShell(ran_env).run("action get")
+
+    def test_unparsable_quotes(self, ran_env):
+        with pytest.raises(ShellError, match="unparsable"):
+            WskShell(ran_env).run('action get "unterminated')

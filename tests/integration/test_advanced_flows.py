@@ -1,0 +1,156 @@
+"""Advanced flow integration tests: futures across boundaries, chaining,
+cost accounting, timeline artifacts."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro as pw
+
+
+class TestFuturesAcrossBoundaries:
+    def test_pickled_future_resolvable_after_rebinding(self, env):
+        """Futures are pure references: a pickled copy, re-bound to the
+        same internal storage, resolves to the same result."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            future = executor.call_async(lambda x: x * 3, 14)
+            future.result()
+            clone = pickle.loads(pickle.dumps(future))
+            assert not clone.bound
+            clone.bind(executor._storage, executor.config.poll_interval)
+            return clone.result()
+
+        assert env.run(main) == 42
+
+    def test_future_returned_through_cos_resolves(self, env):
+        """A function can hand its *own* job's future to another function."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def producer(_):
+                inner = pw.ibm_cf_executor()
+                return inner.call_async(lambda x: "payload", None)
+
+            future = executor.call_async(producer, None)
+            return future.result()
+
+        assert env.run(main) == "payload"
+
+
+class TestChainedJobs:
+    def test_map_output_feeds_next_map(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            stage1 = executor.get_result(executor.map(lambda x: x * 2, [1, 2, 3]))
+            stage2 = executor.get_result(executor.map(lambda x: x + 1, stage1))
+            return stage2
+
+        assert env.run(main) == [3, 5, 7]
+
+    def test_fan_in_via_map_reduce_of_map_results(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            partials = executor.get_result(
+                executor.map(lambda x: x**2, list(range(10)))
+            )
+            reducer = executor.map_reduce(
+                lambda x: x, partials, lambda rs: sum(rs)
+            )
+            return executor.get_result(reducer)
+
+        assert env.run(main) == sum(x**2 for x in range(10))
+
+    def test_deep_sequence_chain(self, env):
+        def main():
+            fns = [lambda x, i=i: x + i for i in range(6)]
+            return pw.sequence(fns, 0).result()
+
+        assert env.run(main) == sum(range(6))
+
+
+class TestCostAccounting:
+    def test_table3_style_job_reports_cost(self, env):
+        env.storage.create_bucket("mini")
+        env.storage.put_object("mini", "obj", b"x" * 4000)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def busy_map(partition):
+                pw.sleep(20)
+                return partition.size
+
+            reducer = executor.map_reduce(
+                busy_map, "cos://mini", sum, chunk_size=1000
+            )
+            total = executor.get_result(reducer)
+            billing = env.platform.billing
+            return total, billing.activations, billing.total_gb_seconds()
+
+        total, activations, gbs = env.run(main)
+        assert total == 4000
+        assert activations == 5  # 4 maps + 1 reducer
+        # 4 maps x ~20s x 0.25 GB plus a short reducer
+        assert gbs > 4 * 20 * 0.25
+
+    def test_cost_by_action_separates_runner_and_invoker(self, env):
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode="massive")
+            executor.get_result(executor.map(lambda x: x, list(range(20))))
+            return env.platform.billing.by_action()
+
+        by_action = env.run(main)
+        assert any(name.startswith("pywren_runner") for name in by_action)
+        assert "pywren_remote_invoker" in by_action
+
+
+class TestTimelineArtifacts:
+    def test_fig3_style_svg_from_job(self, env):
+        from repro.analytics import intervals_from_records, render_execution_timeline
+
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode="massive")
+
+            def busy(_):
+                pw.sleep(60)
+
+            executor.get_result(executor.map(busy, [0] * 30))
+            intervals = intervals_from_records(
+                env.platform.activations(), action_prefix="pywren_runner"
+            )
+            return render_execution_timeline(intervals, title="Fig3 style")
+
+        svg = env.run(main)
+        assert "30 functions" in svg
+        assert "peak concurrency: 30" in svg
+
+
+class TestJobStatsIntegration:
+    def test_stats_match_activation_records(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def busy(_):
+                pw.sleep(25)
+
+            futures = executor.map(busy, [0] * 8)
+            executor.get_result(futures)
+            stats = pw.collect_job_stats(futures)
+            records = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ]
+            record_max = max(r.end_time - r.start_time for r in records)
+            return stats, record_max
+
+        stats, record_max = env.run(main)
+        assert stats.n_calls == 8
+        # status times bracket the user function; the activation record
+        # additionally includes the worker's COS fetches (~tens of ms)
+        assert stats.max_duration == pytest.approx(record_max, abs=0.5)

@@ -1,0 +1,78 @@
+"""Stress: concurrent executors and client tasks sharing one cloud."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.vtime import gather
+
+
+class TestConcurrentExecutors:
+    def test_parallel_client_tasks_each_with_own_executor(self, env):
+        """Five concurrent 'users' (kernel tasks) run disjoint jobs."""
+
+        def main():
+            def user(uid):
+                executor = pw.ibm_cf_executor()
+                futures = executor.map(
+                    lambda x: x * 100, [uid * 10 + i for i in range(8)]
+                )
+                return executor.get_result(futures)
+
+            tasks = [
+                env.kernel.spawn(user, uid, name=f"user-{uid}")
+                for uid in range(5)
+            ]
+            return gather(tasks)
+
+        results = env.run(main)
+        for uid, values in enumerate(results):
+            assert values == [(uid * 10 + i) * 100 for i in range(8)]
+
+    def test_interleaved_jobs_one_executor(self, env):
+        """One executor, three jobs submitted before any result collected."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            a = executor.map(lambda x: ("a", x), [1, 2])
+            b = executor.map(lambda x: ("b", x), [3])
+            c = executor.call_async(lambda x: ("c", x), 4)
+            return (
+                executor.get_result(a),
+                executor.get_result(b),
+                executor.get_result(c),
+            )
+
+        a, b, c = env.run(main)
+        assert a == [("a", 1), ("a", 2)]
+        assert b == [("b", 3)]
+        assert c == ("c", 4)
+
+    def test_shared_platform_counters_consistent(self, env):
+        def main():
+            def user(_uid):
+                executor = pw.ibm_cf_executor()
+                executor.get_result(executor.map(lambda x: x, list(range(10))))
+
+            gather([env.kernel.spawn(user, uid) for uid in range(4)])
+            records = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ]
+            return len(records), env.platform.active_count
+
+        total, active = env.run(main)
+        assert total == 40
+        assert active == 0  # everything drained
+
+    def test_push_and_polling_executors_coexist(self, env):
+        def main():
+            poll_exec = pw.ibm_cf_executor()
+            push_exec = pw.ibm_cf_executor(monitoring="mq_push")
+            pf = poll_exec.map(lambda x: x + 1, [1, 2])
+            qf = push_exec.map(lambda x: x - 1, [1, 2])
+            return poll_exec.get_result(pf), push_exec.get_result(qf)
+
+        assert env.run(main) == ([2, 3], [0, 1])

@@ -1,0 +1,136 @@
+"""CPU-contention modelling and end-to-end multi-tenant auth."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.core.environment import CloudEnvironment
+from repro.faas import SystemLimits
+from repro.faas.iam import AuthenticationError
+
+
+class TestComputeContention:
+    def test_compute_equals_sleep_when_contention_off(self, cloud):
+        env = cloud()
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def task(_):
+                pw.compute(30)
+                return pw.now()
+
+            futures = executor.map(task, [0])
+            executor.get_result(futures)
+            stats = pw.collect_job_stats(futures)
+            return stats.max_duration
+
+        assert env.run(main) == pytest.approx(30.0, abs=0.1)
+
+    def test_compute_outside_kernel_falls_back(self):
+        import time
+
+        t0 = time.monotonic()
+        pw.compute(0.01)
+        assert time.monotonic() - t0 < 1.0
+
+    def test_contention_slows_functions_on_loaded_cluster(self):
+        """With contention on, a packed cluster inflates compute times —
+        §6.2's 'some functions ran fast while others slow'."""
+
+        def run(n_functions, coeff):
+            limits = SystemLimits(
+                invoker_count=2, invoker_memory_mb=51_200
+            )  # small cluster: 2 x 200 containers
+            env = CloudEnvironment.create(limits=limits, seed=13)
+            env.platform.contention_coeff = coeff
+
+            def main():
+                executor = pw.ibm_cf_executor(invoker_mode="massive")
+
+                def task(_):
+                    pw.compute(60)
+
+                futures = executor.map(task, [0] * n_functions)
+                executor.get_result(futures)
+                stats = pw.collect_job_stats(futures)
+                return stats.mean_duration, stats.max_duration
+
+            return env.run(main)
+
+        mean_off, _max_off = run(100, coeff=0.0)
+        mean_on, max_on = run(100, coeff=0.5)
+        assert mean_off == pytest.approx(60.0, abs=0.5)
+        assert mean_on > 61.0  # loaded nodes inflate compute
+        assert max_on > mean_on  # and unevenly (variability)
+
+    def test_contention_proportional_to_load(self):
+        """A lone function on an idle cluster is barely affected."""
+        env = CloudEnvironment.create(seed=14)
+        env.platform.contention_coeff = 0.5
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def task(_):
+                pw.compute(60)
+
+            futures = executor.map(task, [0])
+            executor.get_result(futures)
+            return pw.collect_job_stats(futures).max_duration
+
+        assert env.run(main) == pytest.approx(60.0, rel=0.01)
+
+
+class TestMultiTenantPyWren:
+    def test_executor_with_credentials_on_locked_platform(self, cloud):
+        env = cloud()
+        env.platform.require_auth = True
+        env.credentials = env.platform.iam.create_api_key(env.config.namespace)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return executor.get_result(executor.map(lambda x: x + 1, [1, 2]))
+
+        assert env.run(main) == [2, 3]
+
+    def test_executor_without_credentials_rejected(self, cloud):
+        env = cloud()
+        env.platform.require_auth = True
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(AuthenticationError):
+                executor.map(lambda x: x, [1])
+            return True
+
+        assert env.run(main)
+
+    def test_massive_spawning_works_under_auth(self, cloud):
+        """Remote invoker functions act with the platform's own identity."""
+        env = cloud()
+        env.platform.require_auth = True
+        env.credentials = env.platform.iam.create_api_key(env.config.namespace)
+
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode="massive")
+            return executor.get_result(executor.map(lambda x: x * 3, [1, 2, 3]))
+
+        assert env.run(main) == [3, 6, 9]
+
+    def test_nested_executors_work_under_auth(self, cloud):
+        env = cloud()
+        env.platform.require_auth = True
+        env.credentials = env.platform.iam.create_api_key(env.config.namespace)
+
+        def main():
+            def fan_out(_):
+                executor = pw.ibm_cf_executor()
+                return executor.map(lambda x: x + 10, [1, 2])
+
+            executor = pw.ibm_cf_executor()
+            executor.call_async(fan_out, None)
+            return executor.get_result()
+
+        assert env.run(main) == [11, 12]

@@ -1,0 +1,99 @@
+"""Container-crash injection and client-side recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.core.errors import ResultTimeoutError
+from repro.core.environment import CloudEnvironment
+
+
+class TestCrashInjection:
+    def test_crashed_activations_recorded_as_infrastructure_errors(self):
+        env = CloudEnvironment.create(seed=5, crash_prob=0.5)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(lambda x: x, list(range(30)))
+            try:
+                executor.wait(timeout=60)
+            except ResultTimeoutError:
+                pass
+            records = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ]
+            crashed = [r for r in records if r.error and "crashed" in r.error]
+            return len(records), len(crashed)
+
+        total, crashed = env.run(main)
+        assert total == 30
+        assert 5 <= crashed <= 25  # ~50% +/- noise
+
+    def test_crashed_calls_write_no_status(self):
+        env = CloudEnvironment.create(seed=6, crash_prob=1.0)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda x: x, [1, 2])
+            with pytest.raises(ResultTimeoutError):
+                executor.wait(futures, timeout=30)
+            return [f.done() for f in futures]
+
+        assert env.run(main) == [False, False]
+
+    def test_invalid_crash_prob(self):
+        with pytest.raises(ValueError):
+            CloudEnvironment.create(crash_prob=1.5)
+
+
+class TestRetryMissing:
+    def test_recovery_loop_completes_under_crashes(self):
+        """wait-with-timeout + retry_missing drains a lossy platform."""
+        env = CloudEnvironment.create(seed=7, crash_prob=0.3)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda x: x * 2, list(range(40)))
+            for _round in range(12):
+                try:
+                    done, not_done = executor.wait(futures, timeout=30)
+                except ResultTimeoutError:
+                    not_done = [f for f in futures if not f.done()]
+                if not not_done:
+                    break
+                executor.retry_missing(futures)
+            return executor.get_result(futures)
+
+        assert env.run(main) == [x * 2 for x in range(40)]
+
+    def test_retry_missing_noop_when_all_done(self):
+        env = CloudEnvironment.create(seed=8)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda x: x, [1, 2])
+            executor.wait(futures)
+            return executor.retry_missing(futures)
+
+        assert env.run(main) == []
+
+    def test_duplicate_execution_is_harmless(self):
+        """Speculative re-invocation of live calls converges to one result."""
+        env = CloudEnvironment.create(seed=9)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def slow(x):
+                pw.sleep(30)
+                return x + 1
+
+            futures = executor.map(slow, [41])
+            # retry before the first attempt finished: both attempts run
+            executor.retry_missing(futures)
+            return executor.get_result(futures)
+
+        assert env.run(main) == [42]

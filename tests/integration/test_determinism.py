@@ -1,0 +1,73 @@
+"""Reproducibility: same seed, same virtual-time results."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.bench.fig2_spawning import run_spawning
+from repro.config import InvokerMode
+from repro.core.environment import CloudEnvironment
+
+
+class TestSeededDeterminism:
+    def test_fig2_run_is_reproducible(self):
+        a = run_spawning(InvokerMode.MASSIVE, n_functions=100, task_seconds=5, seed=99)
+        b = run_spawning(InvokerMode.MASSIVE, n_functions=100, task_seconds=5, seed=99)
+        assert a.invocation_phase_s == b.invocation_phase_s
+        assert a.total_s == b.total_s
+        assert a.concurrency == b.concurrency
+
+    def test_different_seeds_differ(self):
+        a = run_spawning(InvokerMode.LOCAL, n_functions=60, task_seconds=5, seed=1)
+        b = run_spawning(InvokerMode.LOCAL, n_functions=60, task_seconds=5, seed=2)
+        assert a.invocation_phase_s != b.invocation_phase_s
+
+    def test_end_to_end_mapreduce_deterministic(self):
+        def run(seed):
+            env = CloudEnvironment.create(seed=seed)
+            env.storage.create_bucket("d")
+            env.storage.put_object("d", "obj", b"w " * 500)
+
+            def count(partition):
+                return len(partition.read().split())
+
+            def main():
+                executor = pw.ibm_cf_executor()
+                reducer = executor.map_reduce(count, "cos://d", sum, chunk_size=100)
+                value = executor.get_result(reducer)
+                return value, pw.now()
+
+            return env.run(main)
+
+        assert run(5) == run(5)
+        value_a, time_a = run(5)
+        value_b, time_b = run(6)
+        assert value_a == value_b  # answers never depend on the seed
+        assert time_a != time_b  # timings do
+
+
+class TestThrottledMassiveSpawning:
+    def test_massive_mode_respects_tight_limit(self, cloud):
+        """Remote invokers also hit 429s and retry in-cloud."""
+        from repro.faas import SystemLimits
+
+        env = cloud(limits=SystemLimits(max_concurrent=8))
+
+        def main():
+            executor = pw.ibm_cf_executor(
+                invoker_mode=InvokerMode.MASSIVE, massive_group_size=5
+            )
+
+            def briefly(x):
+                pw.sleep(2)
+                return x
+
+            futures = executor.map(briefly, list(range(30)))
+            results = executor.get_result(futures)
+            return results, env.platform.peak_active, env.platform.throttled_total
+
+        results, peak, throttled = env.run(main)
+        assert results == list(range(30))
+        assert peak <= 8
+        assert throttled > 0

@@ -1,0 +1,172 @@
+"""End-to-end integration tests across all subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.analytics.tone import analyze_csv_reviews
+from repro.datasets import airbnb, words
+
+
+class TestFig1Flow:
+    """The exact execution flow of the paper's Fig. 1."""
+
+    def test_quickstart(self, env):
+        def my_function(x):
+            return x + 7
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(my_function, [3, 6, 9])
+            return executor.get_result()
+
+        assert env.run(main) == [10, 13, 16]
+
+    def test_code_and_data_travel_through_cos(self, env):
+        """Fig. 1 step 1: 'serializes them and finally stores them into
+        IBM COS' — internal keys must exist after submission."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda x: x, [1, 2])
+            keys = env.storage.list_keys(
+                executor.config.storage_bucket,
+                f"{executor.config.storage_prefix}/{executor.executor_id}/",
+            )
+            executor.get_result(futures)
+            done_keys = env.storage.list_keys(
+                executor.config.storage_bucket,
+                f"{executor.config.storage_prefix}/{executor.executor_id}/",
+            )
+            return keys, done_keys
+
+        keys, done_keys = env.run(main)
+        assert any("/funcs/" in k and k.endswith(".pickle") for k in keys)
+        assert any(k.endswith("aggdata.pickle") for k in keys)
+        assert sum(k.endswith("status.pickle") for k in done_keys) == 2
+        assert sum(k.endswith("result.pickle") for k in done_keys) == 2
+
+    def test_functions_really_execute_in_containers(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda x: x**2, [2, 3])
+            executor.get_result(futures)
+            runners = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ]
+            return [(r.status, r.container_id is not None) for r in runners]
+
+        assert env.run(main) == [("success", True), ("success", True)]
+
+
+class TestAirbnbMini:
+    """The §6.4 use case at test scale: tone maps for 33 cities."""
+
+    def test_full_pipeline(self, cloud):
+        env = cloud()
+        airbnb.load_dataset(env.storage, total_size=330_000)
+
+        def tone_map(partition):
+            stats, points = analyze_csv_reviews(partition.read())
+            return {"key": partition.key, "stats": stats, "points": points[:50]}
+
+        def tone_reduce(results):
+            from repro.analytics.geoplot import render_city_map
+            from repro.analytics.tone import ToneStats
+
+            merged = ToneStats()
+            points = []
+            for part in results:
+                merged.merge(part["stats"])
+                points.extend(part["points"])
+            svg = render_city_map(results[0]["key"], points)
+            return {
+                "key": results[0]["key"],
+                "comments": merged.comments,
+                "svg_ok": svg.startswith("<svg"),
+            }
+
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode="massive")
+            reducers = executor.map_reduce(
+                tone_map,
+                f"cos://{airbnb.DEFAULT_BUCKET}",
+                tone_reduce,
+                chunk_size=4096,
+                reducer_one_per_object=True,
+            )
+            return executor.get_result(reducers)
+
+        summaries = env.run(main)
+        assert len(summaries) == 33
+        assert all(s["svg_ok"] for s in summaries)
+        assert all(s["comments"] > 0 for s in summaries)
+        keys = {s["key"] for s in summaries}
+        assert len(keys) == 33
+
+
+class TestWordcount:
+    def test_wordcount_totals(self, cloud):
+        env = cloud()
+        words.load_corpus(env.storage, n_docs=6, words_per_doc=100)
+
+        def count_words(partition):
+            return len(partition.read().split())
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducer = executor.map_reduce(count_words, "cos://corpus", sum)
+            return executor.get_result(reducer)
+
+        assert env.run(main) == 600
+
+
+class TestMultiExecutor:
+    def test_different_runtimes_in_same_client_code(self, cloud):
+        """§4.1: 'different runtimes in different executor instances in the
+        same client's code'."""
+        env = cloud()
+        env.registry.build_custom_runtime(
+            "team/scipy:1", owner="t", extra_packages=["extra-solver"]
+        )
+
+        def main():
+            default_exec = pw.ibm_cf_executor()
+            custom_exec = pw.ibm_cf_executor(runtime="team/scipy:1")
+            a = default_exec.call_async(lambda x: x + 1, 1)
+            b = custom_exec.call_async(lambda x: x + 2, 1)
+            return a.result(), b.result()
+
+        assert env.run(main) == (2, 3)
+
+    def test_interleaved_jobs_do_not_cross_talk(self, env):
+        def main():
+            ex1 = pw.ibm_cf_executor()
+            ex2 = pw.ibm_cf_executor()
+            f1 = ex1.map(lambda x: ("one", x), [1, 2])
+            f2 = ex2.map(lambda x: ("two", x), [3, 4])
+            return ex1.get_result(f1), ex2.get_result(f2)
+
+        r1, r2 = env.run(main)
+        assert r1 == [("one", 1), ("one", 2)]
+        assert r2 == [("two", 3), ("two", 4)]
+
+
+class TestScale:
+    def test_500_functions_complete(self, cloud):
+        from repro.faas import SystemLimits
+
+        env = cloud(limits=SystemLimits(max_concurrent=600))
+
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode="massive")
+            futures = executor.map(lambda x: x % 7, list(range(500)))
+            results = executor.get_result(futures)
+            return results, env.platform.peak_active
+
+        results, peak = env.run(main)
+        assert results == [x % 7 for x in range(500)]
+        assert peak <= 600

@@ -1,0 +1,185 @@
+"""Failure injection: network failures, throttling, timeouts, bad payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.core.errors import FunctionError
+from repro.faas import SystemLimits
+from repro.net.latency import LatencyModel
+
+
+class TestNetworkFailures:
+    def test_lossy_wan_still_completes(self, cloud):
+        """Heavy transient failure rate: client retries mask it (§5.1)."""
+        env = cloud()
+        env.client_latency = LatencyModel(
+            rtt=0.2, jitter=0.2, failure_prob=0.25, name="flaky-wan"
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda x: x * 2, list(range(20)))
+            return executor.get_result(futures)
+
+        assert env.run(main) == [x * 2 for x in range(20)]
+
+    def test_failures_increase_invocation_time(self, cloud):
+        """'a higher latency also turns into more invocation failures,
+        which further increase the total invocation time'."""
+
+        def run(failure_prob, seed):
+            env = cloud(seed=seed)
+            env.client_latency = LatencyModel(
+                rtt=0.2, jitter=0.0, failure_prob=failure_prob, name="x"
+            )
+
+            def main():
+                executor = pw.ibm_cf_executor()
+                t0 = pw.now()
+                futures = executor.map(lambda x: x, list(range(50)))
+                executor.wait(futures)
+                runners = [
+                    r
+                    for r in env.platform.activations()
+                    if r.action_name.startswith("pywren_runner")
+                ]
+                return max(r.start_time for r in runners) - t0
+
+            return env.run(main)
+
+        clean = run(0.0, seed=21)
+        lossy = run(0.3, seed=21)
+        assert lossy > clean
+
+
+class TestUserCodeFailures:
+    def test_every_call_failing(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def bad(x):
+                raise RuntimeError(f"call {x}")
+
+            futures = executor.map(bad, [1, 2, 3])
+            executor.wait(futures)  # wait works even when all fail
+            errors = []
+            for future in futures:
+                with pytest.raises(FunctionError):
+                    future.result()
+                errors.append(future.state)
+            return errors
+
+        assert env.run(main) == ["error", "error", "error"]
+
+    def test_unserializable_result_reported_as_error(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def returns_lock(_):
+                import threading
+
+                return threading.Lock()
+
+            future = executor.call_async(returns_lock, None)
+            with pytest.raises(FunctionError, match="not serializable"):
+                future.result()
+            return True
+
+        assert env.run(main)
+
+    def test_unserializable_function_fails_fast_on_client(self, env):
+        from repro.core.serializer import SerializationError
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            lock = __import__("threading").Lock()
+
+            def closure_over_lock(_):
+                return lock
+
+            with pytest.raises(SerializationError):
+                executor.call_async(closure_over_lock, None)
+            return True
+
+        assert env.run(main)
+
+    def test_reducer_failure_propagates(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def bad_reduce(results):
+                raise ValueError("reduce failed")
+
+            reducer = executor.map_reduce(lambda x: x, [1, 2], bad_reduce)
+            with pytest.raises(FunctionError):
+                reducer.result()
+            return True
+
+        assert env.run(main)
+
+
+class TestPlatformPressure:
+    def test_timeout_limits_enforced(self, cloud):
+        env = cloud(limits=SystemLimits(max_exec_seconds=30.0))
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def endless(_):
+                pw.sleep(500)
+                return "finished"
+
+            future = executor.call_async(endless, None)
+            env.platform.wait_activation(
+                env.platform.activations()[-1].activation_id
+            )
+            records = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ]
+            return records[0].status
+
+        assert env.run(main) == "timeout"
+
+    def test_more_functions_than_concurrency_limit(self, cloud):
+        """Invocations above the 429 limit retry and eventually all run."""
+        env = cloud(limits=SystemLimits(max_concurrent=10))
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def briefly(x):
+                pw.sleep(2)
+                return x
+
+            futures = executor.map(briefly, list(range(30)))
+            results = executor.get_result(futures)
+            return results, env.platform.peak_active, env.platform.throttled_total
+
+        results, peak, throttled = env.run(main)
+        assert results == list(range(30))
+        assert peak <= 10
+        assert throttled > 0
+
+    def test_cluster_smaller_than_job(self, cloud):
+        """Fewer container slots than calls: queueing, not failure."""
+        env = cloud(
+            limits=SystemLimits(
+                max_concurrent=100, invoker_count=1, invoker_memory_mb=1024
+            )
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def briefly(x):
+                pw.sleep(5)
+                return x
+
+            futures = executor.map(briefly, list(range(12)))
+            return executor.get_result(futures)
+
+        assert env.run(main) == list(range(12))

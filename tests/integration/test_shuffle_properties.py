@@ -1,0 +1,50 @@
+"""Property test: the serverless shuffle agrees with local computation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro as pw
+from repro.core.environment import CloudEnvironment
+from repro.core.shuffle import merge_shuffle_results
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    docs=st.lists(
+        st.lists(st.sampled_from(WORDS), min_size=0, max_size=12),
+        min_size=1,
+        max_size=8,
+    ),
+    n_reducers=st.integers(min_value=1, max_value=5),
+)
+def test_shuffle_wordcount_matches_counter(docs, n_reducers):
+    """For any corpus and reducer count, the distributed count equals the
+    local Counter — the gold-standard oracle for the whole data path."""
+    env = CloudEnvironment.create(seed=len(docs) * 10 + n_reducers)
+    documents = [" ".join(doc) for doc in docs]
+
+    def emit(document):
+        return [(word, 1) for word in document.split()]
+
+    def count(_key, values):
+        return sum(values)
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        reducers = executor.map_reduce_shuffle(
+            emit, documents, count, n_reducers=n_reducers
+        )
+        return merge_shuffle_results(executor.get_result(reducers))
+
+    expected = dict(Counter(w for doc in docs for w in doc))
+    assert env.run(main) == expected

@@ -1,0 +1,62 @@
+"""Unit tests for latency models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net import LatencyModel
+
+
+class TestSampling:
+    def test_no_jitter_returns_rtt(self):
+        model = LatencyModel(rtt=0.1, jitter=0.0)
+        rng = random.Random(0)
+        assert all(model.sample_rtt(rng) == 0.1 for _ in range(10))
+
+    def test_jitter_stays_in_bounds(self):
+        model = LatencyModel(rtt=0.2, jitter=0.5)
+        rng = random.Random(1)
+        for _ in range(500):
+            sample = model.sample_rtt(rng)
+            assert 0.1 <= sample <= 0.3
+
+    def test_samples_never_negative(self):
+        model = LatencyModel(rtt=0.001, jitter=10.0)
+        rng = random.Random(2)
+        assert all(model.sample_rtt(rng) >= 0.0 for _ in range(500))
+
+    def test_failure_probability_zero(self):
+        model = LatencyModel(rtt=0.1, failure_prob=0.0)
+        rng = random.Random(3)
+        assert not any(model.sample_failure(rng) for _ in range(200))
+
+    def test_failure_probability_statistics(self):
+        model = LatencyModel(rtt=0.1, failure_prob=0.1)
+        rng = random.Random(4)
+        failures = sum(model.sample_failure(rng) for _ in range(5000))
+        assert 350 <= failures <= 650  # ~10% +/- noise
+
+    def test_deterministic_given_seeded_rng(self):
+        model = LatencyModel.wan()
+        a = [model.sample_rtt(random.Random(42)) for _ in range(5)]
+        b = [model.sample_rtt(random.Random(42)) for _ in range(5)]
+        assert a == b
+
+
+class TestProfiles:
+    def test_wan_much_slower_than_lan(self):
+        assert LatencyModel.wan().rtt > 20 * LatencyModel.lan().rtt
+
+    def test_wan_has_failures_lan_does_not(self):
+        assert LatencyModel.wan().failure_prob > 0
+        assert LatencyModel.lan().failure_prob == 0
+
+    def test_in_cloud_matches_lan_scale(self):
+        assert LatencyModel.in_cloud().rtt <= LatencyModel.lan().rtt * 2
+
+    def test_profiles_named(self):
+        assert LatencyModel.wan().name == "wan"
+        assert LatencyModel.lan().name == "lan"
+        assert LatencyModel.in_cloud().name == "in-cloud"

@@ -1,0 +1,111 @@
+"""Tests for serverless mergesort (real data, nested parallelism)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as pw
+from repro.sort import local_mergesort, merge, serverless_mergesort
+
+
+class TestMerge:
+    def test_basic(self):
+        assert merge([1, 3, 5], [2, 4]) == [1, 2, 3, 4, 5]
+
+    def test_empty_sides(self):
+        assert merge([], [1, 2]) == [1, 2]
+        assert merge([1, 2], []) == [1, 2]
+        assert merge([], []) == []
+
+    def test_duplicates_stable(self):
+        assert merge([1, 2, 2], [2, 3]) == [1, 2, 2, 2, 3]
+
+    @given(
+        left=st.lists(st.integers(), max_size=50),
+        right=st.lists(st.integers(), max_size=50),
+    )
+    def test_merge_property(self, left, right):
+        assert merge(sorted(left), sorted(right)) == sorted(left + right)
+
+
+class TestLocalMergesort:
+    def test_examples(self):
+        assert local_mergesort([3, 1, 2]) == [1, 2, 3]
+        assert local_mergesort([]) == []
+        assert local_mergesort([1]) == [1]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(), max_size=200))
+    def test_matches_sorted(self, values):
+        assert local_mergesort(values) == sorted(values)
+
+
+class TestServerlessMergesort:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_sorts_correctly_at_every_depth(self, cloud, depth):
+        env = cloud()
+        rng = random.Random(depth)
+        array = [rng.randrange(10_000) for _ in range(500)]
+
+        def main():
+            return serverless_mergesort(array, depth=depth).result()
+
+        assert env.run(main) == sorted(array)
+
+    def test_function_tree_size(self, cloud):
+        env = cloud()
+        array = list(range(64, 0, -1))
+
+        def main():
+            result = serverless_mergesort(array, depth=2).result()
+            runners = [
+                r
+                for r in env.platform.activations()
+                if r.action_name.startswith("pywren_runner")
+            ]
+            return result, len(runners)
+
+        result, n_functions = env.run(main)
+        assert result == sorted(array)
+        assert n_functions == 7  # complete binary tree of depth 2
+
+    def test_negative_depth_rejected(self, cloud):
+        env = cloud()
+
+        def main():
+            with pytest.raises(ValueError):
+                serverless_mergesort([1], depth=-1)
+            return True
+
+        assert env.run(main)
+
+    def test_depth_exceeding_log_n_still_correct(self, cloud):
+        env = cloud()
+
+        def main():
+            return serverless_mergesort([5, 3], depth=3).result()
+
+        assert env.run(main) == [3, 5]
+
+    def test_nonblocking_returns_future(self, cloud):
+        env = cloud()
+
+        def main():
+            future = serverless_mergesort([2, 1], depth=0)
+            assert isinstance(future, pw.ResponseFuture)
+            return future.result()
+
+        assert env.run(main) == [1, 2]
+
+    def test_sorts_strings(self, cloud):
+        env = cloud()
+        array = ["pear", "apple", "fig", "date"]
+
+        def main():
+            return serverless_mergesort(array, depth=1).result()
+
+        assert env.run(main) == sorted(array)

@@ -1,0 +1,109 @@
+"""Tests for the top-level CLI, COS copy, and executor.plot()."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.__main__ import main as repro_main
+from repro.cos import CloudObjectStorage, COSClient
+from repro.net import LatencyModel, NetworkLink
+
+
+class TestTopLevelCli:
+    def test_version(self, capsys):
+        assert repro_main(["version"]) == 0
+        assert pw.__version__ in capsys.readouterr().out
+
+    def test_quickstart(self, capsys):
+        assert repro_main(["quickstart"]) == 0
+        assert "[10, 13, 16]" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert repro_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "sum of squares" in out
+        assert "billing summary" in out
+
+    def test_bench_delegation(self, capsys):
+        assert repro_main(["bench", "table3", "--chunks", "64"]) == 0
+        assert "No / Sequential" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert repro_main(["wat"]) == 2
+
+    def test_no_command_prints_usage(self, capsys):
+        assert repro_main([]) == 2
+        assert "Subcommands" in capsys.readouterr().out
+
+
+class TestCopyObject:
+    def test_copy_bytes_object(self, kernel):
+        def main():
+            store = CloudObjectStorage(kernel)
+            store.create_bucket("a")
+            store.create_bucket("b")
+            store.put_object("a", "src", b"payload", metadata={"k": "v"})
+            copied = store.copy_object("a", "src", "b", "dst")
+            return copied.read(), copied.metadata, store.get_object("b", "dst").size
+
+        data, metadata, size = kernel.run(main)
+        assert data == b"payload"
+        assert metadata == {"k": "v"}
+        assert size == 7
+
+    def test_copy_virtual_object_keeps_generator(self, kernel):
+        def main():
+            store = CloudObjectStorage(kernel)
+            store.create_bucket("a")
+            store.put_virtual_object(
+                "a", "big", size=1000, content_fn=lambda s, e: b"z" * (e - s)
+            )
+            copied = store.copy_object("a", "big", "a", "big2")
+            return copied.is_virtual, copied.read(0, 5)
+
+        assert kernel.run(main) == (True, b"zzzzz")
+
+    def test_client_copy_is_control_plane_only(self, kernel):
+        def main():
+            store = CloudObjectStorage(kernel)
+            store.create_bucket("a")
+            store.put_object("a", "src", b"x" * 10_000_000)
+            link = NetworkLink(
+                kernel, LatencyModel(rtt=0.1, jitter=0.0), bandwidth_bps=1000, seed=1
+            )
+            client = COSClient(store, link)
+            t0 = kernel.now()
+            client.copy_object("a", "src", "a", "dst")
+            return kernel.now() - t0
+
+        # one RTT, not 10 MB over a 1 KB/s link
+        assert kernel.run(main) == pytest.approx(0.1)
+
+    def test_bucket_size(self, kernel):
+        def main():
+            store = CloudObjectStorage(kernel)
+            store.create_bucket("a")
+            store.put_object("a", "x/1", b"abc")
+            store.put_virtual_object("a", "x/2", size=100)
+            store.put_object("a", "y/3", b"d")
+            return store.bucket_size("a"), store.bucket_size("a", prefix="x/")
+
+        assert kernel.run(main) == (104, 103)
+
+
+class TestExecutorPlot:
+    def test_plot_produces_timeline_svg(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+
+            def busy(_):
+                pw.sleep(20)
+
+            executor.get_result(executor.map(busy, [0] * 6))
+            return executor.plot()
+
+        svg = env.run(main)
+        assert svg.startswith("<svg")
+        assert "6 functions" in svg
+        assert "peak concurrency: 6" in svg

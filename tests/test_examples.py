@@ -1,0 +1,49 @@
+"""Every example script must run green — they are part of the API contract."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "map result: [10, 13, 16]",
+    "mergesort_composition.py": "sorted correctly",
+    "wordcount.py": "distinct tokens",
+    "montecarlo_pi.py": "pi ~= 3.14",
+    "custom_runtime.py": "warm container",
+    "airbnb_tone_map.py": "analyzed 33 cities",
+    "shuffle_wordcount.py": "reducers in",
+    "push_monitoring.py": "MQ push",
+    "operations_demo.py": "billing summary",
+}
+
+
+def example_scripts() -> list[pathlib.Path]:
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_has_an_expectation():
+    names = {p.name for p in example_scripts()}
+    assert names == set(EXPECTED_OUTPUT), (
+        "examples and EXPECTED_OUTPUT out of sync"
+    )
+
+
+@pytest.mark.parametrize(
+    "script", example_scripts(), ids=lambda p: p.name
+)
+def test_example_runs_green(script: pathlib.Path, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # artifacts (SVG maps) land in a scratch dir
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script.name] in result.stdout

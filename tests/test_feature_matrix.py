@@ -1,0 +1,151 @@
+"""Table 1 conformance: the IBM-PyWren column of the feature matrix.
+
+Each test pins one row of the paper's PyWren-vs-IBM-PyWren comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.config import InvokerMode
+
+
+class TestMapReduceRow:
+    """'Broader support for MapReduce jobs. Also, it includes a
+    reduceByKey-like operation to run one reducer per object key.'"""
+
+    def test_full_mapreduce_supported(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducer = executor.map_reduce(
+                lambda x: x + 1, [1, 2, 3], lambda rs: sum(rs)
+            )
+            return executor.get_result(reducer)
+
+        assert env.run(main) == 9
+
+    def test_reduce_by_key_mode(self, env):
+        env.storage.create_bucket("keys")
+        env.storage.put_object("keys", "a", b"xx")
+        env.storage.put_object("keys", "b", b"yyyy")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce(
+                lambda p: p.size,
+                "cos://keys",
+                lambda rs: sum(rs),
+                reducer_one_per_object=True,
+            )
+            return {
+                r.metadata["object_key"]: v
+                for r, v in zip(reducers, executor.get_result(reducers))
+            }
+
+        assert env.run(main) == {"a": 2, "b": 4}
+
+
+class TestPartitioningRow:
+    """'Automatic; data partitioning based on user-defined chunk sizes or
+    on the data object granularity.'"""
+
+    def test_chunk_size_partitioning(self, env):
+        env.storage.create_bucket("d")
+        env.storage.put_object("d", "obj", b"z" * 100)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda p: p.size, "cos://d", chunk_size=40)
+            return executor.get_result(futures)
+
+        assert env.run(main) == [40, 40, 20]
+
+    def test_object_granularity_default(self, env):
+        env.storage.create_bucket("d")
+        for key in ["1", "2", "3"]:
+            env.storage.put_object("d", key, b"ab")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            futures = executor.map(lambda p: p.key, "cos://d")
+            return executor.get_result(futures)
+
+        assert env.run(main) == ["1", "2", "3"]
+
+
+class TestComposabilityRow:
+    """'Dynamic compositions of functions; e.g. sequences: f3 = f2 . f1,
+    nested parallelism (mergesort).'"""
+
+    def test_sequences(self, env):
+        def main():
+            return pw.sequence([lambda x: x + 1, lambda x: x * 3], 2).result()
+
+        assert env.run(main) == 9
+
+    def test_nested_parallelism_mergesort(self, env):
+        from repro.sort import serverless_mergesort
+
+        def main():
+            return serverless_mergesort([4, 1, 3, 2], depth=1).result()
+
+        assert env.run(main) == [1, 2, 3, 4]
+
+
+class TestRuntimeRow:
+    """'Based on Docker; possibility for users to create its own custom
+    runtime ... and share it with other users.'"""
+
+    def test_custom_runtime_created_and_shared(self, env):
+        image = env.registry.build_custom_runtime(
+            "alice/viz:1", owner="alice", extra_packages=["matplotlib"]
+        )
+        assert image.has_package("matplotlib")
+
+        def main():
+            # another user references the shared image by name
+            executor = pw.ibm_cf_executor(runtime="alice/viz:1")
+            return executor.call_async(lambda x: x, "ok").result()
+
+        assert env.run(main) == "ok"
+
+
+class TestSpawningRow:
+    """'Faster; client calls a remote invoker function, which starts all
+    functions in parallel within the cloud.'"""
+
+    def test_remote_invoker_functions_exist(self, env):
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode=InvokerMode.MASSIVE)
+            futures = executor.map(lambda x: x, list(range(10)))
+            executor.get_result(futures)
+            return [
+                r.action_name
+                for r in env.platform.activations()
+                if r.action_name == "pywren_remote_invoker"
+            ]
+
+        invokers = env.run(main)
+        assert len(invokers) >= 1
+
+
+class TestPortabilityRow:
+    """'Can work with Apache OpenWhisk' — the platform abstraction is the
+    OpenWhisk model (namespaces/actions/activations)."""
+
+    def test_openwhisk_concepts_exposed(self, env):
+        from repro.faas import Action, ActivationRecord, Namespace
+
+        assert Namespace and Action and ActivationRecord
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            future = executor.call_async(lambda x: x, 1)
+            future.result()
+            record = env.platform.get_activation(
+                env.platform.activations()[-1].activation_id
+            )
+            return record.namespace
+
+        assert env.run(main) == "guest"

@@ -1,0 +1,27 @@
+"""Unit tests for id generation."""
+
+from __future__ import annotations
+
+from repro.utils.ids import new_executor_id, new_hex_id
+
+
+class TestIds:
+    def test_prefix_and_shape(self):
+        ident = new_hex_id("job", seed=1)
+        prefix, _, suffix = ident.partition("-")
+        assert prefix == "job"
+        assert len(suffix) == 8
+        int(suffix, 16)  # hex
+
+    def test_uniqueness(self):
+        ids = {new_hex_id("x") for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_executor_id_prefix(self):
+        assert new_executor_id().startswith("exec-")
+
+    def test_unique_even_with_same_seed(self):
+        assert new_executor_id(seed=7) != new_executor_id(seed=7)
+
+    def test_width_parameter(self):
+        assert len(new_hex_id("p", width=16).split("-")[1]) == 16

@@ -1,0 +1,66 @@
+"""Unit + property tests for size parsing/formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.sizes import format_size, parse_size
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("1024", 1024),
+            ("1KB", 1024),
+            ("64MB", 64 * 1024**2),
+            ("1.9GB", int(1.9 * 1024**3)),
+            ("2tb", 2 * 1024**4),
+            (" 8 MB ", 8 * 1024**2),
+            ("100B", 100),
+            ("0.5kb", 512),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_ints_pass_through(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(4096.7) == 4096
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12XB", "MB", "--5MB"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (1024, "1.0KB"),
+            (64 * 1024**2, "64.0MB"),
+            (int(1.9 * 1024**3), "1.9GB"),
+        ],
+    )
+    def test_examples(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-5)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_roundtrip_within_rounding(self, nbytes):
+        """format then parse stays within 5% (one decimal of precision)."""
+        recovered = parse_size(format_size(nbytes))
+        assert abs(recovered - nbytes) <= max(64, nbytes * 0.05)

@@ -1,0 +1,114 @@
+"""Property-based tests of the virtual-time kernel's core invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vtime import Kernel, VSemaphore, gather, now, sleep
+
+# schedules: each task gets a list of sleep durations
+schedules = st.lists(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=5
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules)
+    def test_final_time_is_longest_chain(self, schedule):
+        """With all tasks spawned at t=0, the kernel ends at the max of the
+        per-task sleep sums."""
+        kernel = Kernel()
+
+        def worker(durations):
+            for duration in durations:
+                sleep(duration)
+            return now()
+
+        def main():
+            return gather([kernel.spawn(worker, d) for d in schedule])
+
+        finish_times = kernel.run(main)
+        for finish, durations in zip(finish_times, schedule):
+            assert finish == sum(durations)
+        expected = max(sum(d) for d in schedule)
+        assert kernel.now() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(schedule=schedules)
+    def test_time_is_monotonic_per_task(self, schedule):
+        kernel = Kernel()
+        violations = []
+
+        def worker(durations):
+            last = now()
+            for duration in durations:
+                sleep(duration)
+                current = now()
+                if current < last:
+                    violations.append((last, current))
+                last = current
+
+        def main():
+            gather([kernel.spawn(worker, d) for d in schedule])
+
+        kernel.run(main)
+        assert violations == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_tasks=st.integers(min_value=1, max_value=12),
+        permits=st.integers(min_value=1, max_value=12),
+        duration=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    def test_semaphore_batching_law(self, n_tasks, permits, duration):
+        """n tasks through a k-semaphore, each holding for d, finish at
+        ceil(n/k) * d — the law the FaaS concurrency limit relies on."""
+        kernel = Kernel()
+
+        def main():
+            sem = VSemaphore(kernel, permits)
+
+            def job():
+                with sem:
+                    sleep(duration)
+
+            gather([kernel.spawn(job) for _ in range(n_tasks)])
+            return now()
+
+        import pytest
+
+        batches = -(-n_tasks // permits)
+        assert kernel.run(main) == pytest.approx(batches * duration)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed_durations=st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_reproducibility(self, seed_durations):
+        """The same schedule yields byte-identical timing twice."""
+
+        def experiment():
+            kernel = Kernel()
+
+            def worker(duration):
+                sleep(duration)
+                return now()
+
+            def main():
+                return tuple(
+                    gather([kernel.spawn(worker, d) for d in seed_durations])
+                )
+
+            return kernel.run(main)
+
+        assert experiment() == experiment()

@@ -1,0 +1,242 @@
+"""Unit tests for virtual-time synchronization primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vtime import (
+    Kernel,
+    QueueEmpty,
+    VCondition,
+    VEvent,
+    VQueue,
+    VSemaphore,
+    gather,
+    sleep,
+)
+
+
+class TestVEvent:
+    def test_set_before_wait(self, kernel):
+        def main():
+            ev = VEvent(kernel)
+            ev.set()
+            assert ev.wait(timeout=1) is True
+            return kernel.now()
+
+        assert kernel.run(main) == 0.0
+
+    def test_wait_blocks_until_set(self, kernel):
+        def main():
+            ev = VEvent(kernel)
+
+            def setter():
+                sleep(7)
+                ev.set()
+
+            kernel.spawn(setter)
+            assert ev.wait() is True
+            return kernel.now()
+
+        assert kernel.run(main) == 7.0
+
+    def test_wait_timeout_returns_false(self, kernel):
+        def main():
+            ev = VEvent(kernel)
+            result = ev.wait(timeout=3)
+            return result, kernel.now()
+
+        assert kernel.run(main) == (False, 3.0)
+
+    def test_clear_resets(self, kernel):
+        def main():
+            ev = VEvent(kernel)
+            ev.set()
+            assert ev.is_set()
+            ev.clear()
+            assert not ev.is_set()
+            return ev.wait(timeout=1)
+
+        assert kernel.run(main) is False
+
+    def test_set_wakes_all_waiters(self, kernel):
+        def main():
+            ev = VEvent(kernel)
+            woke = []
+
+            def waiter(i):
+                ev.wait()
+                woke.append(i)
+
+            tasks = [kernel.spawn(waiter, i) for i in range(5)]
+            sleep(2)
+            ev.set()
+            gather(tasks)
+            return sorted(woke)
+
+        assert kernel.run(main) == [0, 1, 2, 3, 4]
+
+
+class TestVSemaphore:
+    def test_initial_value(self, kernel):
+        assert VSemaphore(kernel, 3).value == 3
+
+    def test_negative_value_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            VSemaphore(kernel, -1)
+
+    def test_limits_concurrency(self, kernel):
+        def main():
+            sem = VSemaphore(kernel, 2)
+            finish_times = []
+
+            def job():
+                with sem:
+                    sleep(5)
+                    finish_times.append(kernel.now())
+
+            gather([kernel.spawn(job) for _ in range(4)])
+            return sorted(finish_times)
+
+        assert kernel.run(main) == [5.0, 5.0, 10.0, 10.0]
+
+    def test_acquire_timeout(self, kernel):
+        def main():
+            sem = VSemaphore(kernel, 0)
+            ok = sem.acquire(timeout=4)
+            return ok, kernel.now()
+
+        assert kernel.run(main) == (False, 4.0)
+
+    def test_release_multiple(self, kernel):
+        def main():
+            sem = VSemaphore(kernel, 0)
+            sem.release(3)
+            return sem.value
+
+        assert kernel.run(main) == 3
+
+
+class TestVQueue:
+    def test_put_get_fifo(self, kernel):
+        def main():
+            q = VQueue(kernel)
+            for i in range(5):
+                q.put(i)
+            return [q.get() for _ in range(5)]
+
+        assert kernel.run(main) == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_for_producer(self, kernel):
+        def main():
+            q = VQueue(kernel)
+
+            def producer():
+                sleep(9)
+                q.put("item")
+
+            kernel.spawn(producer)
+            item = q.get()
+            return item, kernel.now()
+
+        assert kernel.run(main) == ("item", 9.0)
+
+    def test_get_timeout_raises(self, kernel):
+        def main():
+            q = VQueue(kernel)
+            with pytest.raises(QueueEmpty):
+                q.get(timeout=2)
+            return kernel.now()
+
+        assert kernel.run(main) == 2.0
+
+    def test_bounded_put_blocks(self, kernel):
+        def main():
+            q = VQueue(kernel, maxsize=1)
+            q.put("a")
+
+            def consumer():
+                sleep(6)
+                q.get()
+
+            kernel.spawn(consumer)
+            assert q.put("b") is True
+            return kernel.now()
+
+        assert kernel.run(main) == 6.0
+
+    def test_bounded_put_timeout(self, kernel):
+        def main():
+            q = VQueue(kernel, maxsize=1)
+            q.put("a")
+            return q.put("b", timeout=3), kernel.now()
+
+        assert kernel.run(main) == (False, 3.0)
+
+    def test_len(self, kernel):
+        def main():
+            q = VQueue(kernel)
+            q.put(1)
+            q.put(2)
+            return len(q)
+
+        assert kernel.run(main) == 2
+
+
+class TestVCondition:
+    def test_wait_notify(self, kernel):
+        def main():
+            cond = VCondition(kernel)
+            state = {"ready": False}
+
+            def notifier():
+                sleep(4)
+                with cond:
+                    state["ready"] = True
+                    cond.notify()
+
+            kernel.spawn(notifier)
+            with cond:
+                while not state["ready"]:
+                    cond.wait()
+            return kernel.now()
+
+        assert kernel.run(main) == 4.0
+
+    def test_wait_for_predicate_with_timeout(self, kernel):
+        def main():
+            cond = VCondition(kernel)
+            with cond:
+                ok = cond.wait_for(lambda: False, timeout=5)
+            return ok, kernel.now()
+
+        ok, t = kernel.run(main)
+        assert ok is False
+        assert t == 5.0
+
+    def test_notify_wakes_limited_count(self, kernel):
+        def main():
+            cond = VCondition(kernel)
+            woke = []
+
+            def waiter(i):
+                with cond:
+                    if cond.wait(timeout=100):
+                        woke.append(i)
+
+            tasks = [kernel.spawn(waiter, i) for i in range(3)]
+            sleep(1)
+            with cond:
+                cond.notify(2)
+            gather(tasks)
+            return len(woke), kernel.now()
+
+        count, t = kernel.run(main)
+        assert count == 2
+        assert t == 100.0  # third waiter timed out 100 s after waiting began
+
+    def test_gather_empty(self, kernel):
+        def main():
+            return gather([])
+
+        assert kernel.run(main) == []
