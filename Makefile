@@ -1,4 +1,4 @@
-.PHONY: install test bench examples all clean
+.PHONY: install test chaos bench examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -6,6 +6,11 @@ install:
 
 test:
 	pytest tests/
+
+# fault-injection subset, exercised under two named chaos profiles
+chaos:
+	PYTHONPATH=src python -m pytest tests/integration/test_chaos.py -q -k "storm"
+	PYTHONPATH=src python -m pytest tests/integration/test_chaos.py -q -k "flaky"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -24,12 +24,15 @@ Quickstart (mirrors Fig. 1 of the paper)::
     print(env.run(main))   # [10, 13, 16]
 """
 
-from repro.config import InvokerMode, PyWrenConfig
+from repro.chaos import ChaosPlane, ChaosProfile
+from repro.config import InvokerMode, PyWrenConfig, RetryConfig
 from repro.core import (
     ALL_COMPLETED,
     ALWAYS,
     ANY_COMPLETED,
+    CallFailure,
     CloudEnvironment,
+    FailureReport,
     FunctionError,
     FunctionExecutor,
     NoActiveEnvironmentError,
@@ -43,6 +46,7 @@ from repro.core import (
     wait,
 )
 from repro.core.stats import JobStats, collect_job_stats
+from repro.retry import RetryPolicy
 from repro.vtime import now, sleep
 
 
@@ -78,6 +82,12 @@ __all__ = [
     "sequence",
     "PyWrenConfig",
     "InvokerMode",
+    "RetryConfig",
+    "RetryPolicy",
+    "ChaosProfile",
+    "ChaosPlane",
+    "CallFailure",
+    "FailureReport",
     "PyWrenError",
     "FunctionError",
     "ResultTimeoutError",

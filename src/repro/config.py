@@ -51,6 +51,51 @@ class MonitoringTransport:
     ALL = (COS_POLLING, MQ_PUSH)
 
 
+@dataclass(frozen=True)
+class RetryConfig:
+    """Shared client-side retry policy for everything that talks to the cloud.
+
+    One documented knob set replaces the ad-hoc ``RETRIES``/``RETRY_BACKOFF``
+    constants that used to live in :mod:`repro.cos.client` and the fixed 429
+    backoff in :mod:`repro.faas.gateway`.  The schedule is exponential
+    backoff with optional *full jitter* (AWS style: each delay is sampled
+    uniformly from ``[0, base]``), capped at ``max_backoff_s``::
+
+        base(attempt) = min(max_backoff_s,
+                            initial_backoff_s * multiplier ** (attempt - 1))
+
+    ``max_attempts`` counts the first try, so the default of 6 preserves the
+    historical "5 retries" behaviour.
+    """
+
+    #: total attempts, including the first (>= 1)
+    max_attempts: int = 6
+    #: backoff base for the first retry (seconds)
+    initial_backoff_s: float = 1.0
+    #: ceiling applied to the exponential base (seconds)
+    max_backoff_s: float = 30.0
+    #: exponential growth factor between retries
+    multiplier: float = 2.0
+    #: ``"full"`` (uniform in [0, base]) or ``"none"`` (deterministic base)
+    jitter: str = "full"
+
+    JITTER_MODES = ("full", "none")
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.initial_backoff_s < 0:
+            raise ValueError("initial_backoff_s must be non-negative")
+        if self.max_backoff_s < self.initial_backoff_s:
+            raise ValueError("max_backoff_s must be >= initial_backoff_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if self.jitter not in self.JITTER_MODES:
+            raise ValueError(
+                f"jitter must be one of {self.JITTER_MODES}, got {self.jitter!r}"
+            )
+
+
 @dataclass
 class PyWrenConfig:
     """Client-side configuration for :class:`repro.core.FunctionExecutor`."""
@@ -89,6 +134,16 @@ class PyWrenConfig:
     validate_runtime_packages: bool = True
     #: completion transport (see :class:`MonitoringTransport`)
     monitoring: str = MonitoringTransport.COS_POLLING
+    #: shared retry schedule for COS requests, invocations and 429s
+    retry: RetryConfig = field(default_factory=RetryConfig)
+    #: times a *lost* call (its activation died without writing a status
+    #: object) is re-invoked before it is failed; ``map(..., retries=N)``
+    #: overrides this per job
+    invocation_retries: int = 3
+    #: lost-activation recovery during ``wait``/``get_result``: ``"auto"``
+    #: enables it only when the platform injects faults (a chaos plane is
+    #: attached), ``True``/``False`` force it on or off
+    recover_lost: Union[bool, str] = "auto"
 
     def validate(self) -> None:
         if self.invoker_mode not in InvokerMode.ALL:
@@ -111,6 +166,13 @@ class PyWrenConfig:
                 f"monitoring must be one of {MonitoringTransport.ALL}, "
                 f"got {self.monitoring!r}"
             )
+        if not isinstance(self.retry, RetryConfig):
+            raise ValueError("retry must be a RetryConfig")
+        self.retry.validate()
+        if self.invocation_retries < 0:
+            raise ValueError("invocation_retries must be non-negative")
+        if self.recover_lost not in (True, False, "auto"):
+            raise ValueError('recover_lost must be True, False or "auto"')
 
     def with_overrides(self, **kwargs) -> "PyWrenConfig":
         """A copy with some fields replaced (used by executor kwargs)."""
@@ -134,6 +196,15 @@ class PyWrenConfig:
                 f"unknown config keys: {sorted(unknown)} "
                 f"(known: {sorted(known)})"
             )
+        if isinstance(data.get("retry"), dict):
+            retry_known = {f.name for f in dataclasses.fields(RetryConfig)}
+            retry_unknown = set(data["retry"]) - retry_known
+            if retry_unknown:
+                raise ValueError(
+                    f"unknown retry config keys: {sorted(retry_unknown)} "
+                    f"(known: {sorted(retry_known)})"
+                )
+            data = {**data, "retry": RetryConfig(**data["retry"])}
         cfg = cls(**data)
         cfg.validate()
         return cfg

@@ -13,7 +13,9 @@ from repro.core.futures import (
     ALL_COMPLETED,
     ALWAYS,
     ANY_COMPLETED,
+    CallFailure,
     CallState,
+    FailureReport,
     ResponseFuture,
 )
 from repro.core.partitioner import (
@@ -31,6 +33,8 @@ __all__ = [
     "ibm_cf_executor",
     "ResponseFuture",
     "CallState",
+    "CallFailure",
+    "FailureReport",
     "wait",
     "ALWAYS",
     "ANY_COMPLETED",

@@ -40,6 +40,7 @@ class CloudEnvironment:
         config: PyWrenConfig,
         client_latency: LatencyModel,
         seed: int = 42,
+        chaos=None,
     ) -> None:
         self.kernel = kernel
         self.storage = storage
@@ -48,6 +49,8 @@ class CloudEnvironment:
         self.config = config
         self.client_latency = client_latency
         self.seed = seed
+        #: the fault-injection plane, or ``None`` for a fault-free cloud
+        self.chaos = chaos
         self._link_seq = itertools.count(1)
         self._deploy_lock = threading.Lock()
         self._deployed_actions: set[str] = set()
@@ -70,19 +73,30 @@ class CloudEnvironment:
         seed: int = 42,
         kernel: Optional[Kernel] = None,
         crash_prob: float = 0.0,
+        chaos=None,
     ) -> "CloudEnvironment":
         """Build a complete environment with sensible defaults.
 
         The default client sits in a high-latency WAN, like the paper's
         evaluation client ("located in a remote network with high latency").
         ``crash_prob`` injects container crashes for resilience testing.
+
+        ``chaos`` attaches a deterministic fault-injection plane: a
+        :class:`~repro.chaos.ChaosProfile`, a profile name (``"flaky-cos"``,
+        ``"crashy-workers"``, ``"storm"``), or an already-built
+        :class:`~repro.chaos.ChaosPlane`.  ``None`` or the ``"none"``
+        profile leave every layer untouched.
         """
+        from repro.chaos import build_plane
+
+        plane = build_plane(chaos)
         kernel = kernel or Kernel()
         client_latency = client_latency or LatencyModel.wan()
         config = config or PyWrenConfig()
         config.validate()
         registry = RuntimeRegistry()
         storage = CloudObjectStorage(kernel)
+        storage.chaos = plane
         platform = CloudFunctions(
             kernel,
             storage,
@@ -90,8 +104,18 @@ class CloudEnvironment:
             registry=registry,
             seed=seed,
             crash_prob=crash_prob,
+            chaos=plane,
         )
-        return cls(kernel, storage, platform, registry, config, client_latency, seed)
+        return cls(
+            kernel,
+            storage,
+            platform,
+            registry,
+            config,
+            client_latency,
+            seed,
+            chaos=plane,
+        )
 
     # ------------------------------------------------------------------
     # Links and clients
@@ -101,6 +125,7 @@ class CloudEnvironment:
             self.kernel,
             self.client_latency,
             seed=self.seed * 1000 + next(self._link_seq),
+            chaos=self.chaos,
         )
 
     def client_cos(self) -> COSClient:
@@ -123,7 +148,11 @@ class CloudEnvironment:
 
     def internal_storage_in_cloud(self) -> InternalStorage:
         """Internal storage reached over an in-cloud link (worker side)."""
-        cos = COSClient(self.storage, self.platform.in_cloud_link_factory())
+        cos = COSClient(
+            self.storage,
+            self.platform.in_cloud_link_factory(),
+            retry=self.config.retry,
+        )
         return InternalStorage(
             cos, self.config.storage_bucket, self.config.storage_prefix
         )

@@ -27,6 +27,9 @@ from repro.core.futures import (
     ALL_COMPLETED,
     ALWAYS,
     ANY_COMPLETED,
+    CallFailure,
+    CallState,
+    FailureReport,
     ResponseFuture,
 )
 from repro.core.invokers import Invoker, LocalInvoker, MassiveInvoker, RemoteInvoker
@@ -37,6 +40,7 @@ from repro.core.storage_client import InternalStorage
 from repro.core.wait import wait as wait_on
 from repro.config import InvokerMode, MonitoringTransport, PyWrenConfig
 from repro.cos.client import COSClient
+from repro.faas.activation import ActivationStatus
 from repro.faas.gateway import CloudFunctionsClient
 from repro.utils.ids import new_executor_id
 
@@ -102,7 +106,9 @@ class FunctionExecutor:
             link_factory = environment.platform.in_cloud_link_factory
         else:
             link_factory = environment.new_client_link
-        self._cos = COSClient(environment.storage, link_factory())
+        self._cos = COSClient(
+            environment.storage, link_factory(), retry=self.config.retry
+        )
         self._storage = InternalStorage(
             self._cos, self.config.storage_bucket, self.config.storage_prefix
         )
@@ -114,6 +120,7 @@ class FunctionExecutor:
                 if in_cloud
                 else environment.credentials
             ),
+            retry=self.config.retry,
         )
 
         self._runtime_image = environment.registry.get(self.config.runtime)
@@ -137,23 +144,42 @@ class FunctionExecutor:
         self._callset_seq = 0
         self._uploaded_funcs: set[str] = set()
 
+        # Lost-call recovery: "auto" switches it on only when a fault plane
+        # is active, so fault-free runs keep their exact request pattern.
+        recover = self.config.recover_lost
+        if recover == "auto":
+            chaos = getattr(environment, "chaos", None)
+            recover = chaos is not None and chaos.profile.enabled
+        self._recover_lost_enabled = bool(recover)
+        self._retries_total = 0
+
     # ------------------------------------------------------------------
     # Computing methods (asynchronous)
     # ------------------------------------------------------------------
-    def call_async(self, func: Callable[[Any], Any], data: Any) -> ResponseFuture:
+    def call_async(
+        self,
+        func: Callable[[Any], Any],
+        data: Any,
+        retries: Optional[int] = None,
+    ) -> ResponseFuture:
         """Run one function in the cloud; non-blocking (§4.2)."""
-        return self._submit(func, items=[data], label="A")[0]
+        return self._submit(func, items=[data], label="A", retries=retries)[0]
 
     def map(
         self,
         map_function: Callable[[Any], Any],
         iterdata: Union[Iterable[Any], str],
         chunk_size: Optional[int] = None,
+        retries: Optional[int] = None,
     ) -> list[ResponseFuture]:
         """One function executor per element of ``iterdata`` (§4.2).
 
         ``iterdata`` may also be a COS dataset spec, in which case each
         executor receives a :class:`StoragePartition` (§4.3).
+
+        ``retries`` bounds how many times a *lost* call (activation died
+        without writing a status object) is re-invoked; defaults to
+        ``config.invocation_retries``.
         """
         if is_dataset_spec(iterdata):
             partitions = build_partitions(
@@ -161,7 +187,9 @@ class FunctionExecutor:
                 _strip_scheme(iterdata),
                 chunk_size if chunk_size is not None else self.config.chunk_size,
             )
-            return self._submit(map_function, partitions=partitions, label="M")
+            return self._submit(
+                map_function, partitions=partitions, label="M", retries=retries
+            )
         if chunk_size is not None:
             raise ValueError(
                 "chunk_size only applies to COS dataset specs (cos://...)"
@@ -169,7 +197,7 @@ class FunctionExecutor:
         items = list(iterdata)
         if not items:
             return []
-        return self._submit(map_function, items=items, label="M")
+        return self._submit(map_function, items=items, label="M", retries=retries)
 
     def map_reduce(
         self,
@@ -178,6 +206,7 @@ class FunctionExecutor:
         reduce_function: Callable[[list[Any]], Any],
         chunk_size: Optional[int] = None,
         reducer_one_per_object: bool = False,
+        retries: Optional[int] = None,
     ) -> Union[ResponseFuture, list[ResponseFuture]]:
         """MapReduce flow: map phase + one or many reducers (§4.2/§4.3).
 
@@ -192,12 +221,14 @@ class FunctionExecutor:
                 "reducer_one_per_object requires a COS dataset spec "
                 "(one reducer per object key)"
             )
-        map_futures = self.map(map_function, iterdata, chunk_size=chunk_size)
+        map_futures = self.map(
+            map_function, iterdata, chunk_size=chunk_size, retries=retries
+        )
         if not map_futures:
             raise PyWrenError("map_reduce over an empty dataset")
 
         if not reducer_one_per_object:
-            return self._spawn_reducer(reduce_function, map_futures)
+            return self._spawn_reducer(reduce_function, map_futures, retries)
 
         groups: dict[tuple[str, str], list[ResponseFuture]] = {}
         for future in map_futures:
@@ -205,7 +236,7 @@ class FunctionExecutor:
             groups.setdefault(key, []).append(future)
         reducers = []
         for (bucket, object_key), group in sorted(groups.items()):
-            reducer = self._spawn_reducer(reduce_function, group)
+            reducer = self._spawn_reducer(reduce_function, group, retries)
             reducer.metadata["bucket"] = bucket
             reducer.metadata["object_key"] = object_key
             reducers.append(reducer)
@@ -218,6 +249,7 @@ class FunctionExecutor:
         reduce_function: Callable[[Any, list[Any]], Any],
         n_reducers: int = 4,
         chunk_size: Optional[int] = None,
+        retries: Optional[int] = None,
     ) -> list[ResponseFuture]:
         """Full keyed MapReduce with a COS shuffle (see repro.core.shuffle).
 
@@ -235,6 +267,7 @@ class FunctionExecutor:
             make_shuffle_map(map_function, n_reducers),
             iterdata,
             chunk_size=chunk_size,
+            retries=retries,
         )
         if not map_futures:
             raise PyWrenError("map_reduce_shuffle over an empty dataset")
@@ -246,7 +279,7 @@ class FunctionExecutor:
                 map_futures,
                 self.config.poll_interval,
             )
-            reducer = self._submit(shim, items=[None], label="S")[0]
+            reducer = self._submit(shim, items=[None], label="S", retries=retries)[0]
             reducer.metadata["reducer_index"] = reducer_index
             reducers.append(reducer)
         return reducers
@@ -255,6 +288,7 @@ class FunctionExecutor:
         self,
         reduce_function: Callable[[list[Any]], Any],
         map_futures: list[ResponseFuture],
+        retries: Optional[int] = None,
     ) -> ResponseFuture:
         import types as _types
 
@@ -269,7 +303,7 @@ class FunctionExecutor:
             "futures": map_futures,
             "poll_interval": self.config.poll_interval,
         }
-        return self._submit(_reduce_call, items=[payload], label="R")[0]
+        return self._submit(_reduce_call, items=[payload], label="R", retries=retries)[0]
 
     # ------------------------------------------------------------------
     # Result collection (synchronous)
@@ -300,6 +334,9 @@ class FunctionExecutor:
             poll_interval=self.config.poll_interval,
             timeout=timeout,
             on_progress=on_progress,
+            lost_detector=(
+                self._recover_lost if self._recover_lost_enabled else None
+            ),
         )
 
     def _wait_push(
@@ -358,27 +395,135 @@ class FunctionExecutor:
                 return done_count > 0
             return not pending
 
+        detect = self._recover_lost if self._recover_lost_enabled else None
         while not _policy_met():
             remaining = None if deadline is None else deadline - vtime.now()
             if remaining is not None and remaining <= 0:
                 raise ResultTimeoutError(
                     f"push wait timed out with {len(pending)} futures pending"
                 )
+            if detect is None:
+                try:
+                    message = self._mq.consume(
+                        self._monitor_queue, timeout=remaining
+                    )
+                except QueueEmpty:
+                    raise ResultTimeoutError(
+                        f"push wait timed out with {len(pending)} futures pending"
+                    ) from None
+                _apply(message)
+                continue
+            # With recovery on, a lost call produces no push message at all —
+            # consume in poll_interval slices and scan between them.
+            step = (
+                self.config.poll_interval
+                if remaining is None
+                else min(remaining, self.config.poll_interval)
+            )
             try:
-                message = self._mq.consume(self._monitor_queue, timeout=remaining)
+                message = self._mq.consume(self._monitor_queue, timeout=step)
             except QueueEmpty:
-                raise ResultTimeoutError(
-                    f"push wait timed out with {len(pending)} futures pending"
-                ) from None
+                detect(list(pending.values()))
+                # buried calls got a synthetic status ingested directly
+                for key, future in list(pending.items()):
+                    if future._status is not None:
+                        pending.pop(key)
+                continue
             _apply(message)
         done = [f for f in fs if (f.callset_id, f.call_id) not in pending]
         not_done = list(pending.values())
         return done, not_done
 
+    # ------------------------------------------------------------------
+    # Lost-call recovery
+    # ------------------------------------------------------------------
+    def _recover_lost(self, pending: Sequence[ResponseFuture]) -> None:
+        """One recovery scan, run between polling rounds.
+
+        A call is *lost* when its activation reached a dead terminal state
+        (infrastructure error/timeout) without the worker writing a status
+        object — a crashed or reaped container.  Lost calls are re-invoked
+        up to their ``max_retries`` budget; exhausted ones are buried with
+        a synthetic status so waiters unblock.
+
+        Scans the union of the waited set and everything this executor
+        submitted: an in-cloud reducer waits on map futures *inside the
+        cloud* where no detector runs, so the client must recover them too.
+        """
+        candidates: dict[tuple[str, str], ResponseFuture] = {}
+        for future in list(pending) + self.futures:
+            if future.activation_id is None or getattr(future, "_exhausted", False):
+                continue
+            if future._status is not None or getattr(future, "_status_seen", False):
+                continue
+            candidates.setdefault((future.callset_id, future.call_id), future)
+        if not candidates:
+            return
+        fs = list(candidates.values())
+        records = self._functions.get_activations(
+            [future.activation_id for future in fs]
+        )
+        reinvoke: list[ResponseFuture] = []
+        for future, record in zip(fs, records):
+            if record is None or record.status not in (
+                ActivationStatus.ERROR,
+                ActivationStatus.TIMEOUT,
+            ):
+                continue  # in flight, or finished and its status is in COS
+            if future.invoke_count <= future.max_retries:
+                reinvoke.append(future)
+            else:
+                self._bury(future, record)
+        for future in reinvoke:
+            activation_id = self._functions.invoke(
+                self.config.namespace, self._runner_action, future._call_params
+            )
+            future.mark_invoked(activation_id)
+            self._retries_total += 1
+
+    def _bury(self, future: ResponseFuture, record) -> None:
+        """Exhausted retry budget: publish a synthetic ``lost`` status.
+
+        Written conditionally to COS so it also unblocks in-cloud waiters
+        (reducers) polling the same status key — and so a late surviving
+        attempt that already committed a real status wins the race.
+        """
+        future._exhausted = True
+        status = {
+            "executor_id": self.executor_id,
+            "callset_id": future.callset_id,
+            "call_id": future.call_id,
+            "success": False,
+            "error": record.error or "activation lost",
+            "lost": True,
+            "start_time": record.start_time,
+            "end_time": record.end_time,
+            "activation_id": record.activation_id,
+            "container_id": record.container_id,
+            "cold_start": record.cold_start,
+        }
+        if self._storage.commit_status(
+            self.executor_id, future.callset_id, future.call_id, status
+        ):
+            future._ingest_status(status)
+        # else: a real status exists after all — the next poll round sees it
+
+    def resilience_stats(self) -> dict[str, Any]:
+        """Client-side retry counters plus injected-fault totals."""
+        chaos = getattr(self.environment, "chaos", None)
+        return {
+            "invocation_retries": self._retries_total,
+            "cos_request_retries": self._cos.retries,
+            "invoke_network_retries": self._functions.policy.retries,
+            "throttle_retries": self._functions.throttle_retries,
+            "faults_injected": dict(chaos.fault_counts()) if chaos else {},
+        }
+
     def get_result(
         self,
         futures: Union[ResponseFuture, Sequence[ResponseFuture], None] = None,
         timeout: Optional[float] = None,
+        throw_except: bool = True,
     ) -> Any:
         """Collect results (§4.2): waits, downloads in parallel, unwraps
         compositions, and shows a progress bar when enabled.
@@ -386,6 +531,11 @@ class FunctionExecutor:
         With no argument, collects everything this executor submitted —
         a single value if only one call was made, else a list in submission
         order.  Supports timeout and keyboard interruption.
+
+        With ``throw_except=False`` failed calls do not raise: their slots
+        hold ``None`` and the return value becomes the 2-tuple
+        ``(values, FailureReport)``.  The report is also persisted as a
+        dead-letter object next to the callset's other COS objects.
         """
         single = isinstance(futures, ResponseFuture)
         if single:
@@ -399,13 +549,15 @@ class FunctionExecutor:
             return None
 
         progress = ProgressBar(len(fs), enabled=self.config.progress_bar)
-        try:
-            self._wait(
-                fs,
-                ALL_COMPLETED,
-                timeout,
-                on_progress=lambda done, _total: progress.update(done),
+
+        def _on_progress(done: int, _total: int) -> None:
+            postfix = (
+                f" [{self._retries_total} retried]" if self._retries_total else ""
             )
+            progress.update(done, postfix=postfix)
+
+        try:
+            self._wait(fs, ALL_COMPLETED, timeout, on_progress=_on_progress)
         except KeyboardInterrupt:
             # §4.2: keyboard interruption cancels the retrieval of results.
             progress.close()
@@ -414,7 +566,7 @@ class FunctionExecutor:
             progress.close()
 
         def _fetch(future: ResponseFuture) -> Any:
-            return future.result(timeout=timeout)
+            return future.result(timeout=timeout, throw_except=throw_except)
 
         values = run_pool(
             self.kernel,
@@ -423,7 +575,45 @@ class FunctionExecutor:
             self.config.result_fetch_pool_size,
             name="result-fetch",
         )
-        return values[0] if single else values
+        if throw_except:
+            return values[0] if single else values
+        report = self._build_failure_report(fs)
+        if report:
+            self._persist_deadletters(report)
+        return (values[0] if single else values, report)
+
+    def _build_failure_report(self, fs: Sequence[ResponseFuture]) -> FailureReport:
+        report = FailureReport(
+            executor_id=self.executor_id, retries_total=self._retries_total
+        )
+        for future in fs:
+            if future.state != CallState.ERROR:
+                continue
+            status = future._status or {}
+            report.failures.append(
+                CallFailure(
+                    call_id=future.call_id,
+                    callset_id=future.callset_id,
+                    executor_id=future.executor_id,
+                    activation_id=future.activation_id,
+                    attempts=max(1, future.invoke_count),
+                    error=status.get("error"),
+                    lost=bool(status.get("lost")),
+                )
+            )
+        return report
+
+    def _persist_deadletters(self, report: FailureReport) -> None:
+        """One dead-letter object per callset that had failures."""
+        by_callset: dict[str, list[CallFailure]] = {}
+        for failure in report.failures:
+            by_callset.setdefault(failure.callset_id, []).append(failure)
+        for callset_id, failures in sorted(by_callset.items()):
+            self._storage.put_deadletter(
+                self.executor_id,
+                callset_id,
+                FailureReport(self.executor_id, failures, report.retries_total),
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -565,6 +755,7 @@ class FunctionExecutor:
         items: Optional[list[Any]] = None,
         partitions: Optional[list[StoragePartition]] = None,
         label: str = "M",
+        retries: Optional[int] = None,
     ) -> list[ResponseFuture]:
         """Serialize + upload code and data, then invoke all calls."""
         import types as _types
@@ -639,8 +830,14 @@ class FunctionExecutor:
                     ResponseFuture(self.executor_id, callset_id, call_id)
                 )
 
+        max_retries = (
+            self.config.invocation_retries if retries is None else int(retries)
+        )
+        if max_retries < 0:
+            raise ValueError("retries must be >= 0")
         for future, call_params in zip(futures, calls):
             future.bind(self._storage, self.config.poll_interval)
+            future.max_retries = max_retries
             future._call_params = call_params  # kept for retry_failed()
 
         invoker = self._make_invoker()

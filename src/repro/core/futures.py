@@ -10,6 +10,7 @@ client's composition-aware ``get_result`` resolves them transparently.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro import vtime
@@ -31,6 +32,53 @@ class CallState:
     ERROR = "error"
 
 
+@dataclass(frozen=True)
+class CallFailure:
+    """One call that exhausted its retries (or failed unrecoverably)."""
+
+    call_id: str
+    callset_id: str
+    executor_id: str
+    activation_id: Optional[str]
+    attempts: int
+    error: Optional[str]
+    lost: bool = False
+
+
+@dataclass
+class FailureReport:
+    """Structured account of what ``get_result(throw_except=False)`` lost.
+
+    Picklable — the executor also persists it as a dead-letter object in
+    COS so a later process can inspect what went wrong.
+    """
+
+    executor_id: str
+    failures: list[CallFailure] = field(default_factory=list)
+    retries_total: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def summary(self) -> str:
+        if not self.failures:
+            return "no failures"
+        lines = [
+            f"{len(self.failures)} call(s) failed "
+            f"({self.retries_total} retries spent):"
+        ]
+        for f in self.failures:
+            kind = "lost" if f.lost else "error"
+            lines.append(
+                f"  {f.callset_id}/{f.call_id} [{kind}, "
+                f"{f.attempts} attempt(s)]: {f.error}"
+            )
+        return "\n".join(lines)
+
+
 class ResponseFuture:
     """Handle for one function executor's eventual result."""
 
@@ -47,6 +95,10 @@ class ResponseFuture:
         #: free-form labels, e.g. the COS object a partition came from
         self.metadata = dict(metadata or {})
         self.activation_id: Optional[str] = None
+        #: how many times this call has been invoked (first try + re-invokes)
+        self.invoke_count = 0
+        #: re-invocation budget for lost-call recovery (set by the executor)
+        self.max_retries = 0
         self._state = CallState.NEW
         self._status: Optional[dict[str, Any]] = None
         self._value: Any = None
@@ -92,6 +144,7 @@ class ResponseFuture:
     def mark_invoked(self, activation_id: Optional[str] = None) -> None:
         if self._state == CallState.NEW:
             self._state = CallState.INVOKED
+        self.invoke_count += 1
         if activation_id is not None:
             self.activation_id = activation_id
 
@@ -143,9 +196,14 @@ class ResponseFuture:
         """
         status = self.status(timeout)
         if not self._value_loaded:
-            raw = self._require_storage().get_result(
-                self.executor_id, self.callset_id, self.call_id
-            )
+            if status.get("lost"):
+                # synthetic status for a call whose activations all died
+                # without writing anything — there is no result blob
+                raw: Any = (None, status.get("error"))
+            else:
+                raw = self._require_storage().get_result(
+                    self.executor_id, self.callset_id, self.call_id
+                )
             self._value = raw
             self._value_loaded = True
         if status.get("success"):

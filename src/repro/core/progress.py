@@ -23,16 +23,21 @@ class ProgressBar:
         self.enabled = enabled and self.total > 0
         self.stream = stream if stream is not None else sys.stdout
         self._last_done = -1
+        self._last_postfix = ""
         self._closed = False
 
-    def update(self, done: int) -> None:
-        if not self.enabled or self._closed or done == self._last_done:
+    def update(self, done: int, postfix: str = "") -> None:
+        """Redraw; ``postfix`` appends e.g. a retry counter after the bar."""
+        if not self.enabled or self._closed:
+            return
+        if done == self._last_done and postfix == self._last_postfix:
             return
         self._last_done = done
+        self._last_postfix = postfix
         filled = int(self.WIDTH * done / self.total)
         bar = "#" * filled + "." * (self.WIDTH - filled)
         pct = 100.0 * done / self.total
-        self.stream.write(f"\r[{bar}] {done}/{self.total} ({pct:5.1f}%)")
+        self.stream.write(f"\r[{bar}] {done}/{self.total} ({pct:5.1f}%){postfix}")
         self.stream.flush()
 
     def close(self) -> None:

@@ -30,6 +30,10 @@ class JobStats:
     p50_duration: float
     p95_duration: float
     max_duration: float
+    #: re-invocations spent recovering lost calls across the job
+    retries_total: int = 0
+    #: calls that ended in error (including buried lost calls)
+    failed_calls: int = 0
 
     @property
     def spawn_spread(self) -> float:
@@ -68,12 +72,33 @@ def collect_job_stats(futures: Sequence[ResponseFuture]) -> JobStats:
     starts: list[float] = []
     ends: list[float] = []
     durations: list[float] = []
+    retries_total = 0
+    failed_calls = 0
     for future in futures:
         status = future.status()
+        retries_total += max(0, future.invoke_count - 1)
+        if not status.get("success"):
+            failed_calls += 1
+        # buried (lost) calls may lack execution timestamps
+        if status.get("start_time") is None or status.get("end_time") is None:
+            continue
         starts.append(status["start_time"])
         ends.append(status["end_time"])
         durations.append(status["end_time"] - status["start_time"])
     durations.sort()
+    if not durations:
+        return JobStats(
+            n_calls=len(futures),
+            first_start=0.0,
+            last_start=0.0,
+            last_end=0.0,
+            mean_duration=0.0,
+            p50_duration=0.0,
+            p95_duration=0.0,
+            max_duration=0.0,
+            retries_total=retries_total,
+            failed_calls=failed_calls,
+        )
     return JobStats(
         n_calls=len(futures),
         first_start=min(starts),
@@ -83,4 +108,6 @@ def collect_job_stats(futures: Sequence[ResponseFuture]) -> JobStats:
         p50_duration=_percentile(durations, 0.5),
         p95_duration=_percentile(durations, 0.95),
         max_duration=durations[-1],
+        retries_total=retries_total,
+        failed_calls=failed_calls,
     )

@@ -20,7 +20,7 @@ from typing import Any, Optional
 
 from repro.core import serializer
 from repro.cos.client import COSClient
-from repro.cos.errors import NoSuchKey
+from repro.cos.errors import NoSuchKey, PreconditionFailed
 
 
 class InternalStorage:
@@ -95,6 +95,29 @@ class InternalStorage:
             self.bucket, self.status_key(executor_id, callset_id, call_id), blob
         )
 
+    def commit_status(
+        self, executor_id: str, callset_id: str, call_id: str, status: dict[str, Any]
+    ) -> bool:
+        """At-most-once status write: first committer wins.
+
+        A re-invoked call can race its presumed-dead predecessor; both may
+        finish and both will try to publish a status object.  The write is
+        conditional (``If-None-Match: *``) so exactly one attempt's outcome
+        becomes *the* outcome; the loser's duplicate result blob is harmless
+        (same function, same input).  Returns whether this attempt won.
+        """
+        blob = serializer.serialize(status)
+        try:
+            self.cos.put_object(
+                self.bucket,
+                self.status_key(executor_id, callset_id, call_id),
+                blob,
+                if_none_match=True,
+            )
+        except PreconditionFailed:
+            return False
+        return True
+
     def get_status(
         self, executor_id: str, callset_id: str, call_id: str
     ) -> Optional[dict[str, Any]]:
@@ -154,6 +177,28 @@ class InternalStorage:
             )
         except NoSuchKey:
             return []
+        return serializer.deserialize(blob)
+
+    # -- dead letters ----------------------------------------------------------
+    def deadletter_key(self, executor_id: str, callset_id: str) -> str:
+        return f"{self.callset_prefix(executor_id, callset_id)}/deadletter.pickle"
+
+    def put_deadletter(
+        self, executor_id: str, callset_id: str, report: Any
+    ) -> str:
+        """Persist a failure report next to the callset's other objects."""
+        key = self.deadletter_key(executor_id, callset_id)
+        self.cos.put_object(self.bucket, key, serializer.serialize(report))
+        return key
+
+    def get_deadletter(self, executor_id: str, callset_id: str) -> Any:
+        """The persisted failure report, or ``None`` if the callset has none."""
+        try:
+            blob = self.cos.get_object(
+                self.bucket, self.deadletter_key(executor_id, callset_id)
+            )
+        except NoSuchKey:
+            return None
         return serializer.deserialize(blob)
 
     # -- results ---------------------------------------------------------------

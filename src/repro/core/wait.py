@@ -51,6 +51,7 @@ def wait(
     poll_interval: float = 1.0,
     timeout: Optional[float] = None,
     on_progress=None,
+    lost_detector=None,
 ) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
     """Wait on futures; returns the 2-tuple ``(done, not_done)`` of §4.2.
 
@@ -58,6 +59,12 @@ def wait(
     bounds the blocking policies and raises :class:`ResultTimeoutError`.
     ``on_progress(done_count, total)`` is called once per polling round —
     ``get_result`` drives its progress bar with it.
+
+    ``lost_detector(not_done)`` is called once per polling round with the
+    still-pending futures.  The executor hooks its lost-call recovery in
+    here: activations that died without writing a status object get
+    re-invoked (or declared dead), otherwise ``ALL_COMPLETED`` would block
+    forever on a crashed container.
     """
     futures = list(futures)
     if not futures:
@@ -89,4 +96,6 @@ def wait(
                 f"wait() timed out with {len(not_done)} of "
                 f"{len(futures)} futures unfinished"
             )
+        if lost_detector is not None:
+            lost_detector(not_done)
         vtime.sleep(poll_interval)

@@ -100,10 +100,10 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
         "container_id": ctx.record.container_id,
         "cold_start": ctx.record.cold_start,
     }
-    storage.put_status(executor_id, callset_id, call_id, status)
+    committed = storage.commit_status(executor_id, callset_id, call_id, status)
 
     monitor_queue = params.get("monitor_queue")
-    if monitor_queue:
+    if monitor_queue and committed:
         # push-monitoring transport: notify the client directly, in
         # addition to the authoritative COS status object
         from repro.mq.client import MQClient

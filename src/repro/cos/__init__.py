@@ -7,6 +7,9 @@ from repro.cos.errors import (
     InvalidRange,
     NoSuchBucket,
     NoSuchKey,
+    PreconditionFailed,
+    ServiceUnavailable,
+    SlowDown,
     StorageError,
 )
 from repro.cos.obj import StoredObject
@@ -25,4 +28,7 @@ __all__ = [
     "NoSuchKey",
     "BucketAlreadyExists",
     "InvalidRange",
+    "ServiceUnavailable",
+    "SlowDown",
+    "PreconditionFailed",
 ]

@@ -9,12 +9,15 @@ buckets over very different network paths.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cos.errors import NoSuchKey
+from repro.config import RetryConfig
+from repro.cos.errors import NoSuchKey, ServiceUnavailable, SlowDown
 from repro.cos.object_store import CloudObjectStorage
 from repro.net.link import NetworkLink
+from repro.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -29,16 +32,29 @@ class ObjectSummary:
 
 
 class COSClient:
-    """Latency-charging facade over :class:`CloudObjectStorage`."""
+    """Latency-charging facade over :class:`CloudObjectStorage`.
 
-    #: retries for transient network failures (client-side policy)
-    RETRIES = 5
-    #: seconds between retries
-    RETRY_BACKOFF = 1.0
+    Transient failures — lost requests on the wire, chaos-injected
+    503/SlowDown responses — are retried under the shared
+    :class:`~repro.retry.RetryPolicy` (exponential backoff + full jitter),
+    configured by :class:`~repro.config.RetryConfig`.
+    """
 
-    def __init__(self, store: CloudObjectStorage, link: NetworkLink) -> None:
+    def __init__(
+        self,
+        store: CloudObjectStorage,
+        link: NetworkLink,
+        retry: Optional[RetryConfig] = None,
+    ) -> None:
         self.store = store
         self.link = link
+        self.policy = RetryPolicy(retry, seed=link.seed)
+        self._req_seq = itertools.count()
+
+    @property
+    def retries(self) -> int:
+        """Backoff-retries this client has taken (observability)."""
+        return self.policy.retries
 
     # -- write path ----------------------------------------------------------
     def put_object(
@@ -47,9 +63,12 @@ class COSClient:
         key: str,
         data: bytes,
         metadata: Optional[dict[str, str]] = None,
+        if_none_match: bool = False,
     ) -> None:
         self._request(len(data))
-        self.store.put_object(bucket, key, data, metadata=metadata)
+        self.store.put_object(
+            bucket, key, data, metadata=metadata, if_none_match=if_none_match
+        )
 
     def delete_object(self, bucket: str, key: str) -> None:
         self._request(0)
@@ -125,6 +144,41 @@ class COSClient:
 
     # -- internals -----------------------------------------------------------
     def _request(self, payload_bytes: int) -> None:
-        self.link.request_with_retries(
-            payload_bytes, retries=self.RETRIES, backoff=self.RETRY_BACKOFF
-        )
+        """One COS request: network round trip + chaos faults + retries.
+
+        Each attempt may be degraded by the environment's chaos plane:
+        503/SlowDown responses cost the control round trip and raise (the
+        request had to reach the service to be refused); slow reads charge
+        extra transfer time.  All of it is retried under the shared policy.
+        """
+        chaos = self.store.chaos
+
+        def attempt() -> None:
+            fault = (
+                chaos.cos_fault(self.link.seed, next(self._req_seq))
+                if chaos is not None
+                else None
+            )
+            if fault is None:
+                self.link.request(payload_bytes)
+                return
+            kind, factor = fault
+            if kind in ("503", "slowdown"):
+                self.link.request(0)  # the refusal still costs a round trip
+                chaos.record(
+                    self.link.kernel.now(), "cos", kind, f"link-{self.link.seed}"
+                )
+                if kind == "503":
+                    raise ServiceUnavailable("chaos: COS answered 503")
+                raise SlowDown("chaos: COS asked the client to slow down")
+            # slow read/write: the transfer happens, at a fraction of the
+            # usual bandwidth
+            self.link.request(payload_bytes)
+            chaos.record(
+                self.link.kernel.now(), "cos", "slow-read", f"link-{self.link.seed}"
+            )
+            extra = (factor - 1.0) * self.link.transfer_time(payload_bytes)
+            if extra > 0:
+                self.link.kernel.sleep(extra)
+
+        self.policy.run(attempt, self.link.kernel)

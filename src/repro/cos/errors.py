@@ -21,3 +21,17 @@ class NoSuchKey(StorageError):
 
 class InvalidRange(StorageError):
     """A byte-range request fell outside the object."""
+
+
+class ServiceUnavailable(StorageError):
+    """HTTP 503: the service transiently refused the request (retryable)."""
+
+
+class SlowDown(ServiceUnavailable):
+    """S3/COS ``SlowDown`` pushback: the client is asked to reduce its
+    request rate; retry after backing off."""
+
+
+class PreconditionFailed(StorageError):
+    """A conditional write (``If-None-Match: *``) lost the race: the key
+    already exists.  Used for at-most-once status commits."""

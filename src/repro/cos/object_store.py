@@ -12,7 +12,11 @@ import threading
 from typing import Callable, Optional
 
 from repro.cos.bucket import Bucket
-from repro.cos.errors import BucketAlreadyExists, NoSuchBucket
+from repro.cos.errors import (
+    BucketAlreadyExists,
+    NoSuchBucket,
+    PreconditionFailed,
+)
 from repro.cos.obj import StoredObject
 from repro.vtime import Kernel
 
@@ -22,6 +26,9 @@ class CloudObjectStorage:
 
     def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
+        #: optional :class:`repro.chaos.ChaosPlane`; COS clients consult it
+        #: to inject transient 503/SlowDown errors and slow reads
+        self.chaos = None
         self._buckets: dict[str, Bucket] = {}
         self._lock = threading.Lock()
         self._put_count = 0
@@ -68,12 +75,19 @@ class CloudObjectStorage:
         key: str,
         data: bytes,
         metadata: Optional[dict[str, str]] = None,
+        if_none_match: bool = False,
     ) -> StoredObject:
+        """Store an object; ``if_none_match`` makes the write conditional
+        (``If-None-Match: *``): it atomically fails with
+        :class:`PreconditionFailed` when the key already exists, which is
+        what gives retried calls at-most-once status commits."""
         obj = StoredObject(
             key, data=data, metadata=metadata, last_modified=self.kernel.now()
         )
         b = self.bucket(bucket)
         with self._lock:
+            if if_none_match and b.contains(key):
+                raise PreconditionFailed(f"{bucket}/{key}")
             b.put(obj)
             self._put_count += 1
         return obj

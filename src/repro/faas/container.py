@@ -19,6 +19,9 @@ class Container:
     IDLE = "idle"
     BUSY = "busy"
     STOPPED = "stopped"
+    #: the container died mid-activation (injected crash/hang) — unlike
+    #: STOPPED it never returned to the warm pool
+    CRASHED = "crashed"
 
     def __init__(
         self,

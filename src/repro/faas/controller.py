@@ -138,6 +138,7 @@ class CloudFunctions:
         registry: Optional[RuntimeRegistry] = None,
         seed: int = 42,
         crash_prob: float = 0.0,
+        chaos=None,
     ) -> None:
         if not (0.0 <= crash_prob <= 1.0):
             raise ValueError("crash_prob must be in [0, 1]")
@@ -145,6 +146,10 @@ class CloudFunctions:
         #: ever running (or reporting) the user function — fault injection
         #: for resilience tests; 0 by default
         self.crash_prob = crash_prob
+        #: optional :class:`repro.chaos.ChaosPlane` scheduling container
+        #: crashes/hangs, node blackouts and synthetic 429s
+        self.chaos = chaos
+        self._chaos_invoke_seq = itertools.count()
         self.kernel = kernel
         self.storage = storage
         self.limits = limits or SystemLimits()
@@ -183,6 +188,9 @@ class CloudFunctions:
         # The default runtime image ships preinstalled on every node.
         for node in self.invokers:
             node.cache_image(DEFAULT_RUNTIME_NAME)
+        if self.chaos is not None:
+            for node in self.invokers:
+                node.blackouts = self.chaos.blackout_windows(node.node_id)
         self._link_seq = itertools.count(1000)
         self.environment: Any = None  # back-reference set by CloudEnvironment
         from repro.faas.billing import BillingMeter
@@ -198,7 +206,10 @@ class CloudFunctions:
         from repro.net.link import NetworkLink
 
         return NetworkLink(
-            self.kernel, LatencyModel.in_cloud(), seed=next(self._link_seq)
+            self.kernel,
+            LatencyModel.in_cloud(),
+            seed=next(self._link_seq),
+            chaos=self.chaos,
         )
 
     # ------------------------------------------------------------------
@@ -281,7 +292,20 @@ class CloudFunctions:
                 self._throttled_total += 1
                 raise ThrottledError(
                     f"namespace {namespace!r} at concurrency limit "
-                    f"({self.limits.max_concurrent})"
+                    f"({self.limits.max_concurrent})",
+                    retry_after=self._retry_after_hint(current),
+                )
+            if self.chaos is not None and self.chaos.should_throttle(
+                next(self._chaos_invoke_seq)
+            ):
+                self._throttled_total += 1
+                hint = self._retry_after_hint(current)
+                self.chaos.record(
+                    self.kernel.now(), "throttle", "429", f"{namespace}/{action_name}"
+                )
+                raise ThrottledError(
+                    f"chaos: synthetic 429 for namespace {namespace!r}",
+                    retry_after=hint,
                 )
             self._active[namespace] = current + 1
             self._active_total += 1
@@ -303,6 +327,15 @@ class CloudFunctions:
             name=f"fn-{action_name}-{activation_id}",
         )
         return activation_id
+
+    def _retry_after_hint(self, current: int) -> float:
+        """``Retry-After`` seconds, scaled with how loaded the namespace is.
+
+        A lightly loaded namespace tells clients to come back quickly; one
+        pinned at its limit pushes them a full second out.
+        """
+        fraction = min(1.0, current / max(1, self.limits.max_concurrent))
+        return round(0.25 + 0.75 * fraction, 3)
 
     def _execute(
         self, action: Action, params: dict[str, Any], record: ActivationRecord
@@ -327,20 +360,33 @@ class CloudFunctions:
             # therefore all calibrated timings) is unchanged at crash_prob=0
             crashed = self.crash_prob > 0 and self._rng.random() < self.crash_prob
             crash_after = self._rng.uniform(0.1, 2.0) if crashed else 0.0
-        if crashed:
+        fate, fate_delay = ("crash", crash_after) if crashed else ("run", 0.0)
+        if fate == "run" and self.chaos is not None:
+            fate, fate_delay = self.chaos.container_fate(record.activation_id)
+            if fate != "run":
+                self.chaos.record(
+                    record.start_time, "container", fate, record.activation_id
+                )
+        if fate != "run":
             # the container dies without the handler completing: no result,
-            # no status object in COS — the client only notices by absence
-            self.kernel.sleep(crash_after)
+            # no status object in COS — the client only notices by absence.
+            # A crash dies within seconds; a hang wedges until the platform
+            # reaps the unresponsive container after ``fate_delay``.
+            self.kernel.sleep(fate_delay)
             record.end_time = self.kernel.now()
             record.status = ActivationStatus.ERROR
-            record.error = "infrastructure failure: container crashed"
+            record.error = (
+                "infrastructure failure: container crashed"
+                if fate == "crash"
+                else "infrastructure failure: container hung and was reaped"
+            )
             self.billing.record(
                 record.activation_id,
                 action.name,
                 action.memory_mb,
                 record.end_time - record.start_time,
             )
-            node.discard(placement.container)
+            node.discard(placement.container, crashed=True)
             with self._act_lock:
                 self._active[record.namespace] -= 1
                 self._active_total -= 1
@@ -392,6 +438,10 @@ class CloudFunctions:
             start = next(self._rr) % len(self.invokers)
             order = self.invokers[start:] + self.invokers[:start]
             now = self.kernel.now()
+            # Blacked-out nodes (chaos plane) accept no placements; the
+            # capacity wait below retries once their window passes.
+            if self.chaos is not None:
+                order = [node for node in order if node.available(now)]
             # Warm scan first: reusing an idle container anywhere in the
             # cluster beats a cold start (OpenWhisk prefers warm reuse).
             for node in order:
@@ -414,6 +464,17 @@ class CloudFunctions:
                 return self._activations[activation_id]
             except KeyError:
                 raise ActivationNotFound(activation_id) from None
+
+    def get_activations_bulk(
+        self, activation_ids: list[str]
+    ) -> list[Optional[ActivationRecord]]:
+        """Records for many activations at once (``None`` for unknown ids).
+
+        One API call instead of N — what the client's lost-call detector
+        uses to scan a whole callset per polling round.
+        """
+        with self._act_lock:
+            return [self._activations.get(aid) for aid in activation_ids]
 
     def wait_activation(
         self, activation_id: str, timeout: Optional[float] = None

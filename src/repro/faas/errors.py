@@ -19,8 +19,15 @@ class ThrottledError(FaaSError):
     """HTTP 429: the per-namespace concurrent-invocation limit was hit.
 
     Clients are expected to back off and retry, like IBM-PyWren's client
-    does when spawning thousands of functions.
+    does when spawning thousands of functions.  The controller populates
+    ``retry_after`` (seconds) from its current load — a ``Retry-After``
+    header — and well-behaved clients honor it instead of their own
+    backoff schedule.
     """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class RuntimeNotFound(FaaSError):

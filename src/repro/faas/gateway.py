@@ -11,34 +11,39 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.config import RetryConfig
 from repro.faas.activation import ActivationRecord
 from repro.faas.controller import CloudFunctions
 from repro.faas.errors import ThrottledError
 from repro.net.link import NetworkLink
+from repro.retry import RetryPolicy
 
 #: approximate size of an invocation HTTP request (auth headers + params)
 INVOKE_PAYLOAD_BYTES = 1024
 
-#: backoff before retrying a throttled (429) invocation
-THROTTLE_BACKOFF = 1.0
-
 
 class CloudFunctionsClient:
-    """Latency-charging, retrying client for the controller."""
+    """Latency-charging, retrying client for the controller.
 
-    RETRIES = 5
-    RETRY_BACKOFF = 1.0
+    Network transients follow the shared
+    :class:`~repro.retry.RetryPolicy`; 429 throttles are retried until they
+    clear (an invocation that is never issued never finishes), sleeping the
+    server's ``Retry-After`` hint when one is given and the policy's
+    backoff schedule otherwise.
+    """
 
     def __init__(
         self,
         platform: CloudFunctions,
         link: NetworkLink,
         credentials=None,
+        retry: Optional[RetryConfig] = None,
     ) -> None:
         self.platform = platform
         self.link = link
         #: optional :class:`~repro.faas.iam.ApiKey` sent with every request
         self.credentials = credentials
+        self.policy = RetryPolicy(retry, seed=link.seed)
         self._invocations = 0
         self._throttle_retries = 0
 
@@ -49,6 +54,11 @@ class CloudFunctionsClient:
     @property
     def throttle_retries(self) -> int:
         return self._throttle_retries
+
+    def _network_round_trip(self, payload_bytes: int) -> None:
+        self.policy.run(
+            lambda: self.link.request(payload_bytes), self.platform.kernel
+        )
 
     def invoke(
         self,
@@ -62,19 +72,19 @@ class CloudFunctionsClient:
         latency in the paper's account of slow WAN spawning).
         """
         params = params or {}
+        throttle_attempt = 0
         while True:
-            self.link.request_with_retries(
-                INVOKE_PAYLOAD_BYTES,
-                retries=self.RETRIES,
-                backoff=self.RETRY_BACKOFF,
-            )
+            self._network_round_trip(INVOKE_PAYLOAD_BYTES)
             try:
                 activation_id = self.platform.invoke(
                     namespace, action_name, params, credentials=self.credentials
                 )
-            except ThrottledError:
+            except ThrottledError as exc:
                 self._throttle_retries += 1
-                self.platform.kernel.sleep(THROTTLE_BACKOFF)
+                throttle_attempt += 1
+                self.platform.kernel.sleep(
+                    self.policy.backoff(throttle_attempt, exc.retry_after)
+                )
                 continue
             self._invocations += 1
             return activation_id
@@ -88,6 +98,17 @@ class CloudFunctionsClient:
     ) -> ActivationRecord:
         activation_id = self.invoke(namespace, action_name, params)
         return self.wait(activation_id, timeout=timeout)
+
+    def get_activations(
+        self, activation_ids: list[str]
+    ) -> list[Optional[ActivationRecord]]:
+        """Bulk-fetch activation records: one round trip for the whole batch.
+
+        ``None`` for unknown ids.  The executor's lost-call detector scans an
+        entire callset per polling round with this, instead of N requests.
+        """
+        self._network_round_trip(INVOKE_PAYLOAD_BYTES)
+        return self.platform.get_activations_bulk(activation_ids)
 
     def wait(
         self, activation_id: str, timeout: Optional[float] = None

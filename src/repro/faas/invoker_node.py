@@ -39,6 +39,14 @@ class InvokerNode:
         self._lock = threading.Lock()
         self.cold_starts = 0
         self.warm_starts = 0
+        #: scheduled (start, end) windows during which this node accepts no
+        #: placements (chaos-plane blackouts); empty by default
+        self.blackouts: list[tuple[float, float]] = []
+
+    # -- availability --------------------------------------------------------
+    def available(self, now: float) -> bool:
+        """Whether the node accepts placements at virtual time ``now``."""
+        return not any(start <= now < end for start, end in self.blackouts)
 
     # -- image cache -------------------------------------------------------
     def image_cached(self, runtime: str) -> bool:
@@ -119,10 +127,10 @@ class InvokerNode:
             container.activations_served += 1
             self._idle.setdefault(container.action_fqn, []).append(container)
 
-    def discard(self, container: Container) -> None:
+    def discard(self, container: Container, crashed: bool = False) -> None:
         """Destroy a busy container (crash path): frees its memory."""
         with self._lock:
-            container.state = Container.STOPPED
+            container.state = Container.CRASHED if crashed else Container.STOPPED
             self._used_mb -= container.memory_mb
 
     def _make_room_locked(self, needed_mb: int, now: float) -> bool:

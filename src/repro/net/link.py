@@ -28,12 +28,16 @@ class NetworkLink:
         latency: LatencyModel,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         seed: int = 0,
+        chaos=None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
         self.kernel = kernel
         self.latency = latency
         self.bandwidth_bps = float(bandwidth_bps)
+        self.seed = seed
+        #: optional :class:`repro.chaos.ChaosPlane` degrading this link
+        self.chaos = chaos
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
         self._requests = 0
@@ -59,6 +63,19 @@ class NetworkLink:
         with self._rng_lock:
             rtt = self.latency.sample_rtt(self._rng)
             fails = allow_failure and self.latency.sample_failure(self._rng)
+            if self.chaos is not None:
+                # chaos draws come from the plane's own streams, keyed by
+                # (link seed, request index): the link's RNG is untouched
+                factor, drop = self.chaos.link_degradation(
+                    self.seed, self._requests
+                )
+                rtt *= factor
+                if allow_failure and drop and not fails:
+                    fails = True
+                    self.chaos.record(
+                        self.kernel.now(), "link", "drop",
+                        f"link-{self.seed}#{self._requests}",
+                    )
             self._requests += 1
             if fails:
                 self._failures += 1
@@ -105,4 +122,5 @@ class NetworkLink:
             self.latency,
             self.bandwidth_bps,
             seed=seed_offset * 7919 + 13,
+            chaos=self.chaos,
         )

@@ -30,6 +30,7 @@ def cloud():
         client: str = "wan",
         seed: int = 123,
         limits: SystemLimits | None = None,
+        chaos=None,
         **config_kwargs,
     ) -> CloudEnvironment:
         latency = {
@@ -38,7 +39,7 @@ def cloud():
             "in_cloud": LatencyModel.in_cloud,
         }[client]()
         env = CloudEnvironment.create(
-            client_latency=latency, limits=limits, seed=seed
+            client_latency=latency, limits=limits, seed=seed, chaos=chaos
         )
         if config_kwargs:
             env.config = env.config.with_overrides(**config_kwargs)

@@ -1,0 +1,178 @@
+"""Unit tests for the shared retry engine and its configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PyWrenConfig, RetryConfig
+from repro.cos.errors import NoSuchKey, ServiceUnavailable, SlowDown
+from repro.faas.errors import ThrottledError
+from repro.net.latency import TransientNetworkError
+from repro.retry import RetryPolicy, is_retryable
+from repro.vtime import Kernel
+
+
+class TestRetryConfig:
+    def test_defaults_validate(self):
+        RetryConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"initial_backoff_s": -1.0},
+            {"max_backoff_s": 0.5},  # below initial_backoff_s
+            {"multiplier": 0.5},
+            {"jitter": "gaussian"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryConfig(**kwargs).validate()
+
+    def test_pywren_config_carries_retry(self):
+        cfg = PyWrenConfig(retry=RetryConfig(max_attempts=2))
+        cfg.validate()
+        assert cfg.retry.max_attempts == 2
+
+    def test_pywren_config_rejects_non_retryconfig(self):
+        with pytest.raises(ValueError, match="RetryConfig"):
+            PyWrenConfig(retry={"max_attempts": 3}).validate()
+
+    def test_from_dict_builds_nested_retry(self):
+        cfg = PyWrenConfig.from_dict(
+            {"retry": {"max_attempts": 4, "jitter": "none"}}
+        )
+        assert cfg.retry == RetryConfig(max_attempts=4, jitter="none")
+
+    def test_from_dict_rejects_unknown_retry_keys(self):
+        with pytest.raises(ValueError, match="unknown retry config keys"):
+            PyWrenConfig.from_dict({"retry": {"attempts": 4}})
+
+    def test_to_dict_roundtrip(self):
+        cfg = PyWrenConfig(retry=RetryConfig(max_attempts=3), invocation_retries=7)
+        again = PyWrenConfig.from_dict(cfg.to_dict())
+        assert again.retry == cfg.retry
+        assert again.invocation_retries == 7
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TransientNetworkError("lost"),
+            ServiceUnavailable("503"),
+            SlowDown("slow down"),
+            ThrottledError("429"),
+        ],
+    )
+    def test_transient_errors_are_retryable(self, exc):
+        assert is_retryable(exc)
+
+    @pytest.mark.parametrize(
+        "exc", [NoSuchKey("k"), ValueError("boom"), KeyError("k")]
+    )
+    def test_terminal_errors_are_not(self, exc):
+        assert not is_retryable(exc)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            RetryConfig(initial_backoff_s=1.0, multiplier=2.0, jitter="none")
+        )
+        assert [policy.backoff(a) for a in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            RetryConfig(initial_backoff_s=1.0, max_backoff_s=5.0, jitter="none")
+        )
+        assert policy.backoff(10) == 5.0
+
+    def test_full_jitter_stays_within_base(self):
+        policy = RetryPolicy(
+            RetryConfig(initial_backoff_s=1.0, multiplier=2.0, jitter="full"),
+            seed=3,
+        )
+        for attempt in range(1, 6):
+            base = min(30.0, 2.0 ** (attempt - 1))
+            for _ in range(20):
+                assert 0.0 <= policy.backoff(attempt) <= base
+
+    def test_retry_after_hint_overrides_schedule(self):
+        policy = RetryPolicy(RetryConfig(jitter="none"))
+        assert policy.backoff(1, retry_after=12.5) == 12.5
+
+    def test_deterministic_under_seed(self):
+        a = RetryPolicy(RetryConfig(), seed=11)
+        b = RetryPolicy(RetryConfig(), seed=11)
+        assert [a.backoff(i) for i in range(1, 8)] == [
+            b.backoff(i) for i in range(1, 8)
+        ]
+
+
+class TestRun:
+    def test_retries_until_success(self):
+        kernel = Kernel()
+        policy = RetryPolicy(RetryConfig(jitter="none"))
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientNetworkError("lost")
+            return "ok"
+
+        def main():
+            return policy.run(flaky, kernel), kernel.now()
+
+        value, elapsed = kernel.run(main)
+        assert value == "ok"
+        assert len(calls) == 3
+        assert policy.retries == 2
+        assert elapsed == pytest.approx(1.0 + 2.0)  # the two backoff sleeps
+
+    def test_exhaustion_raises_last_error(self):
+        kernel = Kernel()
+        policy = RetryPolicy(RetryConfig(max_attempts=3, jitter="none"))
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise ServiceUnavailable("503")
+
+        with pytest.raises(ServiceUnavailable):
+            kernel.run(lambda: policy.run(always_down, kernel))
+        assert len(calls) == 3
+
+    def test_non_retryable_raises_immediately(self):
+        kernel = Kernel()
+        policy = RetryPolicy(RetryConfig())
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            kernel.run(lambda: policy.run(broken, kernel))
+        assert len(calls) == 1
+        assert policy.retries == 0
+
+    def test_retry_after_honored_in_run(self):
+        kernel = Kernel()
+        policy = RetryPolicy(RetryConfig(jitter="none"))
+        calls = []
+
+        def throttled_once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ThrottledError("429", retry_after=7.0)
+            return "done"
+
+        def main():
+            return policy.run(throttled_once, kernel), kernel.now()
+
+        value, elapsed = kernel.run(main)
+        assert value == "done"
+        assert elapsed == pytest.approx(7.0)

@@ -102,6 +102,64 @@ class TestThrottleRetry:
         assert retries >= 1  # the 3rd/4th invocations had to retry
 
 
+class TestRetryAfterHint:
+    def test_controller_populates_retry_after_from_load(self, kernel):
+        from repro.faas.errors import ThrottledError
+
+        platform = make_platform(kernel, max_concurrent=2)
+
+        def main():
+            client = make_client(kernel, platform)
+            for _ in range(2):
+                client.invoke("guest", "busy", {"t": 50})
+            # capacity is full: a direct platform call gets the 429 + hint
+            try:
+                platform.invoke("guest", "busy", {})
+            except ThrottledError as exc:
+                return exc.retry_after
+            return None
+
+        hint = kernel.run(main)
+        # full load → the controller asks for the maximum backoff (1.0 s)
+        assert hint == pytest.approx(1.0)
+
+    def test_client_honors_retry_after(self, kernel):
+        from repro.faas.errors import ThrottledError
+        from repro.net import LatencyModel, NetworkLink
+
+        class OneThrottlePlatform:
+            """Throttles the first attempt with an explicit hint."""
+
+            def __init__(self, kernel):
+                self.kernel = kernel
+                self.attempts = 0
+
+            def invoke(self, namespace, action, params, credentials=None):
+                self.attempts += 1
+                if self.attempts == 1:
+                    raise ThrottledError("429", retry_after=5.0)
+                return "act-1"
+
+        platform = OneThrottlePlatform(kernel)
+        link = NetworkLink(
+            kernel, LatencyModel(rtt=0.0, jitter=0.0, failure_prob=0.0), seed=1
+        )
+        from repro.faas import CloudFunctionsClient
+
+        def main():
+            client = CloudFunctionsClient(platform, link)
+            t0 = kernel.now()
+            aid = client.invoke("guest", "busy", {})
+            return aid, kernel.now() - t0, client.throttle_retries
+
+        aid, elapsed, retries = kernel.run(main)
+        assert aid == "act-1"
+        assert retries == 1
+        # the client slept exactly the server's hint, not its own schedule
+        # (plus the ~20 µs transfer time of the two zero-RTT requests)
+        assert elapsed == pytest.approx(5.0, abs=0.01)
+
+
 class TestWaitTimeout:
     def test_wait_with_timeout_returns_unfinished_record(self, kernel):
         platform = make_platform(kernel)

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 EXPECTED_OUTPUT = {
     "quickstart.py": "map result: [10, 13, 16]",
@@ -38,12 +40,19 @@ def test_every_example_has_an_expectation():
     "script", example_scripts(), ids=lambda p: p.name
 )
 def test_example_runs_green(script: pathlib.Path, tmp_path):
+    # the subprocess runs from a scratch cwd, so it needs the repo's src/
+    # on PYTHONPATH explicitly (prepended, in case the caller set one)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=300,
         cwd=tmp_path,  # artifacts (SVG maps) land in a scratch dir
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert EXPECTED_OUTPUT[script.name] in result.stdout
