@@ -1,4 +1,4 @@
-.PHONY: install test chaos bench examples all clean
+.PHONY: install test lint chaos bench bench-trace examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -7,6 +7,12 @@ install:
 test:
 	pytest tests/
 
+# static checks; skips gracefully when ruff is not installed locally
+lint:
+	@command -v ruff >/dev/null 2>&1 \
+	  && ruff check src tests benchmarks \
+	  || echo "ruff not installed; skipping lint (pip install ruff)"
+
 # fault-injection subset, exercised under two named chaos profiles
 chaos:
 	PYTHONPATH=src python -m pytest tests/integration/test_chaos.py -q -k "storm"
@@ -14,6 +20,11 @@ chaos:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# tracing overhead: same workload with the spine disabled vs enabled;
+# writes BENCH_trace_overhead.json (acceptance: disabled adds <5%)
+bench-trace:
+	PYTHONPATH=src python benchmarks/bench_trace_overhead.py
 
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; python3 $$ex; echo; done

@@ -47,6 +47,7 @@ from repro.core import (
 )
 from repro.core.stats import JobStats, collect_job_stats
 from repro.retry import RetryPolicy
+from repro.trace import TraceEvent, Tracer
 from repro.vtime import now, sleep
 
 
@@ -97,5 +98,7 @@ __all__ = [
     "compute",
     "JobStats",
     "collect_job_stats",
+    "Tracer",
+    "TraceEvent",
     "__version__",
 ]

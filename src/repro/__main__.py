@@ -6,6 +6,8 @@ Subcommands::
     python -m repro quickstart       # run the Fig. 1 flow end to end
     python -m repro demo             # quickstart + wsk-style inspection
     python -m repro bench <exp>      # delegate to repro.bench (fig2 ...)
+    python -m repro trace FILE [--svg OUT] [--chrome OUT] [--title T]
+                                     # inspect / render an exported trace
 """
 
 from __future__ import annotations
@@ -65,6 +67,71 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_trace(args: Sequence[str]) -> int:
+    """Inspect a trace JSONL file; render Fig. 2/3-style SVG or Chrome JSON."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Summarize an exported trace and render it as the "
+        "paper's Fig. 2/3-style SVG timeline or Chrome trace_event JSON "
+        "(loadable in Perfetto).",
+    )
+    parser.add_argument("file", help="trace JSONL file (executor.trace_jsonl())")
+    parser.add_argument("--svg", metavar="OUT", help="write timeline SVG here")
+    parser.add_argument(
+        "--chrome", metavar="OUT", help="write Chrome trace_event JSON here"
+    )
+    parser.add_argument(
+        "--title", default=None, help="SVG title (default: derived from file)"
+    )
+    opts = parser.parse_args(list(args))
+
+    from repro.analytics.timeline import render_execution_timeline
+    from repro.trace import derive, export
+
+    with open(opts.file, "r", encoding="utf-8") as fh:
+        events = export.from_jsonl(fh.read())
+    if not events:
+        print(f"{opts.file}: no events")
+        return 1
+
+    by_layer: dict[str, int] = {}
+    for event in events:
+        by_layer[event.layer] = by_layer.get(event.layer, 0) + 1
+    horizon = max(event.end for event in events)
+    print(f"{opts.file}: {len(events)} events over {horizon:.2f}s virtual")
+    for layer in sorted(by_layer):
+        print(f"  {layer:<11} {by_layer[layer]}")
+
+    records = derive.call_records_from_events(events)
+    if records:
+        stats = derive.job_stats_from_events(events)
+        print(
+            f"calls: {stats.n_calls}  makespan: {stats.makespan:.2f}s  "
+            f"spawn spread: {stats.spawn_spread:.2f}s  "
+            f"p95 duration: {stats.p95_duration:.2f}s  "
+            f"failed: {stats.failed_calls}  retries: {stats.retries_total}"
+        )
+    billing = derive.billing_totals_from_events(events)
+    if billing["activations"]:
+        print(
+            f"billing: {billing['activations']} activations, "
+            f"{billing['gb_seconds']:.3f} GB-s, ${billing['cost']:.6f}"
+        )
+
+    if opts.svg:
+        intervals = derive.execution_intervals(events)
+        title = opts.title or f"Trace {opts.file}"
+        with open(opts.svg, "w", encoding="utf-8") as fh:
+            fh.write(render_execution_timeline(intervals, title=title))
+        print(f"wrote {opts.svg} ({len(intervals)} executions)")
+    if opts.chrome:
+        export.write_chrome_trace(events, opts.chrome)
+        print(f"wrote {opts.chrome} (open in Perfetto / chrome://tracing)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -81,6 +148,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench.__main__ import main as bench_main
 
         return bench_main(rest)
+    if command == "trace":
+        return _cmd_trace(rest)
     print(f"unknown command {command!r}\n{__doc__}")
     return 2
 

@@ -1,13 +1,14 @@
 """Execution-timeline rendering, in the style of the paper's Figs. 2 and 3.
 
-Given activation records (or raw ``(start, end)`` intervals), renders an
-SVG with one horizontal gray line per function execution, stacked by start
-order, plus the black total-concurrency curve on a secondary axis — the
-exact visual language of Fig. 3.
+Given activation records, trace events, or raw ``(start, end)`` intervals,
+renders an SVG with one horizontal gray line per function execution,
+stacked by start order, plus the black total-concurrency curve on a
+secondary axis — the exact visual language of Fig. 3.
 """
 
 from __future__ import annotations
 
+from xml.sax.saxutils import escape
 from typing import Iterable, Optional, Sequence
 
 _WIDTH = 900
@@ -23,29 +24,55 @@ def concurrency_timeline(
     """Concurrent-execution counts over time from (start, end) intervals.
 
     This is how Figs. 2 and 3's black "total concurrent" lines are computed
-    from activation records.
+    from activation records.  Sweeps the sorted start/end events directly —
+    one output sample per time the level changes — so the cost scales with
+    the number of intervals, not the horizon, and no float drift accumulates
+    the way fixed-step sampling does.  ``resolution`` is kept for API
+    compatibility and ignored.
+
+    Returns ``(t - origin, level)`` pairs: the level at the origin (``t0``
+    or the earliest event), then one pair per subsequent change point.
     """
+    del resolution  # event sweep: sampling step no longer applies
     intervals = list(intervals)
     if not intervals:
         return []
-    events: list[tuple[float, int]] = []
+    deltas: dict[float, int] = {}
     for start, end in intervals:
-        events.append((start, +1))
-        events.append((end, -1))
-    events.sort()
-    origin = t0 if t0 is not None else min(e[0] for e in events)
-    horizon = max(e[0] for e in events)
-    timeline: list[tuple[float, int]] = []
+        deltas[start] = deltas.get(start, 0) + 1
+        deltas[end] = deltas.get(end, 0) - 1
+    changes = sorted(deltas.items())
+    origin = t0 if t0 is not None else changes[0][0]
     level = 0
-    idx = 0
-    t = origin
-    while t <= horizon + resolution / 2:
-        while idx < len(events) and events[idx][0] <= t:
-            level += events[idx][1]
-            idx += 1
-        timeline.append((t - origin, level))
-        t += resolution
+    timeline: list[tuple[float, int]] = []
+    for t, delta in changes:
+        level += delta
+        if t <= origin:
+            # everything at or before the origin folds into the first sample
+            if timeline:
+                timeline[0] = (0.0, level)
+            else:
+                timeline.append((0.0, level))
+        else:
+            if not timeline:
+                timeline.append((0.0, 0))
+            timeline.append((t - origin, level))
     return timeline
+
+
+def intervals_from_events(
+    events: Iterable,
+    executor_id: Optional[str] = None,
+    callset_id: Optional[str] = None,
+) -> list[tuple[float, float]]:
+    """(start, end) execution windows from a trace-event stream.
+
+    Thin delegate to :func:`repro.trace.derive.execution_intervals`, so
+    timeline figures can be driven directly from an exported trace.
+    """
+    from repro.trace import derive
+
+    return derive.execution_intervals(events, executor_id, callset_id)
 
 
 def render_execution_timeline(
@@ -55,12 +82,13 @@ def render_execution_timeline(
 ) -> str:
     """Render execution intervals + concurrency curve as an SVG document."""
     intervals = sorted(intervals)
+    safe_title = escape(str(title))
     header = (
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
         f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">'
         f'<rect width="100%" height="100%" fill="#ffffff"/>'
         f'<text x="{_MARGIN}" y="24" font-size="15" '
-        f'font-family="sans-serif">{title} ({len(intervals)} functions)</text>'
+        f'font-family="sans-serif">{safe_title} ({len(intervals)} functions)</text>'
     )
     if not intervals:
         return header + "</svg>"
@@ -85,13 +113,23 @@ def render_execution_timeline(
 
     timeline = concurrency_timeline(intervals, resolution=resolution, t0=t0)
     peak = max(level for _t, level in timeline) or 1
-    points = " ".join(
-        f"{_x(t0 + t):.1f},"
-        f"{_HEIGHT - _MARGIN - level / peak * (_HEIGHT - 2 * _MARGIN):.1f}"
-        for t, level in timeline
-    )
+
+    def _xy(t: float, level: int) -> str:
+        return (
+            f"{_x(t0 + t):.1f},"
+            f"{_HEIGHT - _MARGIN - level / peak * (_HEIGHT - 2 * _MARGIN):.1f}"
+        )
+
+    # step curve: hold each level until the next change point
+    vertices: list[str] = []
+    prev_level: Optional[int] = None
+    for t, level in timeline:
+        if prev_level is not None:
+            vertices.append(_xy(t, prev_level))
+        vertices.append(_xy(t, level))
+        prev_level = level
     curve = (
-        f'<polyline points="{points}" fill="none" stroke="#111111" '
+        f'<polyline points="{" ".join(vertices)}" fill="none" stroke="#111111" '
         f'stroke-width="2"/>'
     )
     axis = (

@@ -196,11 +196,17 @@ class ChaosPlane:
         self.timeline: list[FaultEvent] = []
         self._lock = threading.Lock()
         self._blackouts: dict[int, list[tuple[float, float]]] = {}
+        #: optional :class:`repro.trace.Tracer`; injected faults are mirrored
+        #: onto the trace spine as ``chaos.<site>`` points
+        self.tracer = None
 
     # -- bookkeeping -------------------------------------------------------
     def record(self, t: float, site: str, kind: str, target: str) -> None:
         with self._lock:
             self.timeline.append(FaultEvent(t, site, kind, target))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.point(f"chaos.{site}", "chaos", t=t, kind=kind, target=target)
 
     def timeline_key(self) -> list[tuple[str, str, str]]:
         """Order-insensitive timeline identity (sorted event keys)."""
@@ -297,13 +303,24 @@ class ChaosPlane:
         with self._lock:
             if node_id not in self._blackouts:
                 self._blackouts[node_id] = windows
+                recorded = windows
                 for start, _end in windows:
                     self.timeline.append(
                         FaultEvent(
                             start, "blackout", "window", f"node-{node_id}@{start:.3f}"
                         )
                     )
-            return self._blackouts[node_id]
+            else:
+                recorded = []
+            result = self._blackouts[node_id]
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            for start, _end in recorded:
+                tracer.point(
+                    "chaos.blackout", "chaos", t=start,
+                    kind="window", target=f"node-{node_id}@{start:.3f}",
+                )
+        return result
 
 
 def build_plane(chaos) -> Optional[ChaosPlane]:

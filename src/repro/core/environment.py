@@ -25,6 +25,7 @@ from repro.faas.limits import SystemLimits
 from repro.faas.runtime import RuntimeRegistry
 from repro.net.latency import LatencyModel
 from repro.net.link import NetworkLink
+from repro.trace import Tracer
 from repro.vtime import Kernel
 
 
@@ -41,6 +42,7 @@ class CloudEnvironment:
         client_latency: LatencyModel,
         seed: int = 42,
         chaos=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.kernel = kernel
         self.storage = storage
@@ -51,6 +53,12 @@ class CloudEnvironment:
         self.seed = seed
         #: the fault-injection plane, or ``None`` for a fault-free cloud
         self.chaos = chaos
+        #: the trace spine (disabled unless ``create(trace=True)``)
+        self.tracer = tracer if tracer is not None else Tracer(kernel, enabled=False)
+        storage.tracer = self.tracer
+        platform.tracer = self.tracer
+        if chaos is not None:
+            chaos.tracer = self.tracer
         self._link_seq = itertools.count(1)
         self._deploy_lock = threading.Lock()
         self._deployed_actions: set[str] = set()
@@ -74,6 +82,7 @@ class CloudEnvironment:
         kernel: Optional[Kernel] = None,
         crash_prob: float = 0.0,
         chaos=None,
+        trace: bool = False,
     ) -> "CloudEnvironment":
         """Build a complete environment with sensible defaults.
 
@@ -86,6 +95,9 @@ class CloudEnvironment:
         ``"crashy-workers"``, ``"storm"``), or an already-built
         :class:`~repro.chaos.ChaosPlane`.  ``None`` or the ``"none"``
         profile leave every layer untouched.
+
+        ``trace=True`` enables the trace spine: every layer emits spans
+        onto ``env.tracer`` (see :mod:`repro.trace`).
         """
         from repro.chaos import build_plane
 
@@ -115,6 +127,7 @@ class CloudEnvironment:
             client_latency,
             seed,
             chaos=plane,
+            tracer=Tracer(kernel, enabled=bool(trace)),
         )
 
     # ------------------------------------------------------------------
@@ -126,6 +139,7 @@ class CloudEnvironment:
             self.client_latency,
             seed=self.seed * 1000 + next(self._link_seq),
             chaos=self.chaos,
+            tracer=self.tracer,
         )
 
     def client_cos(self) -> COSClient:

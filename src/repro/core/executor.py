@@ -18,6 +18,7 @@ reduceByKey-like mode with one reducer per object key.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.core import context as ambient
@@ -101,6 +102,8 @@ class FunctionExecutor:
         self.kernel = environment.kernel
         self.executor_id = new_executor_id(environment.seed)
         self.in_cloud = in_cloud
+        #: the environment's trace spine (disabled unless ``trace=True``)
+        self.tracer = getattr(environment, "tracer", None)
 
         if in_cloud:
             link_factory = environment.platform.in_cloud_link_factory
@@ -318,6 +321,13 @@ class FunctionExecutor:
         fs = list(futures) if futures is not None else list(self.futures)
         return self._wait(fs, return_when, timeout)
 
+    def _trace_scope(self):
+        """Ambient ``executor_id`` binding for client-side trace emission."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer.bind(executor_id=self.executor_id)
+        return contextlib.nullcontext()
+
     def _wait(
         self,
         fs: list[ResponseFuture],
@@ -325,19 +335,20 @@ class FunctionExecutor:
         timeout: Optional[float],
         on_progress=None,
     ) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
-        if self._mq is not None:
-            return self._wait_push(fs, return_when, timeout, on_progress)
-        return wait_on(
-            fs,
-            self._storage,
-            return_when=return_when,
-            poll_interval=self.config.poll_interval,
-            timeout=timeout,
-            on_progress=on_progress,
-            lost_detector=(
-                self._recover_lost if self._recover_lost_enabled else None
-            ),
-        )
+        with self._trace_scope():
+            if self._mq is not None:
+                return self._wait_push(fs, return_when, timeout, on_progress)
+            return wait_on(
+                fs,
+                self._storage,
+                return_when=return_when,
+                poll_interval=self.config.poll_interval,
+                timeout=timeout,
+                on_progress=on_progress,
+                lost_detector=(
+                    self._recover_lost if self._recover_lost_enabled else None
+                ),
+            )
 
     def _wait_push(
         self,
@@ -474,12 +485,25 @@ class FunctionExecutor:
                 reinvoke.append(future)
             else:
                 self._bury(future, record)
+        tracer = self.tracer
         for future in reinvoke:
             activation_id = self._functions.invoke(
                 self.config.namespace, self._runner_action, future._call_params
             )
             future.mark_invoked(activation_id)
             self._retries_total += 1
+            if tracer is not None and tracer.enabled:
+                tracer.point(
+                    "client.invoke", "client",
+                    ids={
+                        "executor_id": future.executor_id,
+                        "callset_id": future.callset_id,
+                        "call_id": future.call_id,
+                        "activation_id": activation_id,
+                        "attempt": max(1, future.invoke_count),
+                    },
+                    recovered=True,
+                )
 
     def _bury(self, future: ResponseFuture, record) -> None:
         """Exhausted retry budget: publish a synthetic ``lost`` status.
@@ -506,6 +530,21 @@ class FunctionExecutor:
             self.executor_id, future.callset_id, future.call_id, status
         ):
             future._ingest_status(status)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.point(
+                    "client.bury", "client",
+                    ids={
+                        "executor_id": self.executor_id,
+                        "callset_id": future.callset_id,
+                        "call_id": future.call_id,
+                        "activation_id": record.activation_id,
+                    },
+                    success=False,
+                    lost=True,
+                    run_start=record.start_time,
+                    run_end=record.end_time,
+                )
         # else: a real status exists after all — the next poll round sees it
 
     def resilience_stats(self) -> dict[str, Any]:
@@ -550,20 +589,46 @@ class FunctionExecutor:
 
         progress = ProgressBar(len(fs), enabled=self.config.progress_bar)
 
-        def _on_progress(done: int, _total: int) -> None:
+        def _render(done: int) -> None:
             postfix = (
                 f" [{self._retries_total} retried]" if self._retries_total else ""
             )
             progress.update(done, postfix=postfix)
 
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        unsubscribe = None
+        if tracing:
+            # the progress bar sits on the spine: the wait loop emits
+            # ``client.progress`` points and a subscriber renders them
+            def _on_trace_event(event) -> None:
+                if (
+                    event.name == "client.progress"
+                    and event.get_id("executor_id") == self.executor_id
+                ):
+                    _render(event.get_attr("done", 0))
+
+            unsubscribe = tracer.subscribe(_on_trace_event)
+
+            def _on_progress(done: int, total: int) -> None:
+                tracer.point(
+                    "client.progress", "client",
+                    ids={"executor_id": self.executor_id},
+                    done=done, total=total,
+                )
+        else:
+            def _on_progress(done: int, _total: int) -> None:
+                _render(done)
+
         try:
             self._wait(fs, ALL_COMPLETED, timeout, on_progress=_on_progress)
         except KeyboardInterrupt:
             # §4.2: keyboard interruption cancels the retrieval of results.
-            progress.close()
             raise
         finally:
             progress.close()
+            if unsubscribe is not None:
+                unsubscribe()
 
         def _fetch(future: ResponseFuture) -> Any:
             return future.result(timeout=timeout, throw_except=throw_except)
@@ -636,6 +701,58 @@ class FunctionExecutor:
         return render_execution_timeline(
             intervals, title=f"Executor {self.executor_id}"
         )
+
+    # ------------------------------------------------------------------
+    # Trace access
+    # ------------------------------------------------------------------
+    def trace_events(self, callset_id: Optional[str] = None) -> list:
+        """This executor's trace events, in deterministic order.
+
+        Keeps only events stamped with this executor's id (plus un-stamped
+        infrastructure events are excluded); optionally narrowed to one
+        callset.  Requires the environment to have been created with
+        ``trace=True``.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return []
+        out = []
+        for event in tracer.events():
+            if event.get_id("executor_id") != self.executor_id:
+                continue
+            if callset_id is not None and event.get_id("callset_id") != callset_id:
+                continue
+            out.append(event)
+        return out
+
+    def trace_jsonl(self, callset_id: Optional[str] = None) -> str:
+        """This executor's trace as deterministic JSONL text."""
+        from repro.trace import export
+
+        return export.to_jsonl(self.trace_events(callset_id))
+
+    def persist_trace(self, callset_id: Optional[str] = None) -> list[str]:
+        """Write per-callset trace JSONL objects to COS.
+
+        One ``trace.jsonl`` object per callset, stored next to the callset's
+        status/result (and dead-letter) objects.  Returns the keys written.
+        """
+        from repro.trace import export
+
+        events = self.trace_events(callset_id)
+        by_callset: dict[str, list] = {}
+        for event in events:
+            cs = event.get_id("callset_id")
+            if cs is not None:
+                by_callset.setdefault(cs, []).append(event)
+        keys = []
+        for cs, cs_events in sorted(by_callset.items()):
+            keys.append(
+                self._storage.put_trace(
+                    self.executor_id, cs, export.to_jsonl(cs_events)
+                )
+            )
+        return keys
 
     # ------------------------------------------------------------------
     # Retry
@@ -758,6 +875,17 @@ class FunctionExecutor:
         retries: Optional[int] = None,
     ) -> list[ResponseFuture]:
         """Serialize + upload code and data, then invoke all calls."""
+        with self._trace_scope():
+            return self._submit_inner(func, items, partitions, label, retries)
+
+    def _submit_inner(
+        self,
+        func: Callable[[Any], Any],
+        items: Optional[list[Any]],
+        partitions: Optional[list[StoragePartition]],
+        label: str,
+        retries: Optional[int],
+    ) -> list[ResponseFuture]:
         import types as _types
 
         if self.config.validate_runtime_packages and isinstance(
@@ -851,19 +979,24 @@ class FunctionExecutor:
         mode = self.config.invoker_mode
         if mode == InvokerMode.LOCAL:
             return LocalInvoker(
-                self.kernel, self._functions, self.config.invoker_pool_size
+                self.kernel,
+                self._functions,
+                self.config.invoker_pool_size,
+                tracer=self.tracer,
             )
         if mode == InvokerMode.REMOTE:
             return RemoteInvoker(
                 self.kernel,
                 self._functions,
                 pool_size=self.config.remote_invoker_pool_size,
+                tracer=self.tracer,
             )
         return MassiveInvoker(
             self.kernel,
             self._functions,
             group_size=self.config.massive_group_size,
             client_pool_size=self.config.invoker_pool_size,
+            tracer=self.tracer,
         )
 
 

@@ -26,6 +26,9 @@ from repro.vtime import Kernel
 class Invoker:
     """Strategy interface: issue one invocation per call-params dict."""
 
+    #: optional :class:`repro.trace.Tracer`; set by the executor
+    tracer = None
+
     def invoke_calls(
         self,
         namespace: str,
@@ -35,16 +38,35 @@ class Invoker:
     ) -> None:
         raise NotImplementedError
 
+    def _trace_invoke(self, future: ResponseFuture) -> None:
+        """Record one ``client.invoke`` attempt for ``future``."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            ids = {
+                "executor_id": future.executor_id,
+                "callset_id": future.callset_id,
+                "call_id": future.call_id,
+                "attempt": max(1, future.invoke_count),
+            }
+            if future.activation_id is not None:
+                ids["activation_id"] = future.activation_id
+            tracer.point("client.invoke", "client", ids=ids)
+
 
 class LocalInvoker(Invoker):
     """Client-side invocation with a thread pool."""
 
     def __init__(
-        self, kernel: Kernel, functions: CloudFunctionsClient, pool_size: int
+        self,
+        kernel: Kernel,
+        functions: CloudFunctionsClient,
+        pool_size: int,
+        tracer=None,
     ) -> None:
         self.kernel = kernel
         self.functions = functions
         self.pool_size = pool_size
+        self.tracer = tracer
 
     def invoke_calls(
         self,
@@ -59,6 +81,7 @@ class LocalInvoker(Invoker):
             params, future = pair
             activation_id = self.functions.invoke(namespace, action, params)
             future.mark_invoked(activation_id)
+            self._trace_invoke(future)
 
         run_pool(self.kernel, _invoke, pairs, self.pool_size, name="invoker")
 
@@ -71,10 +94,12 @@ class RemoteInvoker(Invoker):
         kernel: Kernel,
         functions: CloudFunctionsClient,
         pool_size: int = 4,
+        tracer=None,
     ) -> None:
         self.kernel = kernel
         self.functions = functions
         self.pool_size = pool_size
+        self.tracer = tracer
 
     def invoke_calls(
         self,
@@ -92,6 +117,7 @@ class RemoteInvoker(Invoker):
         self.functions.invoke(namespace, REMOTE_INVOKER_ACTION, params)
         for future in futures:
             future.mark_invoked(None)
+            self._trace_invoke(future)
 
 
 class MassiveInvoker(Invoker):
@@ -107,6 +133,7 @@ class MassiveInvoker(Invoker):
         functions: CloudFunctionsClient,
         group_size: int = 100,
         client_pool_size: int = 8,
+        tracer=None,
     ) -> None:
         if group_size <= 0:
             raise ValueError("group_size must be positive")
@@ -114,6 +141,7 @@ class MassiveInvoker(Invoker):
         self.functions = functions
         self.group_size = group_size
         self.client_pool_size = client_pool_size
+        self.tracer = tracer
 
     def invoke_calls(
         self,
@@ -146,3 +174,4 @@ class MassiveInvoker(Invoker):
         )
         for future in futures:
             future.mark_invoked(None)
+            self._trace_invoke(future)

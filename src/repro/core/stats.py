@@ -5,12 +5,18 @@ invocations, such as execution times" in COS (§4.2); this module turns a
 job's futures into the summary numbers the paper's evaluation narrates:
 invocation phase, execution spread (the fast/slow functions visible in
 Fig. 3), and total makespan.
+
+The aggregation itself works on plain :class:`CallRecord` values so the
+same derivation serves both sources of truth: future statuses
+(:func:`collect_job_stats`) and the trace spine
+(:func:`repro.trace.derive.job_stats_from_events`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.futures import ResponseFuture
 
@@ -53,42 +59,66 @@ class JobStats:
         return self.max_duration / self.p50_duration
 
 
+@dataclass(frozen=True)
+class CallRecord:
+    """Outcome of one call, independent of where it was observed.
+
+    ``start``/``end`` are ``None`` for buried (lost) calls that never
+    reported execution timestamps; ``attempts`` counts invocations
+    (1 = no retries).
+    """
+
+    start: Optional[float]
+    end: Optional[float]
+    success: bool
+    attempts: int = 1
+
+
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values.
+
+    ``q`` is a fraction in [0, 1].  For a rank that falls between two
+    samples the value is interpolated between them, so e.g. the p95 of
+    ``[1, 2, 3, 4]`` is 3.85 rather than snapping to a neighbour the way
+    nearest-rank rounding does on small samples.
+    """
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lo = math.floor(position)
+    hi = math.ceil(position)
+    if lo == hi:
+        return sorted_values[int(position)]
+    fraction = position - lo
+    return sorted_values[lo] * (1.0 - fraction) + sorted_values[hi] * fraction
 
 
-def collect_job_stats(futures: Sequence[ResponseFuture]) -> JobStats:
-    """Aggregate statuses of finished futures into a :class:`JobStats`.
-
-    Each future's status is fetched (cached after the first read), so call
-    this after ``get_result``/``wait`` to avoid extra polling.
-    """
-    futures = list(futures)
-    if not futures:
-        raise ValueError("collect_job_stats needs at least one future")
+def stats_from_call_records(records: Sequence[CallRecord]) -> JobStats:
+    """Aggregate :class:`CallRecord` values into a :class:`JobStats`."""
+    records = list(records)
+    if not records:
+        raise ValueError("stats_from_call_records needs at least one record")
     starts: list[float] = []
     ends: list[float] = []
     durations: list[float] = []
     retries_total = 0
     failed_calls = 0
-    for future in futures:
-        status = future.status()
-        retries_total += max(0, future.invoke_count - 1)
-        if not status.get("success"):
+    for record in records:
+        retries_total += max(0, record.attempts - 1)
+        if not record.success:
             failed_calls += 1
         # buried (lost) calls may lack execution timestamps
-        if status.get("start_time") is None or status.get("end_time") is None:
+        if record.start is None or record.end is None:
             continue
-        starts.append(status["start_time"])
-        ends.append(status["end_time"])
-        durations.append(status["end_time"] - status["start_time"])
+        starts.append(record.start)
+        ends.append(record.end)
+        durations.append(record.end - record.start)
     durations.sort()
     if not durations:
         return JobStats(
-            n_calls=len(futures),
+            n_calls=len(records),
             first_start=0.0,
             last_start=0.0,
             last_end=0.0,
@@ -100,7 +130,7 @@ def collect_job_stats(futures: Sequence[ResponseFuture]) -> JobStats:
             failed_calls=failed_calls,
         )
     return JobStats(
-        n_calls=len(futures),
+        n_calls=len(records),
         first_start=min(starts),
         last_start=max(starts),
         last_end=max(ends),
@@ -111,3 +141,26 @@ def collect_job_stats(futures: Sequence[ResponseFuture]) -> JobStats:
         retries_total=retries_total,
         failed_calls=failed_calls,
     )
+
+
+def collect_job_stats(futures: Sequence[ResponseFuture]) -> JobStats:
+    """Aggregate statuses of finished futures into a :class:`JobStats`.
+
+    Each future's status is fetched (cached after the first read), so call
+    this after ``get_result``/``wait`` to avoid extra polling.
+    """
+    futures = list(futures)
+    if not futures:
+        raise ValueError("collect_job_stats needs at least one future")
+    records = []
+    for future in futures:
+        status = future.status()
+        records.append(
+            CallRecord(
+                start=status.get("start_time"),
+                end=status.get("end_time"),
+                success=bool(status.get("success")),
+                attempts=max(1, future.invoke_count),
+            )
+        )
+    return stats_from_call_records(records)

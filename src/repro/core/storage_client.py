@@ -201,6 +201,26 @@ class InternalStorage:
             return None
         return serializer.deserialize(blob)
 
+    # -- job traces ------------------------------------------------------------
+    def trace_key(self, executor_id: str, callset_id: str) -> str:
+        return f"{self.callset_prefix(executor_id, callset_id)}/trace.jsonl"
+
+    def put_trace(self, executor_id: str, callset_id: str, jsonl: str) -> str:
+        """Persist a job's exported trace next to its other COS objects."""
+        key = self.trace_key(executor_id, callset_id)
+        self.cos.put_object(self.bucket, key, jsonl.encode("utf-8"))
+        return key
+
+    def get_trace(self, executor_id: str, callset_id: str) -> Optional[str]:
+        """The persisted trace JSONL, or ``None`` if the callset has none."""
+        try:
+            blob = self.cos.get_object(
+                self.bucket, self.trace_key(executor_id, callset_id)
+            )
+        except NoSuchKey:
+            return None
+        return blob.decode("utf-8")
+
     # -- results ---------------------------------------------------------------
     def put_result(
         self, executor_id: str, callset_id: str, call_id: str, value: Any

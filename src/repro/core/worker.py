@@ -55,7 +55,11 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
     callset_id = params["callset_id"]
     call_id = params["call_id"]
     storage = InternalStorage(ctx.cos, params["bucket"], params["prefix"])
+    tracer = ctx.platform.tracer
+    if tracer is not None and not tracer.enabled:
+        tracer = None
 
+    t_deser = ctx.kernel.now() if tracer is not None else None
     func_key = params.get("func_key")
     if func_key is not None:
         func_blob = storage.get_blob(func_key)
@@ -63,6 +67,11 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
         func_blob = storage.get_func(executor_id, callset_id)
     fn = serializer.deserialize(func_blob)
     argument = _load_input(params, storage, ctx)
+    if tracer is not None:
+        tracer.span_at(
+            "worker.deserialize", "worker", t_deser, ctx.kernel.now(),
+            func_bytes=len(func_blob),
+        )
 
     environment = ctx.platform.environment
     ambient.push_context(
@@ -80,7 +89,12 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
     finally:
         ambient.pop_context()
     end_time = ctx.kernel.now()
+    if tracer is not None:
+        tracer.span_at(
+            "worker.run", "worker", start_time, end_time, success=success
+        )
 
+    t_commit = ctx.kernel.now() if tracer is not None else None
     try:
         storage.put_result(executor_id, callset_id, call_id, value)
     except serializer.SerializationError as exc:
@@ -101,6 +115,16 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
         "cold_start": ctx.record.cold_start,
     }
     committed = storage.commit_status(executor_id, callset_id, call_id, status)
+    if tracer is not None:
+        # run_start/run_end ride along so per-call stats derive from the
+        # winning commit alone (exactly the status object's timestamps)
+        tracer.span_at(
+            "worker.commit", "worker", t_commit, ctx.kernel.now(),
+            committed=committed,
+            success=success,
+            run_start=start_time,
+            run_end=end_time,
+        )
 
     monitor_queue = params.get("monitor_queue")
     if monitor_queue and committed:

@@ -65,19 +65,19 @@ class COSClient:
         metadata: Optional[dict[str, str]] = None,
         if_none_match: bool = False,
     ) -> None:
-        self._request(len(data))
+        self._request(len(data), op="put")
         self.store.put_object(
             bucket, key, data, metadata=metadata, if_none_match=if_none_match
         )
 
     def delete_object(self, bucket: str, key: str) -> None:
-        self._request(0)
+        self._request(0, op="delete")
         self.store.delete_object(bucket, key)
 
     # -- read path -----------------------------------------------------------
     def get_object(self, bucket: str, key: str) -> bytes:
         obj = self.store.get_object(bucket, key)
-        self._request(obj.size)
+        self._request(obj.size, op="get")
         return obj.read()
 
     def read_range(
@@ -100,13 +100,13 @@ class COSClient:
         if end is None or end > obj.size:
             end = obj.size
         span = max(0, end - start)
-        self._request(span)
+        self._request(span, op="range")
         if materialize_cap is not None and span > materialize_cap:
             return obj.read(start, start + materialize_cap)
         return obj.read(start, end)
 
     def head_object(self, bucket: str, key: str) -> ObjectSummary:
-        self._request(0)
+        self._request(0, op="head")
         obj = self.store.get_object(bucket, key)
         return ObjectSummary(bucket, obj.key, obj.size, obj.etag, obj.last_modified)
 
@@ -118,18 +118,18 @@ class COSClient:
             return False
 
     def head_bucket(self, bucket: str) -> bool:
-        self._request(0)
+        self._request(0, op="head_bucket")
         return self.store.bucket_exists(bucket)
 
     def copy_object(
         self, src_bucket: str, src_key: str, dst_bucket: str, dst_key: str
     ) -> None:
         """Server-side copy: one control round trip, no payload transfer."""
-        self._request(0)
+        self._request(0, op="copy")
         self.store.copy_object(src_bucket, src_key, dst_bucket, dst_key)
 
     def list_objects(self, bucket: str, prefix: str = "") -> list[ObjectSummary]:
-        self._request(0)
+        self._request(0, op="list")
         summaries = []
         for key in self.store.list_keys(bucket, prefix):
             obj = self.store.get_object(bucket, key)
@@ -139,20 +139,34 @@ class COSClient:
         return summaries
 
     def list_keys(self, bucket: str, prefix: str = "") -> list[str]:
-        self._request(0)
+        self._request(0, op="list")
         return self.store.list_keys(bucket, prefix)
 
     # -- internals -----------------------------------------------------------
-    def _request(self, payload_bytes: int) -> None:
+    def _request(self, payload_bytes: int, op: str = "request") -> None:
         """One COS request: network round trip + chaos faults + retries.
 
         Each attempt may be degraded by the environment's chaos plane:
         503/SlowDown responses cost the control round trip and raise (the
         request had to reach the service to be refused); slow reads charge
         extra transfer time.  All of it is retried under the shared policy.
+        ``op`` labels the resulting ``cos.<op>`` trace span.
         """
         chaos = self.store.chaos
+        tracer = getattr(self.store, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            t0 = self.link.kernel.now()
+            try:
+                self._request_inner(payload_bytes, chaos)
+            finally:
+                tracer.span_at(
+                    f"cos.{op}", "cos", t0, self.link.kernel.now(),
+                    bytes=payload_bytes,
+                )
+            return
+        self._request_inner(payload_bytes, chaos)
 
+    def _request_inner(self, payload_bytes: int, chaos) -> None:
         def attempt() -> None:
             fault = (
                 chaos.cos_fault(self.link.seed, next(self._req_seq))

@@ -29,6 +29,9 @@ class CloudObjectStorage:
         #: optional :class:`repro.chaos.ChaosPlane`; COS clients consult it
         #: to inject transient 503/SlowDown errors and slow reads
         self.chaos = None
+        #: optional :class:`repro.trace.Tracer`; COS clients emit ``cos.*``
+        #: request spans onto it
+        self.tracer = None
         self._buckets: dict[str, Bucket] = {}
         self._lock = threading.Lock()
         self._put_count = 0

@@ -42,6 +42,16 @@ COLD_START_MIN = 0.35
 COLD_START_MAX = 0.90
 
 
+def _call_ids(params: dict[str, Any]) -> dict[str, Any]:
+    """Causal ids a runner-call params dict carries (absent keys skipped)."""
+    ids = {}
+    for key in ("executor_id", "callset_id", "call_id"):
+        value = params.get(key)
+        if value is not None:
+            ids[key] = value
+    return ids
+
+
 class ExecutionContext:
     """What a running action sees: its activation, COS, and the platform.
 
@@ -149,6 +159,9 @@ class CloudFunctions:
         #: optional :class:`repro.chaos.ChaosPlane` scheduling container
         #: crashes/hangs, node blackouts and synthetic 429s
         self.chaos = chaos
+        #: the trace spine (set by :class:`CloudEnvironment`); the controller
+        #: emits accept/place/cold-start/execute spans onto it
+        self.tracer = None
         self._chaos_invoke_seq = itertools.count()
         self.kernel = kernel
         self.storage = storage
@@ -210,6 +223,7 @@ class CloudFunctions:
             LatencyModel.in_cloud(),
             seed=next(self._link_seq),
             chaos=self.chaos,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -319,6 +333,15 @@ class CloudFunctions:
             )
             self._activations[activation_id] = record
             self._completion[activation_id] = VEvent(self.kernel)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.point(
+                "controller.accept",
+                "controller",
+                ids={**_call_ids(params), "activation_id": activation_id},
+                namespace=namespace,
+                action=action_name,
+            )
         self.kernel.spawn(
             self._execute,
             action,
@@ -340,19 +363,58 @@ class CloudFunctions:
     def _execute(
         self, action: Action, params: dict[str, Any], record: ActivationRecord
     ) -> None:
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            self._execute_inner(action, params, record, None)
+            return
+        # bind the causal ids ambiently so every span emitted below this
+        # task — worker phases, COS requests, in-cloud link round trips —
+        # is stamped with them automatically
+        with tracer.bind(**_call_ids(params), activation_id=record.activation_id):
+            self._execute_inner(action, params, record, tracer)
+
+    def _execute_inner(
+        self,
+        action: Action,
+        params: dict[str, Any],
+        record: ActivationRecord,
+        tracer,
+    ) -> None:
+        t_place = self.kernel.now()
         placement, node = self._place(action)
         record.invoker_id = node.node_id
         record.container_id = placement.container.container_id
         record.cold_start = placement.cold
         record.image_pulled = placement.needs_pull
+        if tracer is not None:
+            tracer.span_at(
+                "controller.place", "controller", t_place, self.kernel.now(),
+                invoker_id=node.node_id,
+                cold=placement.cold,
+                needs_pull=placement.needs_pull,
+            )
         if placement.needs_pull:
             image = self.registry.get(action.runtime)
+            t_pull = self.kernel.now()
             self.kernel.sleep(image.size_mb / IMAGE_PULL_MBPS)
             node.cache_image(action.runtime)
+            if tracer is not None:
+                tracer.span_at(
+                    "controller.image_pull", "controller",
+                    t_pull, self.kernel.now(),
+                    runtime=action.runtime, size_mb=image.size_mb,
+                )
         if placement.cold:
             with self._rng_lock:
                 boot = self._rng.uniform(COLD_START_MIN, COLD_START_MAX)
+            t_boot = self.kernel.now()
             self.kernel.sleep(boot)
+            if tracer is not None:
+                tracer.span_at(
+                    "container.cold_start", "container",
+                    t_boot, self.kernel.now(),
+                    runtime=action.runtime,
+                )
 
         record.start_time = self.kernel.now()
         with self._rng_lock:
@@ -386,6 +448,21 @@ class CloudFunctions:
                 action.memory_mb,
                 record.end_time - record.start_time,
             )
+            if tracer is not None:
+                tracer.point(
+                    "container.fault", "container", t=record.start_time,
+                    fate=fate,
+                )
+                # billed window: crashed containers still cost GB-seconds
+                tracer.span_at(
+                    "container.execute", "container",
+                    record.start_time, record.end_time,
+                    action=action.name,
+                    memory_mb=action.memory_mb,
+                    cold=placement.cold,
+                    invoker_id=node.node_id,
+                    status=fate,
+                )
             node.discard(placement.container, crashed=True)
             with self._act_lock:
                 self._active[record.namespace] -= 1
@@ -422,6 +499,16 @@ class CloudFunctions:
             action.memory_mb,
             record.end_time - record.start_time,
         )
+        if tracer is not None:
+            tracer.span_at(
+                "container.execute", "container",
+                record.start_time, record.end_time,
+                action=action.name,
+                memory_mb=action.memory_mb,
+                cold=placement.cold,
+                invoker_id=node.node_id,
+                status=status,
+            )
 
         node.release(placement.container, self.kernel.now())
         with self._act_lock:

@@ -22,6 +22,16 @@ from repro.retry import RetryPolicy
 INVOKE_PAYLOAD_BYTES = 1024
 
 
+def _gateway_ids(params: dict[str, Any]) -> dict[str, Any]:
+    """Causal ids present in a call's params (absent keys skipped)."""
+    ids = {}
+    for key in ("executor_id", "callset_id", "call_id"):
+        value = params.get(key)
+        if value is not None:
+            ids[key] = value
+    return ids
+
+
 class CloudFunctionsClient:
     """Latency-charging, retrying client for the controller.
 
@@ -72,6 +82,12 @@ class CloudFunctionsClient:
         latency in the paper's account of slow WAN spawning).
         """
         params = params or {}
+        kernel = self.platform.kernel
+        tracer = getattr(self.platform, "tracer", None)
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        call_ids = _gateway_ids(params) if tracer is not None else None
+        t0 = kernel.now() if tracer is not None else None
         throttle_attempt = 0
         while True:
             self._network_round_trip(INVOKE_PAYLOAD_BYTES)
@@ -82,11 +98,26 @@ class CloudFunctionsClient:
             except ThrottledError as exc:
                 self._throttle_retries += 1
                 throttle_attempt += 1
-                self.platform.kernel.sleep(
+                if tracer is not None:
+                    tracer.point(
+                        "gateway.throttle", "gateway", ids=call_ids,
+                        action=action_name,
+                        attempt=throttle_attempt,
+                        retry_after=exc.retry_after,
+                    )
+                kernel.sleep(
                     self.policy.backoff(throttle_attempt, exc.retry_after)
                 )
                 continue
             self._invocations += 1
+            if tracer is not None:
+                tracer.span_at(
+                    "gateway.invoke", "gateway", t0, kernel.now(),
+                    ids={**call_ids, "activation_id": activation_id},
+                    namespace=namespace,
+                    action=action_name,
+                    throttles=throttle_attempt,
+                )
             return activation_id
 
     def invoke_blocking(

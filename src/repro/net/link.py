@@ -29,6 +29,7 @@ class NetworkLink:
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         seed: int = 0,
         chaos=None,
+        tracer=None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
@@ -38,6 +39,8 @@ class NetworkLink:
         self.seed = seed
         #: optional :class:`repro.chaos.ChaosPlane` degrading this link
         self.chaos = chaos
+        #: optional :class:`repro.trace.Tracer` receiving ``net.request`` spans
+        self.tracer = tracer
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
         self._requests = 0
@@ -81,13 +84,25 @@ class NetworkLink:
                 self._failures += 1
             else:
                 self._bytes_moved += payload_bytes
+        tracer = self.tracer
+        t0 = self.kernel.now() if tracer is not None and tracer.enabled else None
         self.kernel.sleep(rtt)
         if fails:
+            if t0 is not None:
+                tracer.span_at(
+                    "net.request", "net", t0, self.kernel.now(),
+                    bytes=payload_bytes, failed=True, profile=self.latency.name,
+                )
             raise TransientNetworkError(
                 f"transient failure on {self.latency.name} link"
             )
         if payload_bytes > 0:
             self.kernel.sleep(payload_bytes / self.bandwidth_bps)
+        if t0 is not None:
+            tracer.span_at(
+                "net.request", "net", t0, self.kernel.now(),
+                bytes=payload_bytes, failed=False, profile=self.latency.name,
+            )
 
     def request_with_retries(
         self,
@@ -123,4 +138,5 @@ class NetworkLink:
             self.bandwidth_bps,
             seed=seed_offset * 7919 + 13,
             chaos=self.chaos,
+            tracer=self.tracer,
         )

@@ -1,0 +1,146 @@
+"""Derive the legacy consumers' numbers from the trace stream.
+
+The point of the spine: per-call statistics, billing totals and execution
+intervals all fall out of the one event stream, matching what the
+per-layer counters report.  The winning status of each call is the
+``worker.commit`` span whose conditional PUT won (``committed=True``), or
+the executor's ``client.bury`` point for calls that were given up on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.stats import CallRecord, JobStats, stats_from_call_records
+from repro.faas.billing import BillingEntry
+from repro.trace.events import TraceEvent
+
+
+def _matches(event: TraceEvent, executor_id: Optional[str], callset_id: Optional[str]) -> bool:
+    if executor_id is not None and event.get_id("executor_id") != executor_id:
+        return False
+    if callset_id is not None and event.get_id("callset_id") != callset_id:
+        return False
+    return True
+
+
+def call_records_from_events(
+    events: Iterable[TraceEvent],
+    executor_id: Optional[str] = None,
+    callset_id: Optional[str] = None,
+) -> list[CallRecord]:
+    """Reconstruct per-call outcomes from the stream.
+
+    One record per ``(executor_id, callset_id, call_id)``: timestamps and
+    success come from the committed ``worker.commit`` span or the
+    ``client.bury`` point (whichever won the at-most-once race), attempts
+    from the highest ``client.invoke`` attempt number seen.
+    """
+    winners: dict[tuple, TraceEvent] = {}
+    attempts: dict[tuple, int] = {}
+    for event in events:
+        if not _matches(event, executor_id, callset_id):
+            continue
+        key = (
+            event.get_id("executor_id"),
+            event.get_id("callset_id"),
+            event.get_id("call_id"),
+        )
+        if key[2] is None:
+            continue
+        if event.name == "client.invoke":
+            attempt = event.get_id("attempt") or 1
+            attempts[key] = max(attempts.get(key, 1), attempt)
+        elif event.name == "worker.commit" and event.get_attr("committed"):
+            winners[key] = event
+        elif event.name == "client.bury" and key not in winners:
+            winners[key] = event
+    records = []
+    ordered = sorted(winners, key=lambda k: tuple("" if p is None else str(p) for p in k))
+    for key in ordered:
+        event = winners[key]
+        records.append(
+            CallRecord(
+                start=event.get_attr("run_start"),
+                end=event.get_attr("run_end"),
+                success=bool(event.get_attr("success")),
+                attempts=attempts.get(key, 1),
+            )
+        )
+    return records
+
+
+def job_stats_from_events(
+    events: Iterable[TraceEvent],
+    executor_id: Optional[str] = None,
+    callset_id: Optional[str] = None,
+) -> JobStats:
+    """Trace-derived :class:`JobStats` — matches :func:`collect_job_stats`."""
+    return stats_from_call_records(
+        call_records_from_events(events, executor_id, callset_id)
+    )
+
+
+def execution_intervals(
+    events: Iterable[TraceEvent],
+    executor_id: Optional[str] = None,
+    callset_id: Optional[str] = None,
+) -> list[tuple[float, float]]:
+    """(start, end) execution windows of all calls that reported timestamps.
+
+    Feed these to :func:`repro.analytics.timeline.concurrency_timeline` or
+    :func:`render_execution_timeline` for the Fig. 2/3-style views.
+    """
+    return [
+        (record.start, record.end)
+        for record in call_records_from_events(events, executor_id, callset_id)
+        if record.start is not None and record.end is not None
+    ]
+
+
+def billing_entries_from_events(events: Iterable[TraceEvent]) -> list[BillingEntry]:
+    """One :class:`BillingEntry` per ``container.execute`` span.
+
+    The controller bills every placed activation — including crashed and
+    hung ones — so the span is emitted on every fate path.
+    """
+    entries = []
+    for event in events:
+        if event.name != "container.execute":
+            continue
+        entries.append(
+            BillingEntry(
+                activation_id=event.get_id("activation_id"),
+                action_name=event.get_attr("action"),
+                memory_mb=event.get_attr("memory_mb"),
+                duration_s=event.dur or 0.0,
+            )
+        )
+    return entries
+
+
+def billing_totals_from_events(events: Iterable[TraceEvent]) -> dict:
+    """Aggregate billing from the stream — matches :class:`BillingMeter`."""
+    entries = billing_entries_from_events(events)
+    by_action: dict[str, float] = {}
+    for entry in entries:
+        by_action[entry.action_name] = by_action.get(entry.action_name, 0.0) + entry.gb_seconds
+    return {
+        "activations": len(entries),
+        "gb_seconds": sum(e.gb_seconds for e in entries),
+        "cost": sum(e.cost for e in entries),
+        "by_action": by_action,
+    }
+
+
+def cos_byte_totals(events: Iterable[TraceEvent]) -> dict[str, dict[str, float]]:
+    """Per-operation COS request counts and byte totals from ``cos.*`` spans."""
+    totals: dict[str, dict[str, float]] = {}
+    for event in events:
+        if event.layer != "cos":
+            continue
+        op = event.name.split(".", 1)[-1]
+        bucket = totals.setdefault(op, {"requests": 0, "bytes": 0})
+        bucket["requests"] += 1
+        bucket["bytes"] += event.get_attr("bytes", 0) or 0
+    return totals

@@ -1,0 +1,132 @@
+"""The trace event model: structured spans and points on the virtual clock.
+
+Events are immutable and content-comparable: ids and attributes are stored
+as sorted tuples, so two runs that produce the same causal history produce
+*equal* events, and a deterministically sorted stream is byte-stable across
+runs of the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+#: the layers of the emulated cloud that emit onto the spine, in stack order
+LAYERS = (
+    "client",      # FunctionExecutor: submissions, invocations, burials, progress
+    "gateway",     # CloudFunctionsClient: invoke round trips, 429 throttles
+    "controller",  # CloudFunctions: accepted activations, placement, image pulls
+    "container",   # cold starts, user-code execution windows, injected fates
+    "worker",      # runner phases: deserialize / run / commit
+    "cos",         # object-storage requests with byte counts
+    "net",         # raw link round trips
+    "chaos",       # injected faults mirrored from the chaos plane
+)
+
+#: span/point identity of an event
+KIND_SPAN = "span"
+KIND_POINT = "point"
+
+
+def _as_items(mapping: Optional[Mapping[str, Any]]) -> tuple[tuple[str, Any], ...]:
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span or point event on the trace spine.
+
+    ``ids`` carries the causal hierarchy (``executor_id``, ``callset_id``,
+    ``call_id``, ``activation_id``, ``attempt`` — whichever the emitting
+    layer knows); ``attrs`` carries layer-specific payload (byte counts,
+    action names, success flags).  Both are sorted ``(key, value)`` tuples
+    so events hash, compare and serialize deterministically.
+    """
+
+    t: float
+    name: str
+    layer: str
+    kind: str = KIND_POINT
+    dur: Optional[float] = None
+    ids: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+    attrs: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @property
+    def end(self) -> float:
+        """Span end time (== ``t`` for points)."""
+        return self.t + (self.dur or 0.0)
+
+    def id_dict(self) -> dict[str, Any]:
+        return dict(self.ids)
+
+    def attr_dict(self) -> dict[str, Any]:
+        return dict(self.attrs)
+
+    def get_id(self, key: str, default: Any = None) -> Any:
+        for k, v in self.ids:
+            if k == key:
+                return v
+        return default
+
+    def get_attr(self, key: str, default: Any = None) -> Any:
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def sort_key(self) -> tuple:
+        """Deterministic total order independent of emission interleaving.
+
+        Ties on time are broken by content, so an event multiset sorts to
+        the same sequence no matter which thread appended first.
+        """
+        return (
+            self.t,
+            self.layer,
+            self.name,
+            self.kind,
+            self.dur if self.dur is not None else -1.0,
+            repr(self.ids),
+            repr(self.attrs),
+        )
+
+
+def span(
+    name: str,
+    layer: str,
+    t0: float,
+    t1: float,
+    ids: Optional[Mapping[str, Any]] = None,
+    attrs: Optional[Mapping[str, Any]] = None,
+) -> TraceEvent:
+    """Build a span event covering ``[t0, t1]``."""
+    return TraceEvent(
+        t=t0,
+        name=name,
+        layer=layer,
+        kind=KIND_SPAN,
+        dur=max(0.0, t1 - t0),
+        ids=_as_items(ids),
+        attrs=_as_items(attrs),
+    )
+
+
+def point(
+    name: str,
+    layer: str,
+    t: float,
+    ids: Optional[Mapping[str, Any]] = None,
+    attrs: Optional[Mapping[str, Any]] = None,
+) -> TraceEvent:
+    """Build an instantaneous point event."""
+    return TraceEvent(
+        t=t,
+        name=name,
+        layer=layer,
+        kind=KIND_POINT,
+        dur=None,
+        ids=_as_items(ids),
+        attrs=_as_items(attrs),
+    )

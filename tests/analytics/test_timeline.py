@@ -30,6 +30,31 @@ class TestConcurrencyTimeline:
         timeline = concurrency_timeline(intervals, resolution=1.0)
         assert max(level for _t, level in timeline) == 7
 
+    def test_event_sweep_emits_exact_change_points(self):
+        """One sample per level change, at the exact event times."""
+        timeline = concurrency_timeline([(0, 4), (2, 6)])
+        assert timeline == [(0.0, 1), (2.0, 2), (4.0, 1), (6.0, 0)]
+
+    def test_no_grid_snapping_on_fractional_times(self):
+        # fixed-step sampling would snap 1.05 to the resolution grid (and
+        # accumulate float drift on long horizons); the sweep does not
+        timeline = concurrency_timeline([(0.0, 1.05), (0.25, 7.3)], resolution=1.0)
+        assert timeline == [(0.0, 1), (0.25, 2), (1.05, 1), (7.3, 0)]
+
+    def test_events_before_origin_fold_into_first_sample(self):
+        timeline = concurrency_timeline([(0, 10), (2, 4)], t0=3.0)
+        assert timeline == [(0.0, 2), (1.0, 1), (7.0, 0)]
+
+    def test_leading_zero_sample_when_origin_precedes_first_start(self):
+        timeline = concurrency_timeline([(5, 6)], t0=0.0)
+        assert timeline == [(0.0, 0), (5.0, 1), (6.0, 0)]
+
+    def test_cost_scales_with_intervals_not_horizon(self):
+        # a week-long horizon at 1s resolution would be ~600k samples under
+        # fixed-step sampling; the sweep emits only the change points
+        timeline = concurrency_timeline([(0.0, 604800.0)], resolution=1.0)
+        assert timeline == [(0.0, 1), (604800.0, 0)]
+
 
 class TestRenderTimeline:
     def test_svg_structure(self):
@@ -52,6 +77,17 @@ class TestRenderTimeline:
     def test_zero_span(self):
         svg = render_execution_timeline([(5.0, 5.0)])
         assert "nan" not in svg
+
+    def test_title_is_xml_escaped(self):
+        svg = render_execution_timeline(
+            [(0, 1)], title='Trace <run> & "friends"'
+        )
+        assert "Trace &lt;run&gt; &amp;" in svg
+        assert "<run>" not in svg
+
+    def test_plain_title_unchanged(self):
+        svg = render_execution_timeline([(0, 1)], title="Executor exec-1")
+        assert "Executor exec-1 (1 functions)" in svg
 
 
 class TestIntervalsFromRecords:

@@ -5,7 +5,24 @@ from __future__ import annotations
 import pytest
 
 import repro as pw
-from repro.core.stats import JobStats, collect_job_stats
+from repro.core.stats import (
+    CallRecord,
+    JobStats,
+    _percentile,
+    collect_job_stats,
+    stats_from_call_records,
+)
+
+
+class _StubFuture:
+    """Minimal future: a fixed status dict plus an invoke count."""
+
+    def __init__(self, start, end, success, invoke_count=1):
+        self._status = {"start_time": start, "end_time": end, "success": success}
+        self.invoke_count = invoke_count
+
+    def status(self):
+        return self._status
 
 
 class TestCollect:
@@ -81,6 +98,76 @@ class TestCollect:
             return collect_job_stats(futures).spawn_spread
 
         assert narrow_env.run(main_narrow) > wide_env.run(main_wide)
+
+
+class TestPercentile:
+    """Pin the linear-interpolation semantics to exact values."""
+
+    def test_interpolates_between_ranks(self):
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.95) == pytest.approx(3.85)
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_exact_rank_needs_no_interpolation(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [10.0, 20.0, 30.0]
+        assert _percentile(values, 0.0) == 10.0
+        assert _percentile(values, 1.0) == 30.0
+
+    def test_degenerate_inputs(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([7.0], 0.95) == 7.0
+
+    def test_job_percentiles_use_interpolation(self):
+        records = [CallRecord(start=0.0, end=float(d), success=True) for d in (1, 2, 3, 4)]
+        stats = stats_from_call_records(records)
+        assert stats.p50_duration == pytest.approx(2.5)
+        assert stats.p95_duration == pytest.approx(3.85)
+
+
+class TestEdgeCases:
+    """collect_job_stats over buried / mixed / retried futures."""
+
+    def test_all_buried(self):
+        futures = [_StubFuture(None, None, False) for _ in range(3)]
+        stats = collect_job_stats(futures)
+        assert stats.n_calls == 3
+        assert stats.failed_calls == 3
+        assert stats.makespan == 0.0
+        assert stats.mean_duration == 0.0
+        assert stats.straggler_ratio == 1.0
+
+    def test_mixed_buried_and_successful(self):
+        futures = [
+            _StubFuture(0.0, 10.0, True),
+            _StubFuture(2.0, 6.0, True),
+            _StubFuture(None, None, False),  # buried: no timestamps
+        ]
+        stats = collect_job_stats(futures)
+        assert stats.n_calls == 3
+        assert stats.failed_calls == 1
+        # timing aggregates come from the calls that actually ran
+        assert stats.first_start == 0.0
+        assert stats.last_start == 2.0
+        assert stats.last_end == 10.0
+        assert stats.mean_duration == pytest.approx(7.0)
+
+    def test_retries_counted_from_invoke_count(self):
+        futures = [
+            _StubFuture(0.0, 5.0, True, invoke_count=3),
+            _StubFuture(0.0, 5.0, True, invoke_count=1),
+            _StubFuture(0.0, 5.0, True, invoke_count=0),  # never marked: floor at 1
+        ]
+        stats = collect_job_stats(futures)
+        assert stats.retries_total == 2
+        assert stats.failed_calls == 0
+
+    def test_failed_but_executed_call_keeps_timestamps(self):
+        futures = [_StubFuture(1.0, 4.0, False)]
+        stats = collect_job_stats(futures)
+        assert stats.failed_calls == 1
+        assert stats.max_duration == 3.0
 
 
 class TestJobStatsProperties:

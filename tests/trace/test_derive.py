@@ -1,0 +1,143 @@
+"""Derivation tests: call records, stats, billing from synthetic streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faas.billing import billed_duration
+from repro.trace import derive
+from repro.trace.events import point, span
+
+
+def _commit(call_id, start, end, success=True, committed=True, cs="M000", ex="exec-1"):
+    return span(
+        "worker.commit",
+        "worker",
+        end,
+        end + 0.1,
+        {"executor_id": ex, "callset_id": cs, "call_id": call_id},
+        {"committed": committed, "success": success, "run_start": start, "run_end": end},
+    )
+
+
+def _invoke(call_id, attempt=1, cs="M000", ex="exec-1"):
+    return point(
+        "client.invoke",
+        "client",
+        0.0,
+        {"executor_id": ex, "callset_id": cs, "call_id": call_id, "attempt": attempt},
+        None,
+    )
+
+
+def _bury(call_id, cs="M000", ex="exec-1"):
+    return point(
+        "client.bury",
+        "client",
+        50.0,
+        {"executor_id": ex, "callset_id": cs, "call_id": call_id},
+        {"success": False, "lost": True, "run_start": None, "run_end": None},
+    )
+
+
+class TestCallRecords:
+    def test_committed_outcome_wins(self):
+        events = [_invoke("00000"), _commit("00000", 1.0, 4.0)]
+        (record,) = derive.call_records_from_events(events)
+        assert (record.start, record.end) == (1.0, 4.0)
+        assert record.success is True
+        assert record.attempts == 1
+
+    def test_uncommitted_status_is_ignored(self):
+        events = [
+            _invoke("00000", attempt=1),
+            _invoke("00000", attempt=2),
+            _commit("00000", 1.0, 4.0, committed=False),  # lost the PUT race
+            _commit("00000", 2.0, 5.0, committed=True),
+        ]
+        (record,) = derive.call_records_from_events(events)
+        assert (record.start, record.end) == (2.0, 5.0)
+        assert record.attempts == 2
+
+    def test_commit_beats_bury(self):
+        events = [_invoke("00000"), _bury("00000"), _commit("00000", 1.0, 4.0)]
+        (record,) = derive.call_records_from_events(events)
+        assert record.success is True
+
+    def test_buried_call_has_no_timestamps(self):
+        events = [_invoke("00000", attempt=3), _bury("00000")]
+        (record,) = derive.call_records_from_events(events)
+        assert record.success is False
+        assert record.start is None and record.end is None
+        assert record.attempts == 3
+
+    def test_filters_by_executor_and_callset(self):
+        events = [
+            _commit("00000", 1.0, 4.0),
+            _commit("00000", 1.0, 4.0, cs="R001"),
+            _commit("00000", 1.0, 4.0, ex="exec-2"),
+        ]
+        assert len(derive.call_records_from_events(events)) == 3
+        assert len(derive.call_records_from_events(events, executor_id="exec-1")) == 2
+        assert (
+            len(
+                derive.call_records_from_events(
+                    events, executor_id="exec-1", callset_id="M000"
+                )
+            )
+            == 1
+        )
+
+
+class TestStatsAndIntervals:
+    def test_stats_match_hand_computation(self):
+        events = [
+            _invoke("00000"),
+            _invoke("00001", attempt=2),
+            _commit("00000", 0.0, 10.0),
+            _commit("00001", 2.0, 6.0),
+        ]
+        stats = derive.job_stats_from_events(events)
+        assert stats.n_calls == 2
+        assert stats.makespan == 10.0
+        assert stats.spawn_spread == 2.0
+        assert stats.mean_duration == 7.0
+        assert stats.retries_total == 1
+
+    def test_intervals_skip_buried(self):
+        events = [_commit("00000", 1.0, 4.0), _bury("00001")]
+        assert derive.execution_intervals(events) == [(1.0, 4.0)]
+
+
+class TestBilling:
+    def _execute(self, activation_id, start, end, action="pywren_runner", mem=256):
+        return span(
+            "container.execute",
+            "container",
+            start,
+            end,
+            {"activation_id": activation_id},
+            {"action": action, "memory_mb": mem, "cold": False, "status": "success"},
+        )
+
+    def test_entries_and_totals(self):
+        events = [self._execute("a1", 0.0, 1.0), self._execute("a2", 0.0, 2.5, mem=512)]
+        entries = derive.billing_entries_from_events(events)
+        assert [e.activation_id for e in entries] == ["a1", "a2"]
+        totals = derive.billing_totals_from_events(events)
+        assert totals["activations"] == 2
+        expected = billed_duration(1.0) * 256 / 1024 + billed_duration(2.5) * 512 / 1024
+        assert totals["gb_seconds"] == pytest.approx(expected, rel=1e-12)
+        assert totals["by_action"]["pywren_runner"] == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_cos_byte_totals(self):
+        events = [
+            span("cos.put", "cos", 0.0, 0.2, None, {"bytes": 100}),
+            span("cos.put", "cos", 0.3, 0.4, None, {"bytes": 50}),
+            span("cos.get", "cos", 0.5, 0.6, None, {"bytes": 7}),
+        ]
+        totals = derive.cos_byte_totals(events)
+        assert totals["put"] == {"requests": 2, "bytes": 150}
+        assert totals["get"] == {"requests": 1, "bytes": 7}

@@ -1,0 +1,127 @@
+"""Unit tests for the Tracer: disabled guards, binding, ordering, listeners."""
+
+from __future__ import annotations
+
+from repro.trace import Tracer
+from repro.trace.events import KIND_POINT, KIND_SPAN, TraceEvent, point, span
+
+
+class TestDisabled:
+    def test_emission_is_a_no_op(self, kernel):
+        tracer = Tracer(kernel, enabled=False)
+        tracer.point("client.invoke", "client", t=1.0)
+        tracer.span_at("worker.run", "worker", 0.0, 2.0)
+        with tracer.span("cos.get", "cos"):
+            pass
+        assert len(tracer) == 0
+        assert tracer.events() == []
+
+    def test_bind_is_a_no_op(self, kernel):
+        tracer = Tracer(kernel, enabled=False)
+        with tracer.bind(executor_id="exec-1"):
+            enabled = Tracer(kernel, enabled=True)
+            enabled.point("client.invoke", "client", t=0.0)
+        assert enabled.events()[0].ids == ()
+
+    def test_default_is_disabled(self, kernel):
+        assert Tracer(kernel).enabled is False
+
+
+class TestEmission:
+    def test_point_records_time_and_payload(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        tracer.point("gateway.throttle", "gateway", t=3.5, attempt=2)
+        (event,) = tracer.events()
+        assert event.kind == KIND_POINT
+        assert (event.t, event.name, event.layer) == (3.5, "gateway.throttle", "gateway")
+        assert event.get_attr("attempt") == 2
+        assert event.end == 3.5  # points have zero extent
+
+    def test_span_at_records_duration(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        tracer.span_at("worker.run", "worker", 2.0, 5.5, success=True)
+        (event,) = tracer.events()
+        assert event.kind == KIND_SPAN
+        assert event.t == 2.0
+        assert event.dur == 3.5
+        assert event.end == 5.5
+
+    def test_span_context_measures_kernel_clock(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        with tracer.span("net.request", "net", bytes=128):
+            pass  # bare kernel: clock stays at 0.0 outside run()
+        (event,) = tracer.events()
+        assert event.kind == KIND_SPAN
+        assert event.t == kernel.now()
+        assert event.dur == 0.0
+        assert event.get_attr("bytes") == 128
+
+    def test_point_defaults_to_kernel_now(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        tracer.point("chaos.cos", "chaos")
+        assert tracer.events()[0].t == kernel.now()
+
+
+class TestBinding:
+    def test_bound_ids_stamp_events(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        with tracer.bind(executor_id="exec-1", callset_id="M000"):
+            tracer.point("cos.put", "cos", t=0.0)
+        tracer.point("cos.put", "cos", t=0.0)  # outside: no ambient ids
+        stamped, bare = tracer.raw_events()
+        assert stamped.id_dict() == {"executor_id": "exec-1", "callset_id": "M000"}
+        assert bare.ids == ()
+
+    def test_nested_bind_merges_and_restores(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        with tracer.bind(executor_id="exec-1"):
+            with tracer.bind(call_id="00007"):
+                tracer.point("worker.run", "worker", t=0.0)
+            tracer.point("client.invoke", "client", t=0.0)
+        inner, outer = tracer.raw_events()
+        assert inner.id_dict() == {"executor_id": "exec-1", "call_id": "00007"}
+        assert outer.id_dict() == {"executor_id": "exec-1"}
+
+    def test_explicit_ids_override_ambient(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        with tracer.bind(executor_id="exec-1", attempt=1):
+            tracer.point("client.invoke", "client", t=0.0, ids={"attempt": 3})
+        (event,) = tracer.events()
+        assert event.get_id("attempt") == 3
+        assert event.get_id("executor_id") == "exec-1"
+
+
+class TestSubscribers:
+    def test_listener_sees_live_events_until_unsubscribed(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        seen: list[TraceEvent] = []
+        unsubscribe = tracer.subscribe(seen.append)
+        tracer.point("client.progress", "client", t=1.0, done=3)
+        unsubscribe()
+        tracer.point("client.progress", "client", t=2.0, done=4)
+        assert [e.get_attr("done") for e in seen] == [3]
+        assert len(tracer) == 2  # collection is unaffected by listeners
+
+    def test_unsubscribe_is_idempotent(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        unsubscribe = tracer.subscribe(lambda e: None)
+        unsubscribe()
+        unsubscribe()
+
+
+class TestOrdering:
+    def test_events_sort_is_interleaving_independent(self, kernel):
+        a = point("client.invoke", "client", 1.0, {"call_id": "00000"}, None)
+        b = span("worker.run", "worker", 1.0, 2.0, {"call_id": "00000"}, None)
+        c = point("client.invoke", "client", 0.5, {"call_id": "00001"}, None)
+        for order in ([a, b, c], [c, b, a], [b, a, c]):
+            tracer = Tracer(kernel, enabled=True)
+            for event in order:
+                tracer._append(event)
+            assert tracer.events() == [c, a, b]
+
+    def test_clear(self, kernel):
+        tracer = Tracer(kernel, enabled=True)
+        tracer.point("net.request", "net", t=0.0)
+        tracer.clear()
+        assert len(tracer) == 0
