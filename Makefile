@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -25,6 +25,12 @@ bench:
 # writes BENCH_trace_overhead.json (acceptance: disabled adds <5%)
 bench-trace:
 	PYTHONPATH=src python benchmarks/bench_trace_overhead.py
+
+# hybrid-scheduler scale runs (Fig. 3 shape at 2k/10k/50k concurrency);
+# writes BENCH_kernel_scale.json (acceptance: 10k at full concurrency with
+# peak OS threads < 2x the kernel pool, near-linear wall growth to 50k)
+bench-kernel-scale:
+	PYTHONPATH=src python benchmarks/bench_kernel_scale.py
 
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; python3 $$ex; echo; done

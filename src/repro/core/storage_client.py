@@ -56,6 +56,13 @@ class InternalStorage:
     def get_func(self, executor_id: str, callset_id: str) -> bytes:
         return self.cos.get_object(self.bucket, self.func_key(executor_id, callset_id))
 
+    def get_func_steps(self, executor_id: str, callset_id: str):
+        """Steps twin of :meth:`get_func` (model tasks ``yield from``)."""
+        blob = yield from self.cos.get_object_steps(
+            self.bucket, self.func_key(executor_id, callset_id)
+        )
+        return blob
+
     def shared_func_key(self, executor_id: str, digest: str) -> str:
         """Content-addressed function object, shared across callsets.
 
@@ -71,6 +78,11 @@ class InternalStorage:
     def get_blob(self, key: str) -> bytes:
         return self.cos.get_object(self.bucket, key)
 
+    def get_blob_steps(self, key: str):
+        """Steps twin of :meth:`get_blob` (model tasks ``yield from``)."""
+        blob = yield from self.cos.get_object_steps(self.bucket, key)
+        return blob
+
     def blob_exists(self, key: str) -> bool:
         return self.cos.object_exists(self.bucket, key)
 
@@ -85,6 +97,14 @@ class InternalStorage:
     ) -> bytes:
         key = self.agg_data_key(executor_id, callset_id)
         return self.cos.read_range(self.bucket, key, start, end)
+
+    def get_data_range_steps(
+        self, executor_id: str, callset_id: str, start: int, end: int
+    ):
+        """Steps twin of :meth:`get_data_range` (model tasks ``yield from``)."""
+        key = self.agg_data_key(executor_id, callset_id)
+        blob = yield from self.cos.read_range_steps(self.bucket, key, start, end)
+        return blob
 
     # -- status ---------------------------------------------------------------
     def put_status(
@@ -109,6 +129,22 @@ class InternalStorage:
         blob = serializer.serialize(status)
         try:
             self.cos.put_object(
+                self.bucket,
+                self.status_key(executor_id, callset_id, call_id),
+                blob,
+                if_none_match=True,
+            )
+        except PreconditionFailed:
+            return False
+        return True
+
+    def commit_status_steps(
+        self, executor_id: str, callset_id: str, call_id: str, status: dict[str, Any]
+    ):
+        """Steps twin of :meth:`commit_status` (model tasks ``yield from``)."""
+        blob = serializer.serialize(status)
+        try:
+            yield from self.cos.put_object_steps(
                 self.bucket,
                 self.status_key(executor_id, callset_id, call_id),
                 blob,
@@ -227,6 +263,16 @@ class InternalStorage:
     ) -> int:
         blob = serializer.serialize(value)
         self.cos.put_object(
+            self.bucket, self.result_key(executor_id, callset_id, call_id), blob
+        )
+        return len(blob)
+
+    def put_result_steps(
+        self, executor_id: str, callset_id: str, call_id: str, value: Any
+    ):
+        """Steps twin of :meth:`put_result` (model tasks ``yield from``)."""
+        blob = serializer.serialize(value)
+        yield from self.cos.put_object_steps(
             self.bucket, self.result_key(executor_id, callset_id, call_id), blob
         )
         return len(blob)

@@ -9,10 +9,18 @@ There are exactly two actions the framework ever deploys:
   function spawning mechanism — receives a batch of call parameters and
   issues the actual runner invocations from *inside* the cloud, where the
   invocation latency is minimal.
+
+Both handlers are *steps generators*: the platform runs them as model tasks
+on the kernel's event loop, so an activation that is waiting on COS or on a
+timer holds no OS thread.  Only a plain (non-generator) user function costs
+a pooled worker thread, and only while it actually runs; a user function
+written as a steps generator keeps the whole activation threadless — that
+is what lets one process model tens of thousands of concurrent functions.
 """
 
 from __future__ import annotations
 
+import inspect
 import traceback
 from typing import Any
 
@@ -21,7 +29,7 @@ from repro.core import serializer
 from repro.core.partitioner import StoragePartition
 from repro.core.storage_client import InternalStorage
 from repro.faas.controller import ExecutionContext
-from repro.vtime import gather
+from repro.vtime.kernel import vjoin
 
 #: deployed action name templates
 RUNNER_ACTION_BASENAME = "pywren_runner"
@@ -34,12 +42,14 @@ def runner_action_name(runtime: str, memory_mb: int) -> str:
     return f"{RUNNER_ACTION_BASENAME}__{sanitized}__{memory_mb}mb"
 
 
-def _load_input(params: dict[str, Any], storage: InternalStorage, ctx: ExecutionContext) -> Any:
-    """Rebuild the call's single input argument."""
+def _load_input_steps(
+    params: dict[str, Any], storage: InternalStorage, ctx: ExecutionContext
+):
+    """Rebuild the call's single input argument (steps generator)."""
     data_range = params.get("data_range")
     if data_range is not None:
         start, end = data_range
-        blob = storage.get_data_range(
+        blob = yield from storage.get_data_range_steps(
             params["executor_id"], params["callset_id"], start, end
         )
         return serializer.deserialize(blob)
@@ -49,8 +59,21 @@ def _load_input(params: dict[str, Any], storage: InternalStorage, ctx: Execution
     return None
 
 
-def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, Any]:
-    """Execute one function executor call."""
+def _run_user_fn_boxed(fn: Any, argument: Any, box: dict) -> None:
+    """Run a plain (blocking) user function on a pooled thread.
+
+    Outcome goes into ``box`` so the runner's model task can rebuild the
+    exact success/error result shape the in-task call used to produce.
+    """
+    try:
+        box["value"] = fn(argument)
+    except Exception as exc:  # noqa: BLE001 - shipped back to the client
+        box["exc"] = exc
+        box["tb"] = traceback.format_exc()
+
+
+def runner_handler(params: dict[str, Any], ctx: ExecutionContext):
+    """Execute one function executor call (steps generator)."""
     executor_id = params["executor_id"]
     callset_id = params["callset_id"]
     call_id = params["call_id"]
@@ -62,11 +85,11 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
     t_deser = ctx.kernel.now() if tracer is not None else None
     func_key = params.get("func_key")
     if func_key is not None:
-        func_blob = storage.get_blob(func_key)
+        func_blob = yield from storage.get_blob_steps(func_key)
     else:  # legacy per-callset location
-        func_blob = storage.get_func(executor_id, callset_id)
+        func_blob = yield from storage.get_func_steps(executor_id, callset_id)
     fn = serializer.deserialize(func_blob)
-    argument = _load_input(params, storage, ctx)
+    argument = yield from _load_input_steps(params, storage, ctx)
     if tracer is not None:
         tracer.span_at(
             "worker.deserialize", "worker", t_deser, ctx.kernel.now(),
@@ -81,11 +104,32 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
     success = True
     error_text = None
     try:
-        value: Any = fn(argument)
-    except Exception as exc:  # noqa: BLE001 - shipped back to the client
-        success = False
-        error_text = repr(exc)
-        value = (_picklable_or_none(exc), traceback.format_exc())
+        if inspect.isgeneratorfunction(fn):
+            # a steps-style user function runs inline on the model loop —
+            # the activation never touches a worker thread
+            try:
+                value: Any = yield from fn(argument)
+            except Exception as exc:  # noqa: BLE001 - shipped back
+                success = False
+                error_text = repr(exc)
+                value = (_picklable_or_none(exc), traceback.format_exc())
+        else:
+            # arbitrary blocking user code gets a pooled thread; the pushed
+            # ambient context is captured into it by the spawn
+            box: dict[str, Any] = {}
+            task = ctx.kernel.spawn(
+                _run_user_fn_boxed, fn, argument, box,
+                name=f"usr-{call_id}",
+            )
+            yield vjoin(task)
+            if task._exception is not None:
+                raise task._exception
+            if "exc" in box:
+                success = False
+                error_text = repr(box["exc"])
+                value = (_picklable_or_none(box["exc"]), box["tb"])
+            else:
+                value = box.get("value")
     finally:
         ambient.pop_context()
     end_time = ctx.kernel.now()
@@ -96,11 +140,13 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
 
     t_commit = ctx.kernel.now() if tracer is not None else None
     try:
-        storage.put_result(executor_id, callset_id, call_id, value)
+        yield from storage.put_result_steps(executor_id, callset_id, call_id, value)
     except serializer.SerializationError as exc:
         success = False
         error_text = f"result not serializable: {exc}"
-        storage.put_result(executor_id, callset_id, call_id, (None, error_text))
+        yield from storage.put_result_steps(
+            executor_id, callset_id, call_id, (None, error_text)
+        )
 
     status = {
         "executor_id": executor_id,
@@ -114,7 +160,9 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
         "container_id": ctx.record.container_id,
         "cold_start": ctx.record.cold_start,
     }
-    committed = storage.commit_status(executor_id, callset_id, call_id, status)
+    committed = yield from storage.commit_status_steps(
+        executor_id, callset_id, call_id, status
+    )
     if tracer is not None:
         # run_start/run_end ride along so per-call stats derive from the
         # winning commit alone (exactly the status object's timestamps)
@@ -135,7 +183,7 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, A
         mq = MQClient(
             environment.broker, ctx.platform.in_cloud_link_factory()
         )
-        mq.publish(monitor_queue, dict(status))
+        yield from mq.publish_steps(monitor_queue, dict(status))
     return {"call_id": call_id, "success": success}
 
 
@@ -147,12 +195,13 @@ def _picklable_or_none(exc: BaseException) -> BaseException | None:
         return None
 
 
-def remote_invoker_handler(params: dict[str, Any], ctx: ExecutionContext) -> dict[str, Any]:
+def remote_invoker_handler(params: dict[str, Any], ctx: ExecutionContext):
     """Spawn a batch of runner invocations from inside the cloud (§5.1).
 
     ``pool_size <= 1`` issues them sequentially (the per-group behaviour of
     the final massive-spawning design); larger pools model the first
-    remote-invoker attempt that used threading inside a single function.
+    remote-invoker attempt that used threading inside a single function —
+    here each pool lane is a sub model task, so no extra threads either way.
     """
     namespace = params["namespace"]
     action = params["action"]
@@ -161,19 +210,23 @@ def remote_invoker_handler(params: dict[str, Any], ctx: ExecutionContext) -> dic
 
     if pool_size <= 1:
         for call_params in calls:
-            ctx.functions.invoke(namespace, action, call_params)
+            yield from ctx.functions.invoke_steps(namespace, action, call_params)
         return {"invoked": len(calls)}
 
     slices = [calls[i::pool_size] for i in range(pool_size)]
 
-    def _spawner(batch: list[dict[str, Any]]) -> None:
+    def _spawner_steps(batch: list[dict[str, Any]]):
         for call_params in batch:
-            ctx.functions.invoke(namespace, action, call_params)
+            yield from ctx.functions.invoke_steps(namespace, action, call_params)
 
     tasks = [
-        ctx.kernel.spawn(_spawner, batch, name=f"rinv-pool-{i}")
+        ctx.kernel.spawn_model(_spawner_steps, batch, name=f"rinv-pool-{i}")
         for i, batch in enumerate(slices)
         if batch
     ]
-    gather(tasks)
+    for task in tasks:
+        yield vjoin(task)
+    for task in tasks:
+        if task._exception is not None:
+            raise task._exception
     return {"invoked": len(calls)}

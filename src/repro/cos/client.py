@@ -18,6 +18,7 @@ from repro.cos.errors import NoSuchKey, ServiceUnavailable, SlowDown
 from repro.cos.object_store import CloudObjectStorage
 from repro.net.link import NetworkLink
 from repro.retry import RetryPolicy
+from repro.vtime.kernel import vsleep
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,20 @@ class COSClient:
             bucket, key, data, metadata=metadata, if_none_match=if_none_match
         )
 
+    def put_object_steps(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        metadata: Optional[dict[str, str]] = None,
+        if_none_match: bool = False,
+    ):
+        """Steps twin of :meth:`put_object` (model tasks ``yield from``)."""
+        yield from self._request_steps(len(data), op="put")
+        self.store.put_object(
+            bucket, key, data, metadata=metadata, if_none_match=if_none_match
+        )
+
     def delete_object(self, bucket: str, key: str) -> None:
         self._request(0, op="delete")
         self.store.delete_object(bucket, key)
@@ -78,6 +93,12 @@ class COSClient:
     def get_object(self, bucket: str, key: str) -> bytes:
         obj = self.store.get_object(bucket, key)
         self._request(obj.size, op="get")
+        return obj.read()
+
+    def get_object_steps(self, bucket: str, key: str):
+        """Steps twin of :meth:`get_object` (model tasks ``yield from``)."""
+        obj = self.store.get_object(bucket, key)
+        yield from self._request_steps(obj.size, op="get")
         return obj.read()
 
     def read_range(
@@ -101,6 +122,24 @@ class COSClient:
             end = obj.size
         span = max(0, end - start)
         self._request(span, op="range")
+        if materialize_cap is not None and span > materialize_cap:
+            return obj.read(start, start + materialize_cap)
+        return obj.read(start, end)
+
+    def read_range_steps(
+        self,
+        bucket: str,
+        key: str,
+        start: int,
+        end: Optional[int] = None,
+        materialize_cap: Optional[int] = None,
+    ):
+        """Steps twin of :meth:`read_range` (model tasks ``yield from``)."""
+        obj = self.store.get_object(bucket, key)
+        if end is None or end > obj.size:
+            end = obj.size
+        span = max(0, end - start)
+        yield from self._request_steps(span, op="range")
         if materialize_cap is not None and span > materialize_cap:
             return obj.read(start, start + materialize_cap)
         return obj.read(start, end)
@@ -146,6 +185,13 @@ class COSClient:
     def _request(self, payload_bytes: int, op: str = "request") -> None:
         """One COS request: network round trip + chaos faults + retries.
 
+        Blocking wrapper over :meth:`_request_steps` (thread tasks only).
+        """
+        self.link.kernel.drive(self._request_steps(payload_bytes, op))
+
+    def _request_steps(self, payload_bytes: int, op: str = "request"):
+        """One COS request as a steps generator (model tasks ``yield from``).
+
         Each attempt may be degraded by the environment's chaos plane:
         503/SlowDown responses cost the control round trip and raise (the
         request had to reach the service to be refused); slow reads charge
@@ -157,28 +203,29 @@ class COSClient:
         if tracer is not None and tracer.enabled:
             t0 = self.link.kernel.now()
             try:
-                self._request_inner(payload_bytes, chaos)
+                yield from self._request_inner_steps(payload_bytes, chaos)
             finally:
                 tracer.span_at(
                     f"cos.{op}", "cos", t0, self.link.kernel.now(),
                     bytes=payload_bytes,
                 )
             return
-        self._request_inner(payload_bytes, chaos)
+        yield from self._request_inner_steps(payload_bytes, chaos)
 
-    def _request_inner(self, payload_bytes: int, chaos) -> None:
-        def attempt() -> None:
+    def _request_inner_steps(self, payload_bytes: int, chaos):
+        def attempt_steps():
             fault = (
                 chaos.cos_fault(self.link.seed, next(self._req_seq))
                 if chaos is not None
                 else None
             )
             if fault is None:
-                self.link.request(payload_bytes)
+                yield from self.link.request_steps(payload_bytes)
                 return
             kind, factor = fault
             if kind in ("503", "slowdown"):
-                self.link.request(0)  # the refusal still costs a round trip
+                # the refusal still costs a round trip
+                yield from self.link.request_steps(0)
                 chaos.record(
                     self.link.kernel.now(), "cos", kind, f"link-{self.link.seed}"
                 )
@@ -187,12 +234,12 @@ class COSClient:
                 raise SlowDown("chaos: COS asked the client to slow down")
             # slow read/write: the transfer happens, at a fraction of the
             # usual bandwidth
-            self.link.request(payload_bytes)
+            yield from self.link.request_steps(payload_bytes)
             chaos.record(
                 self.link.kernel.now(), "cos", "slow-read", f"link-{self.link.seed}"
             )
             extra = (factor - 1.0) * self.link.transfer_time(payload_bytes)
             if extra > 0:
-                self.link.kernel.sleep(extra)
+                yield vsleep(extra)
 
-        self.policy.run(attempt, self.link.kernel)
+        yield from self.policy.run_steps(attempt_steps)

@@ -10,6 +10,7 @@ Python handler inside a kernel task.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import random
 import threading
@@ -27,6 +28,7 @@ from repro.faas.invoker_node import InvokerNode, Placement
 from repro.faas.limits import SystemLimits
 from repro.faas.runtime import DEFAULT_RUNTIME_NAME, RuntimeRegistry
 from repro.vtime import Kernel, VCondition, VEvent
+from repro.vtime.kernel import Waiter, current_task, vjoin, vsleep, vwait
 
 #: controller-side processing time per accepted invocation request (seconds);
 #: together with the caller's link RTT this yields the per-invocation service
@@ -50,6 +52,21 @@ def _call_ids(params: dict[str, Any]) -> dict[str, Any]:
         if value is not None:
             ids[key] = value
     return ids
+
+
+def _run_handler_boxed(
+    handler: Handler, params: dict[str, Any], ctx: "ExecutionContext", box: dict
+) -> None:
+    """Run a plain (blocking) handler on a pooled thread.
+
+    Outcome goes into ``box`` so the platform's model task can distinguish a
+    handler ``Exception`` (an activation *error*, formatted exactly as the
+    in-task traceback used to be) from infrastructure failures.
+    """
+    try:
+        box["result"] = handler(params, ctx)
+    except Exception:  # noqa: BLE001 - the platform reports, not crashes
+        box["error"] = traceback.format_exc()
 
 
 class ExecutionContext:
@@ -110,6 +127,14 @@ class ExecutionContext:
         """Model compute time inside the handler."""
         self.kernel.sleep(seconds)
 
+    def sleep_steps(self, seconds: float):
+        """Steps twin of :meth:`sleep` for generator handlers."""
+        yield vsleep(seconds)
+
+    def compute_steps(self, seconds: float):
+        """Steps twin of :meth:`compute` for generator handlers."""
+        yield vsleep(self._contended(seconds))
+
     def compute(self, seconds: float) -> None:
         """Model *CPU-bound* compute: contention-aware sleep.
 
@@ -119,11 +144,14 @@ class ExecutionContext:
         ``contention_coeff`` > 0, nominal compute time inflates with the
         memory load of the invoker node this activation landed on.
         """
+        self.kernel.sleep(self._contended(seconds))
+
+    def _contended(self, seconds: float) -> float:
         coeff = self.platform.contention_coeff
         if coeff > 0 and self.record.invoker_id is not None:
             node = self.platform.invokers[self.record.invoker_id]
             seconds *= 1.0 + coeff * node.load_fraction()
-        self.kernel.sleep(seconds)
+        return seconds
 
     def log(self, message: str) -> None:
         """Append a line to this activation's log (like ``print`` in a
@@ -172,7 +200,11 @@ class CloudFunctions:
         self._rng_lock = threading.Lock()
         self._namespaces: dict[str, Namespace] = {}
         self._activations: dict[str, ActivationRecord] = {}
-        self._completion: dict[str, VEvent] = {}
+        # Completion events are lazy: ``None`` until somebody actually
+        # waits (most activations are observed via COS status objects or
+        # MQ push, so eagerly building an event per activation would cost
+        # a lock + condition + waiter list for each of 50k in-flight calls).
+        self._completion: dict[str, Optional[VEvent]] = {}
         self._act_lock = threading.Lock()
         self._act_ids = itertools.count(1)
         self._active: dict[str, int] = {}
@@ -192,6 +224,11 @@ class CloudFunctions:
         self.contention_coeff = 0.0
         self._capacity = VCondition(kernel)
         self._rr = itertools.count()
+        # Cluster-wide warm-idle hint per action fqn: lets _place_steps skip
+        # the all-nodes warm scan when nothing can be warm (the common case
+        # during a ramp-up).  May overcount after TTL expiry or eviction —
+        # a scan that comes up empty resyncs it — but never undercounts.
+        self._warm_idle: dict[str, int] = {}
         self.invokers = [
             InvokerNode(
                 i, self.limits.invoker_memory_mb, self.limits.warm_idle_ttl
@@ -286,8 +323,21 @@ class CloudFunctions:
         tenant's burst cannot starve another.  When ``require_auth`` is set,
         ``credentials`` (an :class:`~repro.faas.iam.ApiKey`) must authorize
         the namespace.  Charges controller-side processing time to the
-        calling task, like a synchronous HTTP POST would.
+        calling task, like a synchronous HTTP POST would.  Blocking wrapper
+        over :meth:`invoke_steps` (thread tasks only).
         """
+        return self.kernel.drive(
+            self.invoke_steps(namespace, action_name, params, credentials)
+        )
+
+    def invoke_steps(
+        self,
+        namespace: str,
+        action_name: str,
+        params: dict[str, Any],
+        credentials: Any = None,
+    ):
+        """Steps twin of :meth:`invoke` (model tasks ``yield from``)."""
         if self.require_auth and credentials is not self.trusted_token:
             from repro.faas.iam import AuthenticationError
 
@@ -299,7 +349,7 @@ class CloudFunctions:
             overhead = API_OVERHEAD_MEAN * (
                 1 + self._rng.uniform(-API_OVERHEAD_JITTER, API_OVERHEAD_JITTER)
             )
-        self.kernel.sleep(overhead)
+        yield vsleep(overhead)
         with self._act_lock:
             current = self._active.get(namespace, 0)
             if current >= self.limits.max_concurrent:
@@ -332,7 +382,7 @@ class CloudFunctions:
                 submit_time=self.kernel.now(),
             )
             self._activations[activation_id] = record
-            self._completion[activation_id] = VEvent(self.kernel)
+            self._completion[activation_id] = None
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.point(
@@ -342,7 +392,7 @@ class CloudFunctions:
                 namespace=namespace,
                 action=action_name,
             )
-        self.kernel.spawn(
+        self.kernel.spawn_model(
             self._execute,
             action,
             dict(params),
@@ -362,26 +412,33 @@ class CloudFunctions:
 
     def _execute(
         self, action: Action, params: dict[str, Any], record: ActivationRecord
-    ) -> None:
+    ):
+        """Model-task body for one activation (a generator of kernel ops).
+
+        Pure platform modelling — placement, image pull, cold boot, fault
+        fates, billing — runs on the kernel's model loop and holds no OS
+        thread while sleeping.  Only a plain (non-generator) user handler
+        occupies a pooled worker thread, and only for its own duration.
+        """
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
-            self._execute_inner(action, params, record, None)
+            yield from self._execute_steps(action, params, record, None)
             return
         # bind the causal ids ambiently so every span emitted below this
         # task — worker phases, COS requests, in-cloud link round trips —
         # is stamped with them automatically
         with tracer.bind(**_call_ids(params), activation_id=record.activation_id):
-            self._execute_inner(action, params, record, tracer)
+            yield from self._execute_steps(action, params, record, tracer)
 
-    def _execute_inner(
+    def _execute_steps(
         self,
         action: Action,
         params: dict[str, Any],
         record: ActivationRecord,
         tracer,
-    ) -> None:
+    ):
         t_place = self.kernel.now()
-        placement, node = self._place(action)
+        placement, node = yield from self._place_steps(action)
         record.invoker_id = node.node_id
         record.container_id = placement.container.container_id
         record.cold_start = placement.cold
@@ -396,7 +453,7 @@ class CloudFunctions:
         if placement.needs_pull:
             image = self.registry.get(action.runtime)
             t_pull = self.kernel.now()
-            self.kernel.sleep(image.size_mb / IMAGE_PULL_MBPS)
+            yield vsleep(image.size_mb / IMAGE_PULL_MBPS)
             node.cache_image(action.runtime)
             if tracer is not None:
                 tracer.span_at(
@@ -408,7 +465,7 @@ class CloudFunctions:
             with self._rng_lock:
                 boot = self._rng.uniform(COLD_START_MIN, COLD_START_MAX)
             t_boot = self.kernel.now()
-            self.kernel.sleep(boot)
+            yield vsleep(boot)
             if tracer is not None:
                 tracer.span_at(
                     "container.cold_start", "container",
@@ -434,7 +491,7 @@ class CloudFunctions:
             # no status object in COS — the client only notices by absence.
             # A crash dies within seconds; a hang wedges until the platform
             # reaps the unresponsive container after ``fate_delay``.
-            self.kernel.sleep(fate_delay)
+            yield vsleep(fate_delay)
             record.end_time = self.kernel.now()
             record.status = ActivationStatus.ERROR
             record.error = (
@@ -468,18 +525,45 @@ class CloudFunctions:
                 self._active[record.namespace] -= 1
                 self._active_total -= 1
                 event = self._completion[record.activation_id]
-            event.set()
+            if event is not None:
+                event.set()
             with self._capacity:
                 self._capacity.notify_all()
             return
 
         ctx = ExecutionContext(self, record.namespace, record, action)
         status = ActivationStatus.SUCCESS
-        try:
-            record.result = action.handler(params, ctx)
-        except Exception:  # noqa: BLE001 - the platform reports, not crashes
-            status = ActivationStatus.ERROR
-            record.error = traceback.format_exc()
+        if inspect.isgeneratorfunction(action.handler):
+            # a steps-style handler runs inline on the model loop: the whole
+            # activation is threadless end to end
+            try:
+                record.result = yield from action.handler(params, ctx)
+            except Exception:  # noqa: BLE001 - the platform reports, not crashes
+                status = ActivationStatus.ERROR
+                record.error = traceback.format_exc()
+        else:
+            # a plain blocking handler gets a pooled worker thread for
+            # exactly its own duration; ambient context (trace bind) is
+            # captured from this step and follows it
+            box: dict[str, Any] = {}
+            handler_task = self.kernel.spawn(
+                _run_handler_boxed,
+                action.handler,
+                params,
+                ctx,
+                box,
+                name=f"hnd-{action.name}-{record.activation_id}",
+            )
+            yield vjoin(handler_task)
+            if handler_task._exception is not None:
+                # non-Exception BaseException (or kernel teardown): this
+                # activation's platform task dies with it, as before
+                raise handler_task._exception
+            if "error" in box:
+                status = ActivationStatus.ERROR
+                record.error = box["error"]
+            else:
+                record.result = box.get("result")
         record.end_time = self.kernel.now()
 
         limit = min(action.timeout_s, self.limits.max_exec_seconds)
@@ -511,36 +595,59 @@ class CloudFunctions:
             )
 
         node.release(placement.container, self.kernel.now())
+        fqn = placement.container.action_fqn
+        self._warm_idle[fqn] = self._warm_idle.get(fqn, 0) + 1
         with self._act_lock:
             self._active[record.namespace] -= 1
             self._active_total -= 1
             event = self._completion[record.activation_id]
-        event.set()
+        if event is not None:
+            event.set()
         with self._capacity:
             self._capacity.notify_all()
 
-    def _place(self, action: Action) -> tuple[Placement, InvokerNode]:
-        """Find a node for the activation, waiting for capacity if needed."""
+    def _place_steps(self, action: Action):
+        """Find a node for the activation, waiting for capacity if needed.
+
+        Steps generator: when the cluster is full, the activation parks on
+        the capacity condition via a registered waiter (1 s timeout retry),
+        holding no OS thread while it waits.
+        """
+        invokers = self.invokers
+        n_nodes = len(invokers)
         while True:
-            start = next(self._rr) % len(self.invokers)
-            order = self.invokers[start:] + self.invokers[:start]
+            start = next(self._rr) % n_nodes
             now = self.kernel.now()
             # Blacked-out nodes (chaos plane) accept no placements; the
             # capacity wait below retries once their window passes.
-            if self.chaos is not None:
-                order = [node for node in order if node.available(now)]
+            chaos = self.chaos is not None
             # Warm scan first: reusing an idle container anywhere in the
             # cluster beats a cold start (OpenWhisk prefers warm reuse).
-            for node in order:
-                placement = node.try_place_warm(action, now)
+            # The hint makes the scan O(1) when nothing can be warm; the
+            # scan itself is authoritative, the hint only gates it.
+            if self._warm_idle.get(action.fqn, 0) > 0:
+                for k in range(n_nodes):
+                    node = invokers[(start + k) % n_nodes]
+                    if chaos and not node.available(now):
+                        continue
+                    placement = node.try_place_warm(action, now)
+                    if placement is not None:
+                        self._warm_idle[action.fqn] -= 1
+                        return placement, node
+                if not chaos:
+                    # every node was scanned and none had a live warm
+                    # container: the hint was stale (TTL expiry/eviction)
+                    self._warm_idle[action.fqn] = 0
+            for k in range(n_nodes):
+                node = invokers[(start + k) % n_nodes]
+                if chaos and not node.available(now):
+                    continue
+                placement = node.try_place_cold(action, now)
                 if placement is not None:
                     return placement, node
-            for node in order:
-                placement = node.try_place(action, now)
-                if placement is not None:
-                    return placement, node
-            with self._capacity:
-                self._capacity.wait(timeout=1.0)
+            waiter = Waiter(current_task())
+            self._capacity.register_waiter(waiter)
+            yield vwait(waiter, 1.0)
 
     # ------------------------------------------------------------------
     # Results / introspection
@@ -568,9 +675,18 @@ class CloudFunctions:
     ) -> ActivationRecord:
         """Block (virtual time) until the activation finishes."""
         with self._act_lock:
+            record = self._activations.get(activation_id)
+            if record is None:
+                raise ActivationNotFound(activation_id)
+            if record.finished:
+                return record
             event = self._completion.get(activation_id)
-        if event is None:
-            raise ActivationNotFound(activation_id)
+            if event is None:
+                # first waiter materializes the completion event; the
+                # record's status is always assigned before the completer
+                # takes _act_lock, so this check-then-wait cannot miss
+                event = VEvent(self.kernel)
+                self._completion[activation_id] = event
         event.wait(timeout)
         return self.get_activation(activation_id)
 

@@ -17,6 +17,7 @@ from repro.faas.controller import CloudFunctions
 from repro.faas.errors import ThrottledError
 from repro.net.link import NetworkLink
 from repro.retry import RetryPolicy
+from repro.vtime.kernel import vsleep
 
 #: approximate size of an invocation HTTP request (auth headers + params)
 INVOKE_PAYLOAD_BYTES = 1024
@@ -70,6 +71,11 @@ class CloudFunctionsClient:
             lambda: self.link.request(payload_bytes), self.platform.kernel
         )
 
+    def _network_round_trip_steps(self, payload_bytes: int):
+        yield from self.policy.run_steps(
+            lambda: self.link.request_steps(payload_bytes)
+        )
+
     def invoke(
         self,
         namespace: str,
@@ -79,8 +85,20 @@ class CloudFunctionsClient:
         """Invoke an action; blocks for the network + API round trip only.
 
         Retries transient network failures and 429 throttles (both grow with
-        latency in the paper's account of slow WAN spawning).
+        latency in the paper's account of slow WAN spawning).  Blocking
+        wrapper over :meth:`invoke_steps` (thread tasks only).
         """
+        return self.platform.kernel.drive(
+            self.invoke_steps(namespace, action_name, params)
+        )
+
+    def invoke_steps(
+        self,
+        namespace: str,
+        action_name: str,
+        params: Optional[dict[str, Any]] = None,
+    ):
+        """Steps twin of :meth:`invoke` (model tasks ``yield from``)."""
         params = params or {}
         kernel = self.platform.kernel
         tracer = getattr(self.platform, "tracer", None)
@@ -88,13 +106,22 @@ class CloudFunctionsClient:
             tracer = None
         call_ids = _gateway_ids(params) if tracer is not None else None
         t0 = kernel.now() if tracer is not None else None
+        # duck-typed platforms (test fakes) may only offer blocking invoke
+        invoke_steps = getattr(self.platform, "invoke_steps", None)
         throttle_attempt = 0
         while True:
-            self._network_round_trip(INVOKE_PAYLOAD_BYTES)
+            yield from self._network_round_trip_steps(INVOKE_PAYLOAD_BYTES)
             try:
-                activation_id = self.platform.invoke(
-                    namespace, action_name, params, credentials=self.credentials
-                )
+                if invoke_steps is not None:
+                    activation_id = yield from invoke_steps(
+                        namespace, action_name, params,
+                        credentials=self.credentials,
+                    )
+                else:
+                    activation_id = self.platform.invoke(
+                        namespace, action_name, params,
+                        credentials=self.credentials,
+                    )
             except ThrottledError as exc:
                 self._throttle_retries += 1
                 throttle_attempt += 1
@@ -105,7 +132,7 @@ class CloudFunctionsClient:
                         attempt=throttle_attempt,
                         retry_after=exc.retry_after,
                     )
-                kernel.sleep(
+                yield vsleep(
                     self.policy.backoff(throttle_attempt, exc.retry_after)
                 )
                 continue

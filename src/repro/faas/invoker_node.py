@@ -108,6 +108,14 @@ class InvokerNode:
         warm = self.try_place_warm(action, now)
         if warm is not None:
             return warm
+        return self.try_place_cold(action, now)
+
+    def try_place_cold(self, action: Action, now: float) -> Optional[Placement]:
+        """Start a cold container, evicting idle ones for room if needed.
+
+        Skips the warm check: callers that already scanned the cluster for
+        warm containers (the controller's placement loop) use this directly.
+        """
         with self._lock:
             if not self._make_room_locked(action.memory_mb, now):
                 return None

@@ -50,6 +50,13 @@ class MQClient:
             queue, _Envelope(self.link.kernel.now(), message)
         )
 
+    def publish_steps(self, queue: str, message: Any):
+        """Steps twin of :meth:`publish` (model tasks ``yield from``)."""
+        yield from self.link.request_with_retries_steps(STATUS_MESSAGE_BYTES)
+        self.broker.publish(
+            queue, _Envelope(self.link.kernel.now(), message)
+        )
+
     def subscribe(self, queue: str) -> None:
         """Open the channel (one round trip, then deliveries are pushed)."""
         if queue not in self._subscribed:

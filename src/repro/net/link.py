@@ -8,6 +8,7 @@ from typing import Optional
 
 from repro.net.latency import LatencyModel, TransientNetworkError
 from repro.vtime import Kernel
+from repro.vtime.kernel import vsleep
 
 # Default service bandwidth seen by one flow (COS single-stream throughput).
 DEFAULT_BANDWIDTH_BPS = 100 * 1024 * 1024  # 100 MiB/s
@@ -62,7 +63,19 @@ class NetworkLink:
 
     # -- behaviour ---------------------------------------------------------
     def request(self, payload_bytes: int = 0, allow_failure: bool = True) -> None:
-        """Charge virtual time for one round trip moving ``payload_bytes``."""
+        """Charge virtual time for one round trip moving ``payload_bytes``.
+
+        Blocking wrapper over :meth:`request_steps` (thread tasks only).
+        """
+        self.kernel.drive(self.request_steps(payload_bytes, allow_failure))
+
+    def request_steps(self, payload_bytes: int = 0, allow_failure: bool = True):
+        """One round trip as a steps generator (model tasks ``yield from``).
+
+        All RNG draws happen up front under the link lock — exactly the
+        blocking path's draw order — then the latency is paid via kernel
+        ops, so a transfer in flight holds no OS thread.
+        """
         with self._rng_lock:
             rtt = self.latency.sample_rtt(self._rng)
             fails = allow_failure and self.latency.sample_failure(self._rng)
@@ -86,7 +99,7 @@ class NetworkLink:
                 self._bytes_moved += payload_bytes
         tracer = self.tracer
         t0 = self.kernel.now() if tracer is not None and tracer.enabled else None
-        self.kernel.sleep(rtt)
+        yield vsleep(rtt)
         if fails:
             if t0 is not None:
                 tracer.span_at(
@@ -97,7 +110,7 @@ class NetworkLink:
                 f"transient failure on {self.latency.name} link"
             )
         if payload_bytes > 0:
-            self.kernel.sleep(payload_bytes / self.bandwidth_bps)
+            yield vsleep(payload_bytes / self.bandwidth_bps)
         if t0 is not None:
             tracer.span_at(
                 "net.request", "net", t0, self.kernel.now(),
@@ -115,16 +128,27 @@ class NetworkLink:
         Returns the number of attempts made.  Mirrors the retry loop the
         paper attributes the extra WAN invocation time to.
         """
+        return self.kernel.drive(
+            self.request_with_retries_steps(payload_bytes, retries, backoff)
+        )
+
+    def request_with_retries_steps(
+        self,
+        payload_bytes: int = 0,
+        retries: int = 5,
+        backoff: float = 1.0,
+    ):
+        """Steps twin of :meth:`request_with_retries`."""
         attempts = 0
         while True:
             attempts += 1
             try:
-                self.request(payload_bytes)
+                yield from self.request_steps(payload_bytes)
                 return attempts
             except TransientNetworkError:
                 if attempts > retries:
                     raise
-                self.kernel.sleep(backoff)
+                yield vsleep(backoff)
 
     def transfer_time(self, payload_bytes: int) -> float:
         """Pure bandwidth cost (no RTT) for ``payload_bytes``, in seconds."""

@@ -54,7 +54,11 @@ class RetryPolicy:
     def __init__(self, config: Optional[RetryConfig] = None, seed: int = 0) -> None:
         self.config = config or RetryConfig()
         self.config.validate()
-        self._rng = random.Random(seed ^ 0x5E77E7)
+        self._seed = seed
+        # The jitter RNG materializes on first backoff: most policies never
+        # retry, and a seeded Mersenne state is ~2.5 KB — at 50k concurrent
+        # activations (one policy per in-cloud client) eagerness costs >100 MB.
+        self._rng: Optional[random.Random] = None
         #: total backoff sleeps taken by this policy (observability)
         self.retries = 0
 
@@ -73,6 +77,8 @@ class RetryPolicy:
             cfg.initial_backoff_s * cfg.multiplier ** (max(1, attempt) - 1),
         )
         if cfg.jitter == "full":
+            if self._rng is None:
+                self._rng = random.Random(self._seed ^ 0x5E77E7)
             return self._rng.uniform(0.0, base)
         return base
 
@@ -101,4 +107,33 @@ class RetryPolicy:
                 if on_retry is not None:
                     on_retry(attempt, exc, delay)
                 kernel.sleep(delay)
+                attempt += 1
+
+    def run_steps(
+        self,
+        attempt_factory: Callable[[], object],
+        classify: Callable[[BaseException], bool] = is_retryable,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ):
+        """Steps twin of :meth:`run` for the kernel's model-task API.
+
+        ``attempt_factory()`` returns a *fresh* steps generator per attempt
+        (the attempt itself may block via kernel ops).  Backoff sleeps are
+        yielded as ops instead of blocking, so the whole retry loop can run
+        as — or inside — a model task, or be driven by a thread task.
+        """
+        from repro.vtime.kernel import vsleep
+
+        attempt = 1
+        while True:
+            try:
+                return (yield from attempt_factory())
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not classify(exc) or attempt >= self.config.max_attempts:
+                    raise
+                delay = self.backoff(attempt, getattr(exc, "retry_after", None))
+                self.retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                yield vsleep(delay)
                 attempt += 1

@@ -20,7 +20,21 @@ from repro.vtime.errors import (
     NotInKernelError,
     VTimeError,
 )
-from repro.vtime.kernel import Kernel, Task, Waiter, current_kernel, current_task
+from repro.vtime.kernel import (
+    JoinOp,
+    Kernel,
+    ModelTask,
+    SleepOp,
+    Task,
+    Waiter,
+    WaitOp,
+    current_kernel,
+    current_task,
+    live_kernels,
+    vjoin,
+    vsleep,
+    vwait,
+)
 from repro.vtime.sync import (
     QueueEmpty,
     VCondition,
@@ -33,7 +47,15 @@ from repro.vtime.sync import (
 __all__ = [
     "Kernel",
     "Task",
+    "ModelTask",
     "Waiter",
+    "SleepOp",
+    "WaitOp",
+    "JoinOp",
+    "vsleep",
+    "vwait",
+    "vjoin",
+    "live_kernels",
     "VCondition",
     "VEvent",
     "VQueue",

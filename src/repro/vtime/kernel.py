@@ -1,12 +1,11 @@
-"""A virtual-time thread kernel.
+"""A virtual-time hybrid kernel: model tasks plus pooled threads.
 
 Every simulated activity (a client, an invoker node, a running cloud
-function) is a *real* OS thread registered with the :class:`Kernel`.  Time is
-virtual: a task that calls :meth:`Kernel.sleep` does not consume wall-clock
-time.  Instead it parks on a private event; when **every** registered task is
-blocked, the kernel advances the virtual clock to the earliest pending timer
-and wakes exactly one waiter.  This gives three properties the paper's
-experiments need:
+function) is registered with the :class:`Kernel`.  Time is virtual: a task
+that sleeps does not consume wall-clock time.  When **every** registered
+task is blocked, the kernel advances the virtual clock to the earliest
+pending timer and wakes exactly one waiter.  This gives three properties the
+paper's experiments need:
 
 * user code stays *plain blocking Python* — a function running inside an
   emulated container can create a nested executor and block on its results,
@@ -16,17 +15,38 @@ experiments need:
 * timer firings are serialized in ``(time, seq)`` order, so runs are
   reproducible.
 
-The kernel deliberately mirrors the structure of discrete-event simulators
-(SimPy et al.) but trades coroutines for threads so arbitrary third-party
-blocking code can participate.
+Tasks come in two kinds, sharing one ``(time, seq)`` timer wheel and one
+blocked/running accounting:
+
+* **Thread tasks** (:class:`Task`, via :meth:`Kernel.spawn`) execute on real
+  OS threads drawn from a recycling pool, so arbitrary third-party blocking
+  code can participate.  A finished task's thread parks and is reused by the
+  next spawn instead of being torn down.
+* **Model tasks** (:class:`ModelTask`, via :meth:`Kernel.spawn_model`) are
+  generator-based coroutines stepped by one shared loop thread.  They carry
+  *no* OS thread while blocked, which is what lets a single process model
+  tens of thousands of concurrent activities (timers, net transfers,
+  cold-start delays, invoker bookkeeping).  A model task yields kernel *ops*
+  — :func:`vsleep`, :func:`vwait`, :func:`vjoin` — instead of calling the
+  blocking primitives.
+
+The same "steps" generator can serve both worlds: a thread task runs it to
+completion with :meth:`Kernel.drive` (blocking at each op), while a model
+task delegates with ``yield from``.  Ambient context (trace ids, the active
+cloud environment) propagates identically into both kinds: thread tasks
+install captured tokens once around their function; model tasks install
+them around every step and re-capture afterwards, so bindings held across a
+yield survive interleaving with other model tasks.
 """
 
 from __future__ import annotations
 
+import collections
 import heapq
 import itertools
 import threading
-from typing import Any, Callable, Optional
+import weakref
+from typing import Any, Callable, Generator, Optional
 
 from repro.vtime.errors import (
     DeadlockError,
@@ -34,16 +54,36 @@ from repro.vtime.errors import (
     NotInKernelError,
 )
 
-__all__ = ["Kernel", "Task", "Waiter", "current_kernel", "current_task"]
+__all__ = [
+    "Kernel",
+    "Task",
+    "ModelTask",
+    "Waiter",
+    "SleepOp",
+    "WaitOp",
+    "JoinOp",
+    "vsleep",
+    "vwait",
+    "vjoin",
+    "current_kernel",
+    "current_task",
+    "live_kernels",
+]
 
-# Maps OS thread ident -> Task, for every live kernel task in the process.
+# Maps OS thread ident -> task, for every live kernel task in the process.
 # Keyed globally (not per kernel) so ambient helpers like ``repro.sleep``
-# can find the kernel owning the calling thread.
-_THREAD_TASKS: dict[int, "Task"] = {}
+# can find the kernel owning the calling thread.  While the model loop steps
+# a model task, the loop thread's ident maps to that task.
+_THREAD_TASKS: dict[int, Any] = {}
 _THREAD_TASKS_LOCK = threading.Lock()
 
+# Every kernel constructed in this process (weakly referenced): the test
+# suite's thread-hygiene fixture uses this to shut down kernels a test
+# created but never ran to completion.
+_LIVE_KERNELS: "weakref.WeakSet[Kernel]" = weakref.WeakSet()
 
-def current_task() -> Optional["Task"]:
+
+def current_task() -> Optional[Any]:
     """Return the kernel task running on this thread, or ``None``."""
     with _THREAD_TASKS_LOCK:
         return _THREAD_TASKS.get(threading.get_ident())
@@ -55,11 +95,18 @@ def current_kernel() -> Optional["Kernel"]:
     return task.kernel if task is not None else None
 
 
+def live_kernels() -> list["Kernel"]:
+    """Every kernel object still alive in this process (weakly tracked)."""
+    return list(_LIVE_KERNELS)
+
+
 # Ambient-context propagation: higher layers (e.g. repro.core.context)
 # register capture/install/uninstall hooks so state bound to the *spawning*
 # thread follows into spawned tasks — the way contextvars follow asyncio
 # tasks.  Each propagator is (capture() -> token, install(token),
-# uninstall(token)).
+# uninstall(token)).  Propagators must restore a pristine (empty) thread
+# state when ``uninstall`` is handed the token ``capture`` just returned —
+# the model loop relies on that to context-switch between tasks per step.
 _CONTEXT_PROPAGATORS: list[tuple[Callable[[], Any], Callable[[Any], None], Callable[[Any], None]]] = []
 
 
@@ -72,8 +119,80 @@ def register_context_propagator(
     _CONTEXT_PROPAGATORS.append((capture, install, uninstall))
 
 
+def _capture_context() -> list[tuple[Callable[[Any], None], Callable[[Any], None], Any]]:
+    return [
+        (install, uninstall, capture())
+        for capture, install, uninstall in _CONTEXT_PROPAGATORS
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Kernel ops: what a model task (or a steps generator) yields to block.
+# ---------------------------------------------------------------------------
+class SleepOp:
+    """Block for ``duration`` virtual seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SleepOp({self.duration!r})"
+
+
+class WaitOp:
+    """Block until ``waiter`` is consumed (or ``timeout`` virtual seconds).
+
+    The waiter must belong to the yielding task and already be reachable
+    from whatever will wake it.  After resumption, inspect
+    ``waiter.timed_out`` / ``waiter.payload``.
+    """
+
+    __slots__ = ("waiter", "timeout")
+
+    def __init__(self, waiter: "Waiter", timeout: Optional[float] = None) -> None:
+        self.waiter = waiter
+        self.timeout = timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitOp({self.waiter!r}, timeout={self.timeout!r})"
+
+
+class JoinOp:
+    """Block until ``task`` (thread or model) finishes.
+
+    Resumes with ``True`` if the task finished, ``False`` on timeout —
+    the same contract as :meth:`Task.join`.
+    """
+
+    __slots__ = ("task", "timeout")
+
+    def __init__(self, task: Any, timeout: Optional[float] = None) -> None:
+        self.task = task
+        self.timeout = timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JoinOp({self.task!r}, timeout={self.timeout!r})"
+
+
+def vsleep(duration: float) -> SleepOp:
+    """Op: sleep ``duration`` virtual seconds (``yield vsleep(5)``)."""
+    return SleepOp(duration)
+
+
+def vwait(waiter: "Waiter", timeout: Optional[float] = None) -> WaitOp:
+    """Op: wait for ``waiter`` to be consumed (``yield vwait(w, 1.0)``)."""
+    return WaitOp(waiter, timeout)
+
+
+def vjoin(task: Any, timeout: Optional[float] = None) -> JoinOp:
+    """Op: join a task (``ok = yield vjoin(child)``)."""
+    return JoinOp(task, timeout)
+
+
 class Task:
-    """A thread registered with a :class:`Kernel`.
+    """A pooled-thread task registered with a :class:`Kernel`.
 
     The public surface is intentionally small: ``name``, ``result()`` and
     ``join()``.  State transitions are owned by the kernel.
@@ -129,6 +248,68 @@ class Task:
         return self.kernel._join_task(self, timeout)
 
 
+class ModelTask:
+    """A generator-based coroutine scheduled by the kernel's model loop.
+
+    Shares the observable surface of :class:`Task` (``name``, ``finished``,
+    ``result()``, ``join()``) but holds no OS thread: while blocked it is
+    just a heap entry + a suspended generator frame.  It advances by
+    yielding ops (:func:`vsleep` / :func:`vwait` / :func:`vjoin`); calling
+    the blocking kernel primitives from inside one raises
+    :class:`VTimeUsageError`.
+    """
+
+    # state constants shared with Task so kernel bookkeeping treats both
+    # kinds uniformly
+    _RUNNING = Task._RUNNING
+    _BLOCKED = Task._BLOCKED
+    _FINISHED = Task._FINISHED
+
+    def __init__(self, kernel: "Kernel", name: str, task_id: int) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.task_id = task_id
+        self.daemon = False
+        self._state = ModelTask._RUNNING
+        self._gen: Optional[Generator[Any, Any, Any]] = None
+        self._pending_exc: Optional[BaseException] = None
+        self._resume_value_fn: Optional[Callable[[], Any]] = None
+        # ambient-context tokens, re-captured after every step:
+        # [(capture, install, uninstall, token), ...]
+        self._tokens: list[tuple] = []
+        self._outcome_ready = threading.Event()
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ModelTask {self.task_id} {self.name!r} {self._state}>"
+
+    @property
+    def finished(self) -> bool:
+        return self._state == ModelTask._FINISHED
+
+    def result(self) -> Any:
+        """Return the task generator's return value (task must be finished)."""
+        if not self._outcome_ready.is_set():
+            raise VTimeUsageError(
+                f"model task {self.name!r} has not finished; join() it first"
+            )
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for this model task to finish (see :meth:`Task.join`).
+
+        From inside another *model* task, use ``yield vjoin(task)`` instead.
+        """
+        caller = current_task()
+        if caller is None:
+            self._outcome_ready.wait()
+            return True
+        return self.kernel._join_task(self, timeout)
+
+
 class VTimeUsageError(NotInKernelError):
     """Misuse of the kernel API (kept as a NotInKernelError subclass)."""
 
@@ -139,11 +320,12 @@ class Waiter:
     A waiter is *consumed* exactly once: either its timer fires, or the thing
     it waits on notifies it, whichever happens first.  ``payload`` carries an
     arbitrary wake reason to the woken task (used by queues/conditions).
+    ``task`` may be a thread task or a model task.
     """
 
     __slots__ = ("task", "done", "timed_out", "payload", "on_consume")
 
-    def __init__(self, task: Task) -> None:
+    def __init__(self, task: Any) -> None:
         self.task = task
         self.done = False
         self.timed_out = False
@@ -153,22 +335,59 @@ class Waiter:
         self.on_consume: Optional[Callable[["Waiter"], None]] = None
 
 
-class Kernel:
-    """The virtual-time scheduler.  See module docstring."""
+class _PoolWorker:
+    """One recycled OS thread of the kernel's spawn pool."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    __slots__ = ("thread", "ready", "job")
+
+    def __init__(self) -> None:
+        self.thread: Optional[threading.Thread] = None
+        self.ready = threading.Event()
+        # (task, fn, args, kwargs, tokens) while assigned; None = stop signal
+        self.job: Optional[tuple] = None
+
+
+class Kernel:
+    """The virtual-time scheduler.  See module docstring.
+
+    ``pool_size`` bounds how many *idle* worker threads are retained for
+    reuse; it is not a concurrency cap — when more thread tasks are
+    simultaneously alive than the pool holds, extra threads are created and
+    retired once the pool is full again.  (A hard cap would deadlock nested
+    executors, which block a thread task on children that need threads.)
+    """
+
+    def __init__(self, start_time: float = 0.0, pool_size: int = 32) -> None:
+        if pool_size < 0:
+            raise ValueError("pool_size must be >= 0")
         self._lock = threading.Lock()
         self._now = float(start_time)
         self._seq = itertools.count()
         self._task_ids = itertools.count(1)
-        self._tasks: dict[int, Task] = {}
+        self._tasks: dict[int, Any] = {}
         self._running = 0  # tasks currently in RUNNING state
         self._nondaemon_alive = 0
         self._timers: list[tuple[float, int, Waiter]] = []
         self._dead = False
+        self._shutdown_complete = False
         self._spawned_total = 0
         self._nondaemon_done = threading.Event()
         self._nondaemon_done.set()
+        # --- recycling thread pool ---
+        self._pool_size = int(pool_size)
+        self._pool_idle: list[_PoolWorker] = []
+        self._pool_workers: set[_PoolWorker] = set()
+        self._worker_ids = itertools.count(1)
+        self._threads_created = 0
+        self._threads_recycled = 0
+        self._live_worker_threads = 0
+        self._peak_threads = 0
+        # --- model-task loop ---
+        self._model_ready: collections.deque[ModelTask] = collections.deque()
+        self._loop_wake = threading.Event()
+        self._loop_thread: Optional[threading.Thread] = None
+        self._loop_stop = False
+        _LIVE_KERNELS.add(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,8 +408,28 @@ class Kernel:
         with self._lock:
             return self._spawned_total
 
+    @property
+    def pool_size(self) -> int:
+        return self._pool_size
+
+    def thread_stats(self) -> dict[str, int]:
+        """Worker/loop thread accounting (for scale benches and tests)."""
+        with self._lock:
+            loop_alive = (
+                1
+                if self._loop_thread is not None and self._loop_thread.is_alive()
+                else 0
+            )
+            return {
+                "pool_size": self._pool_size,
+                "threads_created": self._threads_created,
+                "threads_recycled": self._threads_recycled,
+                "live_threads": self._live_worker_threads + loop_alive,
+                "peak_threads": self._peak_threads,
+            }
+
     # ------------------------------------------------------------------
-    # Task lifecycle
+    # Task lifecycle: thread tasks
     # ------------------------------------------------------------------
     def spawn(
         self,
@@ -200,12 +439,13 @@ class Kernel:
         daemon: bool = False,
         **kwargs: Any,
     ) -> Task:
-        """Start ``fn(*args, **kwargs)`` as a new kernel task.
+        """Start ``fn(*args, **kwargs)`` as a new thread task.
 
         ``daemon`` tasks do not keep :meth:`run` alive; they are killed with
         :class:`KernelShutdownError` at shutdown.  The task counts as RUNNING
         from before its thread starts, so virtual time cannot slip past the
-        spawn point.
+        spawn point.  The executing thread comes from the kernel's recycling
+        pool when one is idle.
         """
         with self._lock:
             if self._dead:
@@ -218,40 +458,342 @@ class Kernel:
             if not daemon:
                 self._nondaemon_alive += 1
                 self._nondaemon_done.clear()
+            worker = self._pool_idle.pop() if self._pool_idle else None
+            if worker is not None:
+                self._threads_recycled += 1
 
         # capture the spawning thread's ambient context for the child
-        tokens = [
-            (install, uninstall, capture())
-            for capture, install, uninstall in _CONTEXT_PROPAGATORS
-        ]
-
-        def _bootstrap() -> None:
-            ident = threading.get_ident()
-            with _THREAD_TASKS_LOCK:
-                _THREAD_TASKS[ident] = task
-            installed: list[tuple[Callable[[Any], None], Any]] = []
-            try:
-                for install, uninstall, token in tokens:
-                    install(token)
-                    installed.append((uninstall, token))
-                task._result = fn(*args, **kwargs)
-            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised at join
-                task._exception = exc
-            finally:
-                for uninstall, token in reversed(installed):
-                    try:
-                        uninstall(token)
-                    except Exception:  # pragma: no cover - cleanup best effort
-                        pass
-                with _THREAD_TASKS_LOCK:
-                    _THREAD_TASKS.pop(ident, None)
-                self._finish_task(task)
-
-        thread = threading.Thread(target=_bootstrap, name=f"vtask-{task.name}", daemon=True)
-        task._thread = thread
-        thread.start()
+        tokens = _capture_context()
+        job = (task, fn, args, kwargs, tokens)
+        if worker is None:
+            self._start_worker(job)
+        else:
+            task._thread = worker.thread
+            worker.job = job
+            worker.ready.set()
         return task
 
+    def _start_worker(self, job: tuple) -> None:
+        worker = _PoolWorker()
+        worker.job = job
+        worker.ready.set()
+        thread = threading.Thread(
+            target=self._worker_main,
+            args=(worker,),
+            name=f"vpool-{next(self._worker_ids)}",
+            daemon=True,
+        )
+        worker.thread = thread
+        job[0]._thread = thread
+        with self._lock:
+            self._pool_workers.add(worker)
+            self._threads_created += 1
+            self._live_worker_threads += 1
+            self._note_peak_locked()
+        thread.start()
+
+    def _note_peak_locked(self) -> None:
+        loop_alive = 1 if self._loop_thread is not None else 0
+        self._peak_threads = max(
+            self._peak_threads, self._live_worker_threads + loop_alive
+        )
+
+    def _worker_main(self, worker: _PoolWorker) -> None:
+        while True:
+            worker.ready.wait()
+            worker.ready.clear()
+            job, worker.job = worker.job, None
+            if job is None:  # stop signal from shutdown
+                break
+            task, fn, args, kwargs, tokens = job
+            self._run_task_on_thread(task, fn, args, kwargs, tokens)
+            with self._lock:
+                if self._dead or len(self._pool_idle) >= self._pool_size:
+                    break
+                self._pool_idle.append(worker)
+        with self._lock:
+            self._pool_workers.discard(worker)
+            self._live_worker_threads -= 1
+
+    def _run_task_on_thread(
+        self, task: Task, fn: Callable[..., Any], args: tuple, kwargs: dict, tokens: list
+    ) -> None:
+        ident = threading.get_ident()
+        with _THREAD_TASKS_LOCK:
+            _THREAD_TASKS[ident] = task
+        installed: list[tuple[Callable[[Any], None], Any]] = []
+        try:
+            for install, uninstall, token in tokens:
+                install(token)
+                installed.append((uninstall, token))
+            task._result = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised at join
+            task._exception = exc
+        finally:
+            for uninstall, token in reversed(installed):
+                try:
+                    uninstall(token)
+                except Exception:  # pragma: no cover - cleanup best effort
+                    pass
+            with _THREAD_TASKS_LOCK:
+                _THREAD_TASKS.pop(ident, None)
+            self._finish_task(task)
+
+    # ------------------------------------------------------------------
+    # Task lifecycle: model tasks
+    # ------------------------------------------------------------------
+    def spawn_model(
+        self,
+        fn: Callable[..., Generator[Any, Any, Any]],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        **kwargs: Any,
+    ) -> ModelTask:
+        """Start generator function ``fn(*args, **kwargs)`` as a model task.
+
+        The generator yields kernel ops (:func:`vsleep`, :func:`vwait`,
+        :func:`vjoin`) to block in virtual time; its ``return`` value becomes
+        the task result.  No OS thread is held while the task is blocked.
+        """
+        gen = fn(*args, **kwargs)
+        if not (hasattr(gen, "send") and hasattr(gen, "throw")):
+            raise VTimeUsageError(
+                f"spawn_model() needs a generator function; {fn!r} returned "
+                f"{type(gen).__name__}"
+            )
+        tokens = [
+            (capture, install, uninstall, capture())
+            for capture, install, uninstall in _CONTEXT_PROPAGATORS
+        ]
+        with self._lock:
+            if self._dead:
+                raise KernelShutdownError("kernel has been shut down")
+            task = ModelTask(self, name or fn.__name__, next(self._task_ids))
+            task.daemon = daemon
+            task._gen = gen
+            task._tokens = tokens
+            self._tasks[task.task_id] = task
+            self._running += 1
+            self._spawned_total += 1
+            if not daemon:
+                self._nondaemon_alive += 1
+                self._nondaemon_done.clear()
+            self._enqueue_model_locked(task)
+            self._ensure_loop_locked()
+        return task
+
+    def _enqueue_model_locked(self, task: ModelTask) -> None:
+        self._model_ready.append(task)
+        # set() takes the event's internal lock; while the loop is actively
+        # draining, the flag is usually already set — is_set() is a plain
+        # flag read, so this guard elides ~one lock round trip per step
+        if not self._loop_wake.is_set():
+            self._loop_wake.set()
+
+    def _ensure_loop_locked(self) -> None:
+        if self._loop_thread is None or not self._loop_thread.is_alive():
+            self._loop_stop = False
+            self._loop_thread = threading.Thread(
+                target=self._loop_main, name="vloop", daemon=True
+            )
+            self._note_peak_locked()
+            self._loop_thread.start()
+
+    def _loop_main(self) -> None:
+        batch: list[ModelTask] = []
+        while True:
+            self._loop_wake.wait()
+            self._loop_wake.clear()
+            while True:
+                # Drain the whole ready deque under one lock acquisition.
+                # Tasks enqueued while stepping the batch land on the deque
+                # and are picked up on the next sweep — the execution order
+                # is identical to popping one at a time (FIFO).
+                with self._lock:
+                    if not self._model_ready:
+                        break
+                    batch.extend(self._model_ready)
+                    self._model_ready.clear()
+                for task in batch:
+                    self._step_model(task)
+                batch.clear()
+            with self._lock:
+                if self._loop_stop and not self._model_ready:
+                    return
+
+    def _step_model(self, task: ModelTask) -> None:
+        """Run one step of ``task`` on the loop thread.
+
+        The task's ambient-context tokens are installed before the step and
+        re-captured afterwards, so context mutated *during* the step (e.g. a
+        ``tracer.bind`` held across a yield) follows the task, not the loop
+        thread.  This relies on propagators restoring pristine thread state
+        when uninstalled with their own freshly captured token.
+        """
+        ident = threading.get_ident()
+        with _THREAD_TASKS_LOCK:
+            _THREAD_TASKS[ident] = task
+        for _capture, install, _uninstall, token in task._tokens:
+            install(token)
+        op: Any = None
+        finished = False
+        try:
+            if task._pending_exc is not None:
+                exc, task._pending_exc = task._pending_exc, None
+                op = task._gen.throw(exc)
+            else:
+                fn = task._resume_value_fn
+                task._resume_value_fn = None
+                op = task._gen.send(fn() if fn is not None else None)
+        except StopIteration as stop:
+            task._result = stop.value
+            finished = True
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised at join
+            task._exception = exc
+            finished = True
+        finally:
+            new_tokens = [
+                (capture, install, uninstall, capture())
+                for capture, install, uninstall, _old in task._tokens
+            ]
+            for _capture, _install, uninstall, token in reversed(new_tokens):
+                try:
+                    uninstall(token)
+                except Exception:  # pragma: no cover - cleanup best effort
+                    pass
+            task._tokens = new_tokens
+            with _THREAD_TASKS_LOCK:
+                _THREAD_TASKS.pop(ident, None)
+        if finished:
+            self._finish_model(task)
+        else:
+            self._interpret_model_op(task, op)
+
+    def _interpret_model_op(self, task: ModelTask, op: Any) -> None:
+        with self._lock:
+            if isinstance(op, SleepOp):
+                waiter = Waiter(task)
+                self._add_timer_locked(
+                    self._now + max(0.0, op.duration), waiter
+                )
+                self._block_model_locked(task)
+            elif isinstance(op, WaitOp):
+                waiter = op.waiter
+                if waiter.task is not task:
+                    task._pending_exc = VTimeUsageError(
+                        f"model task {task.name!r} yielded a WaitOp whose "
+                        f"waiter belongs to {waiter.task!r}"
+                    )
+                    self._enqueue_model_locked(task)
+                elif waiter.done:
+                    # consumed between registration and the yield: no block
+                    self._enqueue_model_locked(task)
+                else:
+                    if op.timeout is not None:
+                        self._add_timer_locked(
+                            self._now + max(0.0, op.timeout), waiter
+                        )
+                    self._block_model_locked(task)
+            elif isinstance(op, JoinOp):
+                target = op.task
+                if target._state == ModelTask._FINISHED:
+                    task._resume_value_fn = lambda: True
+                    self._enqueue_model_locked(task)
+                else:
+                    waiter = Waiter(task)
+                    target.__dict__.setdefault("_join_waiters", []).append(waiter)
+
+                    def _unlink(w: Waiter, target=target) -> None:
+                        lst = target.__dict__.get("_join_waiters", [])
+                        if w in lst:
+                            lst.remove(w)
+
+                    waiter.on_consume = _unlink
+                    if op.timeout is not None:
+                        self._add_timer_locked(
+                            self._now + max(0.0, op.timeout), waiter
+                        )
+                    task._resume_value_fn = (
+                        lambda w=waiter: not w.timed_out
+                    )
+                    self._block_model_locked(task)
+            else:
+                task._pending_exc = VTimeUsageError(
+                    f"model task {task.name!r} yielded {op!r}; expected "
+                    "vsleep()/vwait()/vjoin()"
+                )
+                self._enqueue_model_locked(task)
+
+    def _block_model_locked(self, task: ModelTask) -> None:
+        task._state = ModelTask._BLOCKED
+        self._running -= 1
+        if self._running == 0:
+            self._advance_locked()
+
+    def _finish_model(self, task: ModelTask) -> None:
+        with self._lock:
+            task._state = ModelTask._FINISHED
+            self._tasks.pop(task.task_id, None)
+            self._running -= 1
+            if not task.daemon:
+                self._nondaemon_alive -= 1
+                if self._nondaemon_alive == 0:
+                    self._nondaemon_done.set()
+            waiters = task.__dict__.pop("_join_waiters", [])
+            for waiter in waiters:
+                self._consume_waiter(waiter)
+            if self._running == 0:
+                self._advance_locked()
+        task._gen = None
+        task._outcome_ready.set()
+
+    # ------------------------------------------------------------------
+    # Steps interpreter: one generator, both task kinds
+    # ------------------------------------------------------------------
+    def drive(self, gen: Generator[Any, Any, Any]) -> Any:
+        """Run a steps generator to completion, blocking at each op.
+
+        This is the thread-task twin of ``yield from``: code written once as
+        a generator of kernel ops serves model tasks (which delegate to it)
+        and thread tasks (which ``drive`` it).  Returns the generator's
+        return value; exceptions raised by ops are thrown into the generator
+        so its ``try``/``finally`` blocks run.
+        """
+        value: Any = None
+        exc: Optional[BaseException] = None
+        while True:
+            try:
+                op = gen.throw(exc) if exc is not None else gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = None
+            exc = None
+            try:
+                if isinstance(op, SleepOp):
+                    self.sleep(op.duration)
+                elif isinstance(op, WaitOp):
+                    self.block_on(op.waiter, op.timeout)
+                elif isinstance(op, JoinOp):
+                    value = self._join_any(op.task, op.timeout)
+                else:
+                    raise VTimeUsageError(
+                        f"steps generator yielded {op!r}; expected "
+                        "vsleep()/vwait()/vjoin()"
+                    )
+            except BaseException as caught:  # noqa: BLE001 - rethrown into gen
+                exc = caught
+
+    def _join_any(self, task: Any, timeout: Optional[float]) -> bool:
+        caller = current_task()
+        if caller is None:
+            task._outcome_ready.wait()
+            return True
+        return self._join_task(task, timeout)
+
+    # ------------------------------------------------------------------
+    # Run / shutdown
+    # ------------------------------------------------------------------
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Run ``fn`` as the root task and return its result.
 
@@ -284,7 +826,7 @@ class Kernel:
                 self._advance_locked()
         task._outcome_ready.set()
 
-    def _join_task(self, task: Task, timeout: Optional[float]) -> bool:
+    def _join_task(self, task: Any, timeout: Optional[float]) -> bool:
         with self._lock:
             if task._state == Task._FINISHED:
                 return True
@@ -305,26 +847,62 @@ class Kernel:
         return not waiter.timed_out
 
     def shutdown(self) -> None:
-        """Kill remaining (daemon) tasks by raising in their blocked waits."""
+        """Kill remaining (daemon) tasks and reclaim pooled/loop threads.
+
+        Blocked tasks get :class:`KernelShutdownError` raised at their wait
+        point; idle pool workers are stopped; the model loop exits once its
+        ready queue drains.  Idempotent.
+        """
         with self._lock:
+            if self._shutdown_complete:
+                return
             self._dead = True
-            blocked = [t for t in self._tasks.values() if t._state == Task._BLOCKED]
-            for task in blocked:
-                task._wake_exc = KernelShutdownError(
+            for task in list(self._tasks.values()):
+                if task._state != Task._BLOCKED:
+                    continue
+                exc = KernelShutdownError(
                     f"kernel shut down while task {task.name!r} was blocked"
                 )
                 task._state = Task._RUNNING
                 self._running += 1
-                task._wake.set()
-        for task in list(_snapshot_threads(self)):
-            if task._thread is not None:
-                task._thread.join(timeout=5.0)
+                if isinstance(task, ModelTask):
+                    task._pending_exc = exc
+                    self._enqueue_model_locked(task)
+                else:
+                    task._wake_exc = exc
+                    task._wake.set()
+            remaining = list(self._tasks.values())
+        for task in remaining:
+            task._outcome_ready.wait(timeout=5.0)
+        # stop the model loop (after model tasks drained)
+        with self._lock:
+            self._loop_stop = True
+            self._loop_wake.set()
+            loop = self._loop_thread
+        if loop is not None:
+            loop.join(timeout=5.0)
+        # stop idle pool workers; busy ones self-retire after their task
+        while True:
+            with self._lock:
+                worker = self._pool_idle.pop() if self._pool_idle else None
+            if worker is None:
+                break
+            worker.job = None
+            worker.ready.set()
+        with self._lock:
+            threads = [
+                w.thread for w in self._pool_workers if w.thread is not None
+            ]
+        for thread in threads:
+            thread.join(timeout=5.0)
+        with self._lock:
+            self._shutdown_complete = True
 
     # ------------------------------------------------------------------
     # Blocking primitives (used by repro.vtime.sync and sleep)
     # ------------------------------------------------------------------
     def sleep(self, duration: float) -> None:
-        """Block the calling task for ``duration`` virtual seconds."""
+        """Block the calling thread task for ``duration`` virtual seconds."""
         task = self._require_current_task()
         with self._lock:
             waiter = Waiter(task)
@@ -342,6 +920,12 @@ class Kernel:
             raise NotInKernelError(
                 "this operation must run inside a task of this kernel "
                 "(use Kernel.run()/Kernel.spawn())"
+            )
+        if isinstance(task, ModelTask):
+            raise VTimeUsageError(
+                f"model task {task.name!r} called a blocking kernel "
+                "primitive; model tasks must yield "
+                "vsleep()/vwait()/vjoin() instead"
             )
         return task
 
@@ -361,13 +945,18 @@ class Kernel:
             self._advance_locked()
 
     def block_on(self, waiter: Waiter, timeout: Optional[float] = None) -> None:
-        """Block the current task until ``waiter`` is consumed (sync helper).
+        """Block the current thread task until ``waiter`` is consumed.
 
         The caller must have created ``waiter`` for the current task and made
         it reachable from whatever will eventually wake it.  Must *not* hold
-        the kernel lock.
+        the kernel lock.  (Model tasks ``yield vwait(waiter)`` instead.)
         """
         task = waiter.task
+        if isinstance(task, ModelTask):
+            raise VTimeUsageError(
+                f"block_on() called with a model-task waiter "
+                f"({task.name!r}); yield vwait() instead"
+            )
         with self._lock:
             if waiter.done:
                 # Consumed between registration and blocking: do not block.
@@ -397,7 +986,10 @@ class Kernel:
         if task._state == Task._BLOCKED:
             task._state = Task._RUNNING
             self._running += 1
-            task._wake.set()
+            if isinstance(task, ModelTask):
+                self._enqueue_model_locked(task)
+            else:
+                task._wake.set()
         return True
 
     def _post_wake(self, task: Task) -> None:
@@ -431,15 +1023,15 @@ class Kernel:
             return
         names = ", ".join(sorted(t.name for t in blocked))
         for task in blocked:
-            task._wake_exc = DeadlockError(
+            exc = DeadlockError(
                 f"virtual-time deadlock: all tasks blocked with no pending "
                 f"timer (blocked tasks: {names})"
             )
             task._state = Task._RUNNING
             self._running += 1
-            task._wake.set()
-
-
-def _snapshot_threads(kernel: Kernel):
-    with kernel._lock:
-        return list(kernel._tasks.values())
+            if isinstance(task, ModelTask):
+                task._pending_exc = exc
+                self._enqueue_model_locked(task)
+            else:
+                task._wake_exc = exc
+                task._wake.set()

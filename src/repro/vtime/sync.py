@@ -13,7 +13,7 @@ import collections
 import threading
 from typing import Any, Iterable, Optional
 
-from repro.vtime.kernel import Kernel, Task, Waiter
+from repro.vtime.kernel import Kernel, Task, Waiter, current_task, vwait
 
 __all__ = ["VCondition", "VEvent", "VSemaphore", "VQueue", "QueueEmpty", "gather"]
 
@@ -84,6 +84,20 @@ class VCondition:
             result = predicate()
         return bool(result)
 
+    def register_waiter(self, waiter: Waiter) -> None:
+        """Register an externally created waiter for ``notify`` delivery.
+
+        This is the model-task half of :meth:`wait`: a model task cannot
+        block here (that would wedge the kernel's loop thread), so it
+        registers a waiter — *without* holding the condition's user lock
+        across the block — and then yields ``vwait(waiter, timeout)``.
+        Spurious wakeups are possible (the predicate must be re-checked),
+        exactly like a timed :meth:`wait`.
+        """
+        with self._kernel._lock:
+            self._waiters.append(waiter)
+            waiter.on_consume = self._unlink
+
     def notify(self, n: int = 1) -> None:
         kernel = self._kernel
         with kernel._lock:
@@ -130,6 +144,23 @@ class VEvent:
     def wait(self, timeout: Optional[float] = None) -> bool:
         with self._cond:
             return self._cond.wait_for(lambda: self._flag, timeout)
+
+    def wait_steps(self, timeout: Optional[float] = None):
+        """Steps twin of :meth:`wait` for model tasks (``yield from``)."""
+        kernel = self._cond._kernel
+        deadline = None if timeout is None else kernel.now() + timeout
+        while True:
+            with self._cond:
+                if self._flag:
+                    return True
+                remaining = None if deadline is None else deadline - kernel.now()
+                if remaining is not None and remaining <= 0:
+                    return False
+                waiter = Waiter(current_task())
+                self._cond.register_waiter(waiter)
+            yield vwait(waiter, remaining)
+            if waiter.timed_out:
+                return self.is_set()
 
 
 class VSemaphore:
@@ -201,11 +232,13 @@ class VQueue:
             return item
 
 
-def gather(tasks: Iterable[Task]) -> list[Any]:
+def gather(tasks: Iterable[Any]) -> list[Any]:
     """Join every task and return their results in order.
 
-    Raises the first task exception encountered (after joining all, so no
-    task is left running unobserved).
+    Accepts thread tasks and model tasks (anything with ``join()`` and the
+    kernel outcome attributes).  Raises the first task exception encountered
+    (after joining all, so no task is left running unobserved).  Not callable
+    from inside a model task — yield ``vjoin`` per task instead.
     """
     tasks = list(tasks)
     for task in tasks:

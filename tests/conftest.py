@@ -2,12 +2,47 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core.environment import CloudEnvironment
 from repro.faas.limits import SystemLimits
 from repro.net.latency import LatencyModel
-from repro.vtime import Kernel
+from repro.vtime import Kernel, live_kernels
+
+
+def _kernel_threads() -> list[threading.Thread]:
+    """OS threads owned by any virtual-time kernel (pool workers + loop)."""
+    return [
+        t
+        for t in threading.enumerate()
+        if t.name == "vloop" or t.name.startswith("vpool-")
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _kernel_thread_hygiene():
+    """No kernel threads may leak across tests.
+
+    Any kernel a test creates must be shut down (``kernel.run`` does this
+    itself) before the next test starts; otherwise pooled workers and the
+    model loop pile up silently across the suite.  The fixture shuts down
+    kernels the test left alive — idempotent for already-finished runs —
+    then asserts the process-wide kernel-thread population did not grow.
+    """
+    before_threads = set(_kernel_threads())
+    before_kernels = set(live_kernels())
+    yield
+    for kernel in live_kernels():
+        if kernel not in before_kernels:
+            kernel.shutdown()
+    leaked = [
+        t for t in _kernel_threads() if t.is_alive() and t not in before_threads
+    ]
+    assert not leaked, (
+        f"test leaked kernel threads: {sorted(t.name for t in leaked)}"
+    )
 
 
 @pytest.fixture()

@@ -12,8 +12,10 @@ import pytest
 
 import repro as pw
 from repro.analytics.timeline import render_execution_timeline
+from repro.config import InvokerMode
 from repro.core.environment import CloudEnvironment
 from repro.core.stats import collect_job_stats
+from repro.faas.limits import SystemLimits
 from repro.trace import derive
 
 
@@ -50,6 +52,44 @@ class TestDeterminism:
 
     def test_different_seed_diverges(self):
         assert self._run_map_reduce(seed=7) != self._run_map_reduce(seed=8)
+
+
+def _golden_task(x):
+    """A threadless steps-generator function with input-dependent duration."""
+    from repro.vtime.kernel import vsleep
+
+    yield vsleep(5.0 + (x % 7))
+    return x * x
+
+
+class TestGoldenDeterminismAtScale:
+    """The hybrid scheduler keeps the trace plane byte-deterministic even
+    when 1,000 model tasks interleave on the kernel loop: same seed, same
+    JSONL, byte for byte."""
+
+    N = 1_000
+
+    def _run_scale_map(self, seed: int) -> str:
+        limits = SystemLimits(max_concurrent=self.N + 64, invoker_count=10)
+        env = CloudEnvironment.create(seed=seed, limits=limits, trace=True)
+
+        def main():
+            executor = pw.ibm_cf_executor(invoker_mode=InvokerMode.MASSIVE)
+            futures = executor.map(_golden_task, list(range(self.N)))
+            assert executor.get_result(futures) == [
+                x * x for x in range(self.N)
+            ]
+            return executor.executor_id, executor.trace_jsonl()
+
+        executor_id, jsonl = env.run(main)
+        return jsonl.replace(executor_id, "EXEC")
+
+    def test_same_seed_1k_run_is_byte_identical(self):
+        first = self._run_scale_map(seed=21)
+        second = self._run_scale_map(seed=21)
+        assert first != ""
+        assert first.count("\n") > self.N  # at least one event per call
+        assert first == second
 
 
 class TestConsumerEquivalence:

@@ -83,3 +83,48 @@ class TestShutdown:
             kernel.run(main)
         # transient cleanup may lag by a thread or two, not by dozens
         assert threading.active_count() <= before + 3
+
+    def test_shutdown_reclaims_pooled_workers(self):
+        """After run() (which shuts down), no pool worker or loop thread
+        survives — the pool is drained, not merely idled."""
+        import threading
+
+        from repro.vtime import gather, vsleep
+
+        kernel = Kernel()
+
+        def model_job():
+            yield vsleep(3)
+
+        def main():
+            thread_tasks = [kernel.spawn(lambda: sleep(5)) for _ in range(12)]
+            model_tasks = [kernel.spawn_model(model_job) for _ in range(12)]
+            gather(thread_tasks + model_tasks)
+
+        kernel.run(main)
+        stats = kernel.thread_stats()
+        assert stats["threads_created"] >= 1
+        assert stats["live_threads"] == 0
+        kernel_threads = [
+            t
+            for t in threading.enumerate()
+            if t.name == "vloop" or t.name.startswith("vpool-")
+        ]
+        assert kernel_threads == []
+
+    def test_explicit_shutdown_kills_blocked_daemons_and_loop(self):
+        """shutdown() on a never-run kernel reclaims the model loop and
+        unblocks daemon tasks parked on timers."""
+        from repro.vtime import vsleep
+
+        kernel = Kernel()
+
+        def model_job():
+            yield vsleep(10_000)
+
+        task = kernel.spawn_model(model_job, daemon=True)
+        kernel.shutdown()
+        assert task.finished
+        assert kernel.thread_stats()["live_threads"] == 0
+        with pytest.raises(KernelShutdownError):
+            kernel.spawn(lambda: None)
