@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace bench-kernel-scale examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -31,6 +31,12 @@ bench-trace:
 # peak OS threads < 2x the kernel pool, near-linear wall growth to 50k)
 bench-kernel-scale:
 	PYTHONPATH=src python benchmarks/bench_kernel_scale.py
+
+# barriered executor vs barrier-free DAG scheduler on Fig. 4-shaped
+# mergesort + shuffle wordcount; writes BENCH_dag_pipeline.json
+# (acceptance: DAG wins mergesort wall-clock, same-seed traces identical)
+bench-dag:
+	PYTHONPATH=src python benchmarks/bench_dag_pipeline.py
 
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; python3 $$ex; echo; done

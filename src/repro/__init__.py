@@ -46,6 +46,7 @@ from repro.core import (
     wait,
 )
 from repro.core.stats import JobStats, collect_job_stats
+from repro.dag import Dag, DagBuilder, DagNode, DagRun, DagScheduler
 from repro.retry import RetryPolicy
 from repro.trace import TraceEvent, Tracer
 from repro.vtime import now, sleep
@@ -81,6 +82,11 @@ __all__ = [
     "StoragePartition",
     "compose",
     "sequence",
+    "Dag",
+    "DagBuilder",
+    "DagNode",
+    "DagRun",
+    "DagScheduler",
     "PyWrenConfig",
     "InvokerMode",
     "RetryConfig",

@@ -8,6 +8,9 @@ Subcommands::
     python -m repro bench <exp>      # delegate to repro.bench (fig2 ...)
     python -m repro trace FILE [--svg OUT] [--chrome OUT] [--title T]
                                      # inspect / render an exported trace
+    python -m repro dag render [--example mergesort|wordcount|sequence]
+                   [--dot OUT] [--svg OUT]
+                                     # Graphviz/SVG of a built DAG
 """
 
 from __future__ import annotations
@@ -121,14 +124,118 @@ def _cmd_trace(args: Sequence[str]) -> int:
         )
 
     if opts.svg:
-        intervals = derive.execution_intervals(events)
+        from repro.analytics.timeline import dag_stage_groups, render_staged_timeline
+
         title = opts.title or f"Trace {opts.file}"
-        with open(opts.svg, "w", encoding="utf-8") as fh:
-            fh.write(render_execution_timeline(intervals, title=title))
-        print(f"wrote {opts.svg} ({len(intervals)} executions)")
+        groups = dag_stage_groups(events)
+        if groups:
+            # DAG workloads render grouped by stage (one colored band per
+            # stage) so the barrier-free overlap between stages is visible
+            with open(opts.svg, "w", encoding="utf-8") as fh:
+                fh.write(render_staged_timeline(groups, title=title))
+            n_nodes = sum(len(ivs) for _stage, ivs in groups)
+            print(f"wrote {opts.svg} ({n_nodes} DAG nodes, {len(groups)} stages)")
+        else:
+            intervals = derive.execution_intervals(events)
+            with open(opts.svg, "w", encoding="utf-8") as fh:
+                fh.write(render_execution_timeline(intervals, title=title))
+            print(f"wrote {opts.svg} ({len(intervals)} executions)")
     if opts.chrome:
         export.write_chrome_trace(events, opts.chrome)
         print(f"wrote {opts.chrome} (open in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _cmd_dag(args: Sequence[str]) -> int:
+    """``python -m repro dag render``: emit Graphviz/SVG of a built graph."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dag",
+        description="Inspect DAG workflows: 'render' builds one of the "
+        "example graphs and emits Graphviz DOT (stdout or --dot) and/or "
+        "a standalone SVG (--svg).",
+    )
+    parser.add_argument("action", choices=["render"])
+    parser.add_argument(
+        "--example",
+        default="mergesort",
+        choices=["mergesort", "wordcount", "sequence"],
+        help="which example graph to build (default: mergesort)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=2, help="mergesort tree depth"
+    )
+    parser.add_argument(
+        "--reducers", type=int, default=4, help="wordcount reducer count"
+    )
+    parser.add_argument(
+        "--stages", type=int, default=3, help="sequence chain length"
+    )
+    parser.add_argument(
+        "--no-fuse", action="store_true", help="disable linear-chain fusion"
+    )
+    parser.add_argument("--dot", metavar="OUT", help="write DOT here")
+    parser.add_argument("--svg", metavar="OUT", help="write SVG here")
+    opts = parser.parse_args(list(args))
+
+    from repro.dag import DagBuilder, render
+
+    builder = DagBuilder()
+    if opts.example == "mergesort":
+        def _leaf(chunk):
+            return sorted(chunk)
+
+        def _merge(results):
+            merged = []
+            for part in results:
+                merged.extend(part)
+            return sorted(merged)
+
+        def build(width, d):
+            if d <= 0 or width <= 1:
+                return builder.call(_leaf, None, name=f"sort/{width}", stage="sort")
+            left = build(width // 2, d - 1)
+            right = build(width - width // 2, d - 1)
+            return builder.reduce(
+                _merge, [left, right], name=f"merge/{width}", stage=f"merge{d}"
+            )
+
+        build(2 ** max(opts.depth, 0), max(opts.depth, 0))
+    elif opts.example == "wordcount":
+        def _count(text):
+            return text
+
+        def _reduce(futures):
+            return futures
+
+        maps = builder.map(_count, list(range(4)), name="map", stage="map")
+        for index in range(max(opts.reducers, 1)):
+            builder.reduce(
+                _reduce, maps, pass_futures=True,
+                name=f"reduce[{index}]", stage="reduce",
+            )
+    else:  # sequence
+        def _stage(value):
+            return value
+
+        node = builder.call(_stage, 0, name="f0", stage="seq")
+        for index in range(1, max(opts.stages, 1)):
+            node = node.then(_stage, name=f"f{index}", stage="seq")
+
+    dag = builder.build(fuse=not opts.no_fuse)
+    print(render.describe(dag))
+    dot = render.to_dot(dag)
+    if opts.dot:
+        with open(opts.dot, "w", encoding="utf-8") as fh:
+            fh.write(dot)
+        print(f"wrote {opts.dot}")
+    elif not opts.svg:
+        print(dot, end="")
+    if opts.svg:
+        with open(opts.svg, "w", encoding="utf-8") as fh:
+            fh.write(render.to_svg(dag))
+        print(f"wrote {opts.svg}")
     return 0
 
 
@@ -150,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return bench_main(rest)
     if command == "trace":
         return _cmd_trace(rest)
+    if command == "dag":
+        return _cmd_dag(rest)
     print(f"unknown command {command!r}\n{__doc__}")
     return 2
 

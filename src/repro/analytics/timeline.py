@@ -145,6 +145,117 @@ def render_execution_timeline(
     return header + "".join(rows) + curve + axis + "</svg>"
 
 
+#: per-stage line colors for the DAG-grouped timeline, cycled in order
+_STAGE_COLORS = ("#2563eb", "#16a34a", "#ca8a04", "#dc2626", "#7c3aed", "#0891b2")
+
+
+def render_staged_timeline(
+    groups: Sequence[tuple[str, Sequence[tuple[float, float]]]],
+    title: str = "DAG execution",
+) -> str:
+    """Fig. 3-style timeline with rows grouped (and colored) by DAG stage.
+
+    ``groups`` is an ordered list of ``(stage_name, intervals)``; rows are
+    stacked stage by stage with a label per band, and the black total-
+    concurrency curve spans all stages.  This is what ``python -m repro
+    trace --svg`` renders when the trace carries ``dag.node`` spans.
+    """
+    groups = [(name, sorted(intervals)) for name, intervals in groups]
+    all_intervals = [iv for _name, ivs in groups for iv in ivs]
+    safe_title = escape(str(title))
+    header = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">'
+        f'<rect width="100%" height="100%" fill="#ffffff"/>'
+        f'<text x="{_MARGIN}" y="24" font-size="15" '
+        f'font-family="sans-serif">{safe_title} '
+        f"({len(all_intervals)} nodes, {len(groups)} stages)</text>"
+    )
+    if not all_intervals:
+        return header + "</svg>"
+
+    t0 = min(start for start, _ in all_intervals)
+    t1 = max(end for _, end in all_intervals)
+    span = (t1 - t0) or 1.0
+    n = len(all_intervals)
+
+    def _x(t: float) -> float:
+        return _MARGIN + (t - t0) / span * (_WIDTH - 2 * _MARGIN)
+
+    def _y_row(i: int) -> float:
+        return _HEIGHT - _MARGIN - (i + 1) / n * (_HEIGHT - 2 * _MARGIN)
+
+    parts: list[str] = []
+    row = 0
+    for group_index, (name, intervals) in enumerate(groups):
+        color = _STAGE_COLORS[group_index % len(_STAGE_COLORS)]
+        band_top = _y_row(row + len(intervals) - 1) if intervals else None
+        for start, end in intervals:
+            y = _y_row(row)
+            parts.append(
+                f'<line x1="{_x(start):.1f}" y1="{y:.1f}" '
+                f'x2="{_x(end):.1f}" y2="{y:.1f}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            row += 1
+        if band_top is not None:
+            parts.append(
+                f'<text x="4" y="{band_top + 4:.1f}" font-size="11" '
+                f'fill="{color}" font-family="sans-serif">'
+                f"{escape(str(name))}</text>"
+            )
+
+    timeline = concurrency_timeline(all_intervals, t0=t0)
+    peak = max(level for _t, level in timeline) or 1
+
+    def _xy(t: float, level: int) -> str:
+        return (
+            f"{_x(t0 + t):.1f},"
+            f"{_HEIGHT - _MARGIN - level / peak * (_HEIGHT - 2 * _MARGIN):.1f}"
+        )
+
+    vertices: list[str] = []
+    prev_level: Optional[int] = None
+    for t, level in timeline:
+        if prev_level is not None:
+            vertices.append(_xy(t, prev_level))
+        vertices.append(_xy(t, level))
+        prev_level = level
+    curve = (
+        f'<polyline points="{" ".join(vertices)}" fill="none" stroke="#111111" '
+        f'stroke-width="2"/>'
+    )
+    axis = (
+        f'<line x1="{_MARGIN}" y1="{_HEIGHT - _MARGIN}" x2="{_WIDTH - _MARGIN}" '
+        f'y2="{_HEIGHT - _MARGIN}" stroke="#333333"/>'
+        f'<text x="{_MARGIN}" y="{_HEIGHT - 14}" font-size="12" '
+        f'font-family="sans-serif">0s</text>'
+        f'<text x="{_WIDTH - _MARGIN - 40}" y="{_HEIGHT - 14}" font-size="12" '
+        f'font-family="sans-serif">{span:.0f}s</text>'
+        f'<text x="{_WIDTH - _MARGIN - 120}" y="40" font-size="12" '
+        f'font-family="sans-serif">peak concurrency: {peak}</text>'
+    )
+    return header + "".join(parts) + curve + axis + "</svg>"
+
+
+def dag_stage_groups(events: Iterable) -> list[tuple[str, list[tuple[float, float]]]]:
+    """Stage-grouped ``(start, end)`` windows from ``dag.node`` trace spans.
+
+    Stages are ordered by earliest node start; returns ``[]`` when the
+    trace has no DAG spans (callers fall back to the flat timeline).
+    """
+    by_stage: dict[str, list[tuple[float, float]]] = {}
+    for event in events:
+        if event.name != "dag.node" or event.kind != "span":
+            continue
+        stage = str(event.get_attr("stage", "dag"))
+        by_stage.setdefault(stage, []).append((event.t, event.end))
+    return sorted(
+        ((stage, ivs) for stage, ivs in by_stage.items()),
+        key=lambda item: min(start for start, _ in item[1]),
+    )
+
+
 def intervals_from_records(records: Iterable, action_prefix: Optional[str] = None):
     """Extract (start, end) pairs from finished activation records."""
     out = []

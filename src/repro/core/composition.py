@@ -7,38 +7,25 @@ provide the two patterns the paper highlights:
 
 * :func:`sequence` — chains ``f1, f2, ... fn`` so each function acts on its
   predecessor's output (``f3 = f2 ∘ f1``), each stage running as its own
-  cloud function that launches the next stage via ``call_async``;
+  cloud function;
 * :func:`compose` — the functional flavour: ``compose(f2, f1)`` returns a
   callable that runs the sequence (mathematical order, like ``f2 ∘ f1``).
 
+Both ride the DAG engine (:mod:`repro.dag`): the chain is a linear graph
+whose dependency watcher invokes each stage the moment its predecessor's
+status commits, so the stages appear as graph nodes on the trace spine.
+Fusion is deliberately off — the public contract is one activation per
+stage (use :class:`repro.dag.DagBuilder` directly for fused chains).
+
 Nested parallelism (the mergesort of §4.4/§6.3) lives in
-:mod:`repro.sort.mergesort`, built on the same primitive.
+:mod:`repro.sort.mergesort`, built on the same engine.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.futures import ResponseFuture
-
-
-def _sequence_stage(payload: dict[str, Any]) -> Any:
-    """Run one stage of a sequence inside the cloud, then chain the rest.
-
-    Returns either the final value (last stage) or the *future* of the next
-    stage — which composition-aware ``get_result`` keeps resolving until a
-    plain value emerges.
-    """
-    functions: list[Callable[[Any], Any]] = payload["functions"]
-    value = payload["value"]
-    head, rest = functions[0], functions[1:]
-    value = head(value)
-    if not rest:
-        return value
-    import repro
-
-    executor = repro.ibm_cf_executor()
-    return executor.call_async(_sequence_stage, {"functions": rest, "value": value})
 
 
 def sequence(
@@ -49,7 +36,8 @@ def sequence(
     """Launch ``functions`` as a chained cloud composition over ``data``.
 
     Each function executes in its own invocation, receiving the previous
-    output.  Non-blocking: returns the future of the whole chain.
+    output.  Non-blocking: returns the future of the whole chain (the
+    last stage's future — its result is the final value).
     """
     functions = list(functions)
     if not functions:
@@ -58,9 +46,14 @@ def sequence(
         import repro
 
         executor = repro.ibm_cf_executor()
-    return executor.call_async(
-        _sequence_stage, {"functions": functions, "value": data}
-    )
+    from repro.dag import DagBuilder, DagScheduler
+
+    builder = DagBuilder()
+    node = builder.call(functions[0], data, fusable=False)
+    for fn in functions[1:]:
+        node = node.then(fn, fusable=False)
+    run = DagScheduler(executor, label="Q").submit(builder.build(fuse=False))
+    return run.expose(node)
 
 
 def compose(*functions: Callable[[Any], Any]) -> Callable[..., ResponseFuture]:

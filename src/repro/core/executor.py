@@ -65,26 +65,6 @@ def _strip_scheme(iterdata: Union[str, Iterable[str]]) -> list[str]:
     return [entry[len(COS_SCHEME):] for entry in entries]
 
 
-def _reduce_call(payload: dict[str, Any]) -> Any:
-    """Reducer shim executed *as a cloud function*.
-
-    Binds the shipped map futures to in-cloud storage, waits for all the
-    partial results (§4.3: "The reduce function will wait for all the
-    partial results before processing them"), then applies the user's
-    reduce function.
-    """
-    environment = ambient.require_context().environment
-    storage = environment.internal_storage_in_cloud()
-    futures: list[ResponseFuture] = payload["futures"]
-    poll_interval: float = payload["poll_interval"]
-    for future in futures:
-        future.bind(storage, poll_interval)
-    wait_on(futures, storage, ALL_COMPLETED, poll_interval)
-    results = [future.result() for future in futures]
-    reduce_function = payload["reduce_function"]
-    return reduce_function(results)
-
-
 class FunctionExecutor:
     """§4.1's first-citizen object; create via ``pw.ibm_cf_executor()``."""
 
@@ -262,7 +242,8 @@ class FunctionExecutor:
         ``{key: reduced}`` dict over that reducer's key range — merge with
         :func:`repro.core.shuffle.merge_shuffle_results`.
         """
-        from repro.core.shuffle import make_shuffle_map, make_shuffle_reduce
+        from repro.core.shuffle import make_shuffle_map, make_shuffle_reduce_fetch
+        from repro.dag import DagBuilder, DagScheduler
 
         if n_reducers <= 0:
             raise ValueError("n_reducers must be positive")
@@ -274,17 +255,33 @@ class FunctionExecutor:
         )
         if not map_futures:
             raise PyWrenError("map_reduce_shuffle over an empty dataset")
-        reducers = []
-        for reducer_index in range(n_reducers):
-            shim = make_shuffle_reduce(
-                reduce_function,
-                reducer_index,
-                map_futures,
-                self.config.poll_interval,
+        # All reducers ride one DAG: a single dependency watcher invokes
+        # every reducer the moment the last map status commits, instead of
+        # each reducer polling for the whole map phase from inside a
+        # cloud function.
+        builder = DagBuilder()
+        inputs = [
+            builder.external(future, name=f"map:{future.call_id}", stage="map")
+            for future in map_futures
+        ]
+        nodes = [
+            builder.reduce(
+                make_shuffle_reduce_fetch(reduce_function, reducer_index),
+                inputs,
+                pass_futures=True,
+                name=f"shuffle-reduce[{reducer_index}]",
+                stage="reduce",
             )
-            reducer = self._submit(shim, items=[None], label="S", retries=retries)[0]
-            reducer.metadata["reducer_index"] = reducer_index
-            reducers.append(reducer)
+            for reducer_index in range(n_reducers)
+        ]
+        run = DagScheduler(self, label="S", retries=retries).submit(
+            builder.build()
+        )
+        reducers = []
+        for reducer_index, node in enumerate(nodes):
+            future = run.expose(node)
+            future.metadata["reducer_index"] = reducer_index
+            reducers.append(future)
         return reducers
 
     def _spawn_reducer(
@@ -293,20 +290,30 @@ class FunctionExecutor:
         map_futures: list[ResponseFuture],
         retries: Optional[int] = None,
     ) -> ResponseFuture:
-        import types as _types
+        """One reducer node depending on all its map futures.
 
-        if self.config.validate_runtime_packages and isinstance(
-            reduce_function, _types.FunctionType
-        ):
-            from repro.core.modules import validate_runtime
+        The DAG scheduler's dependency watcher submits the reducer when
+        the last map status commits — the reducer activation starts with
+        its inputs already resolved rather than burning cloud time in the
+        legacy in-cloud wait loop.
+        """
+        from repro.dag import DagBuilder, DagScheduler
 
-            validate_runtime(reduce_function, self._runtime_image)
-        payload = {
-            "reduce_function": reduce_function,
-            "futures": map_futures,
-            "poll_interval": self.config.poll_interval,
-        }
-        return self._submit(_reduce_call, items=[payload], label="R", retries=retries)[0]
+        builder = DagBuilder()
+        inputs = [
+            builder.external(future, name=f"map:{future.call_id}", stage="map")
+            for future in map_futures
+        ]
+        node = builder.reduce(
+            reduce_function,
+            inputs,
+            name=getattr(reduce_function, "__name__", "reduce"),
+            stage="reduce",
+        )
+        run = DagScheduler(self, label="R", retries=retries).submit(
+            builder.build()
+        )
+        return run.expose(node)
 
     # ------------------------------------------------------------------
     # Result collection (synchronous)
@@ -894,6 +901,34 @@ class FunctionExecutor:
             from repro.core.modules import validate_runtime
 
             validate_runtime(func, self._runtime_image)
+        _, calls, futures = self._prepare_calls(
+            func, items=items, partitions=partitions, label=label,
+            retries=retries,
+        )
+        invoker = self._make_invoker()
+        invoker.invoke_calls(
+            self.config.namespace, self._runner_action, calls, futures
+        )
+        self.futures.extend(futures)
+        return futures
+
+    def _prepare_calls(
+        self,
+        func: Callable[[Any], Any],
+        items: Optional[list[Any]] = None,
+        partitions: Optional[list[StoragePartition]] = None,
+        label: str = "M",
+        retries: Optional[int] = None,
+    ) -> tuple[str, list[dict[str, Any]], list[ResponseFuture]]:
+        """Serialize and upload a callset without invoking anything.
+
+        Uploads the (content-addressed) function blob and the aggregated
+        data object, then builds the call-params dicts and bound futures.
+        ``_submit_inner`` invokes the calls immediately; the DAG scheduler
+        instead holds them and invokes each one when its dependencies
+        resolve.  The prepared futures are *not* registered on
+        ``self.futures`` — that is the caller's decision.
+        """
         callset_id = self._next_callset_id(label)
         func_blob = serializer.serialize(func)
         # content-addressed function upload: identical functions submitted
@@ -967,13 +1002,7 @@ class FunctionExecutor:
             future.bind(self._storage, self.config.poll_interval)
             future.max_retries = max_retries
             future._call_params = call_params  # kept for retry_failed()
-
-        invoker = self._make_invoker()
-        invoker.invoke_calls(
-            self.config.namespace, self._runner_action, calls, futures
-        )
-        self.futures.extend(futures)
-        return futures
+        return callset_id, calls, futures
 
     def _make_invoker(self) -> Invoker:
         mode = self.config.invoker_mode

@@ -116,6 +116,40 @@ def make_shuffle_reduce(
     return shuffle_reduce
 
 
+def make_shuffle_reduce_fetch(
+    reduce_function: Callable[[Any, list[Any]], Any],
+    reducer_index: int,
+):
+    """Build one reducer's *fetch-only* shim for the DAG scheduler.
+
+    The scheduler only invokes a reducer node once every map status has
+    committed, so — unlike :func:`make_shuffle_reduce`, which burns cloud
+    seconds polling — this shim goes straight to its buckets.  It receives
+    the map futures as its argument (a ``pass_futures`` DAG node) and
+    reads bucket ``reducer_index`` from each map's shuffle prefix without
+    downloading any map results.
+    """
+
+    def shuffle_reduce(map_futures: list[ResponseFuture]) -> dict[Any, Any]:
+        context = ambient.require_context()
+        storage = context.environment.internal_storage_in_cloud()
+        grouped: dict[Any, list[Any]] = {}
+        for future in map_futures:
+            bucket = storage.get_shuffle_partition(
+                future.executor_id,
+                future.callset_id,
+                future.call_id,
+                reducer_index,
+            )
+            for key, value in bucket:
+                grouped.setdefault(key, []).append(value)
+        return {
+            key: reduce_function(key, values) for key, values in grouped.items()
+        }
+
+    return shuffle_reduce
+
+
 def merge_shuffle_results(results: Iterable[dict[Any, Any]]) -> dict[Any, Any]:
     """Merge per-reducer output dicts (keys are disjoint by construction)."""
     merged: dict[Any, Any] = {}

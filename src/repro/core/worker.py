@@ -159,6 +159,9 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext):
         "activation_id": ctx.activation_id,
         "container_id": ctx.record.container_id,
         "cold_start": ctx.record.cold_start,
+        # which invoker node ran this call — the DAG scheduler feeds it
+        # back as a placement hint so dependents land next to their data
+        "invoker_id": ctx.record.invoker_id,
     }
     committed = yield from storage.commit_status_steps(
         executor_id, callset_id, call_id, status

@@ -1,0 +1,23 @@
+"""repro.dag — serverless DAG workflow engine.
+
+Declarative graph construction (:class:`DagBuilder`), barrier-free
+dependency-driven scheduling on the virtual-time kernel
+(:class:`DagScheduler`), locality-aware placement hints, linear-chain
+fusion, and graph rendering.  See docs/ARCHITECTURE.md §8.
+"""
+
+from repro.dag.graph import Dag, DagBuilder
+from repro.dag.node import DagNode, NodeState
+from repro.dag.render import to_dot, to_svg
+from repro.dag.scheduler import DagRun, DagScheduler
+
+__all__ = [
+    "Dag",
+    "DagBuilder",
+    "DagNode",
+    "DagRun",
+    "DagScheduler",
+    "NodeState",
+    "to_dot",
+    "to_svg",
+]

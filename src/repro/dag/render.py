@@ -1,0 +1,129 @@
+"""Graph rendering: Graphviz DOT text and a self-contained SVG layout.
+
+The SVG needs no graphviz binary: nodes are laid out on a grid by
+topological level (one row per level, builder order within a row), which
+is exact for the stage-shaped graphs the builder produces.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.dag.graph import Dag
+from repro.dag.node import DagNode
+
+#: fill colors cycled per topological level (matches the trace SVG accents)
+_LEVEL_FILLS = ("#dbeafe", "#dcfce7", "#fef9c3", "#fde2e2", "#ede9fe", "#e0f2fe")
+
+
+def _fill(level: int) -> str:
+    return _LEVEL_FILLS[level % len(_LEVEL_FILLS)]
+
+
+def _dot_quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def to_dot(dag: Dag) -> str:
+    """Graphviz source for ``dag``; stages become same-rank clusters."""
+    lines = [
+        "digraph dag {",
+        "  rankdir=TB;",
+        '  node [shape=box, style="rounded,filled", fontname="Helvetica"];',
+    ]
+    for level_nodes in dag.levels():
+        for node in level_nodes:
+            label = f"{node.display_name}\\n[{dag.stage_name(node)}]"
+            lines.append(
+                f"  n{node.node_id} [label={_dot_quote(label)}"
+                f', fillcolor="{_fill(node.level)}"];'
+            )
+        if len(level_nodes) > 1:
+            rank = " ".join(f"n{n.node_id};" for n in level_nodes)
+            lines.append(f"  {{ rank=same; {rank} }}")
+    for node in dag.nodes:
+        for dep in node.deps:
+            lines.append(f"  n{dep.node_id} -> n{node.node_id};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_svg(dag: Dag) -> str:
+    """Standalone SVG of the graph, one row per topological level."""
+    box_w, box_h = 150, 44
+    gap_x, gap_y = 30, 56
+    margin = 24
+    levels = dag.levels()
+    widest = max((len(row) for row in levels), default=0)
+    width = margin * 2 + max(widest, 1) * box_w + max(widest - 1, 0) * gap_x
+    height = margin * 2 + len(levels) * box_h + max(len(levels) - 1, 0) * gap_y
+
+    centers: dict[int, tuple[float, float]] = {}
+    boxes: list[str] = []
+    for row_index, row in enumerate(levels):
+        row_width = len(row) * box_w + (len(row) - 1) * gap_x
+        x0 = (width - row_width) / 2
+        y = margin + row_index * (box_h + gap_y)
+        for col, node in enumerate(row):
+            x = x0 + col * (box_w + gap_x)
+            centers[node.node_id] = (x + box_w / 2, y + box_h / 2)
+            title = escape(f"{node.display_name} [{dag.stage_name(node)}]")
+            boxes.append(
+                f'<g><rect x="{x:.1f}" y="{y:.1f}" width="{box_w}" '
+                f'height="{box_h}" rx="8" fill="{_fill(node.level)}" '
+                f'stroke="#64748b"/>'
+                f'<text x="{x + box_w / 2:.1f}" y="{y + box_h / 2 - 3:.1f}" '
+                f'text-anchor="middle" font-size="12" '
+                f'font-family="Helvetica,sans-serif">'
+                f"{escape(_clip(node.display_name))}</text>"
+                f'<text x="{x + box_w / 2:.1f}" y="{y + box_h / 2 + 13:.1f}" '
+                f'text-anchor="middle" font-size="10" fill="#475569" '
+                f'font-family="Helvetica,sans-serif">'
+                f"{escape(dag.stage_name(node))}</text>"
+                f"<title>{title}</title></g>"
+            )
+
+    edges: list[str] = []
+    for node in dag.nodes:
+        x1, y1 = centers[node.node_id]
+        for dep in node.deps:
+            x0, y0 = centers[dep.node_id]
+            edges.append(
+                f'<line x1="{x0:.1f}" y1="{y0 + box_h / 2:.1f}" '
+                f'x2="{x1:.1f}" y2="{y1 - box_h / 2:.1f}" '
+                f'stroke="#94a3b8" marker-end="url(#arrow)"/>'
+            )
+
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+        "<defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" "
+        "refY=\"5\" markerWidth=\"7\" markerHeight=\"7\" orient=\"auto\">"
+        '<path d="M0,0 L10,5 L0,10 z" fill="#94a3b8"/></marker></defs>'
+        f'<rect width="{width}" height="{height}" fill="white"/>'
+        + "".join(edges)
+        + "".join(boxes)
+        + "</svg>"
+    )
+
+
+def _clip(text: str, limit: int = 20) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def describe(dag: Dag) -> str:
+    """One-line-per-node text rendering (used by the CLI)."""
+    lines = []
+    for row_index, row in enumerate(dag.levels()):
+        names = ", ".join(_node_desc(dag, node) for node in row)
+        lines.append(f"level {row_index}: {names}")
+    return "\n".join(lines)
+
+
+def _node_desc(dag: Dag, node: DagNode) -> str:
+    deps = (
+        "(" + ",".join(str(d.node_id) for d in node.deps) + ")"
+        if node.deps
+        else ""
+    )
+    return f"#{node.node_id} {node.display_name}{deps}"

@@ -1,0 +1,518 @@
+"""Barrier-free DAG execution on top of :class:`FunctionExecutor`.
+
+The scheduler uploads every node's code and payload up front (one
+content-addressed function blob, one aggregated data object per
+topological level), then drives the graph with a *dependency watcher*: a
+model task on the virtual-time kernel that wakes every poll interval,
+discovers finished nodes with one LIST per in-flight callset, and invokes
+each dependent the moment its last in-edge resolves.  There is no
+client-side barrier between stages — a reducer launches while sibling
+branches are still running, which is the Wukong-style pipelining the
+issue's motivating papers measure.
+
+Failure semantics match the executor's: lost activations are re-invoked
+through the shared recovery scan, function errors can be retried per node
+through :class:`repro.retry.RetryPolicy` backoff, and a node that fails
+terminally *buries* its transitive dependents with a synthetic error
+status so every waiter unblocks with a :class:`FunctionError` instead of
+hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core import context as ambient
+from repro.dag import locality as _locality
+from repro.dag.graph import Dag
+from repro.dag.node import ARG_DEP, ARG_FUTURES, ARG_VALUE, DagNode, NodeState
+from repro.retry import RetryPolicy
+from repro.vtime import VEvent
+from repro.vtime.kernel import vjoin, vsleep
+
+
+def _dag_node_call(payload: dict[str, Any]) -> Any:
+    """DAG node shim executed *as a cloud function*.
+
+    Unlike the legacy in-cloud reducer shim there is no wait loop here:
+    the scheduler only invokes a node once its dependencies' statuses are
+    committed, so resolving each shipped future costs exactly one status
+    GET and one result GET.
+    """
+    mode = payload["mode"]
+    if mode == ARG_VALUE:
+        arg: Any = payload["value"]
+    else:
+        environment = ambient.require_context().environment
+        storage = environment.internal_storage_in_cloud()
+        futures = payload["futures"]
+        for future in futures:
+            future.bind(storage, payload["poll_interval"])
+        if mode == ARG_FUTURES:
+            arg = futures
+        elif mode == ARG_DEP:
+            arg = futures[0].result()
+        else:  # ARG_DEPS: dependency results in edge order
+            arg = [future.result() for future in futures]
+    value = arg
+    for fn in payload["fns"]:
+        value = fn(value)
+    return value
+
+
+class DagRun:
+    """Handle on a submitted DAG: per-node futures plus completion."""
+
+    def __init__(self, dag: Dag, scheduler: "DagScheduler", dag_id: str) -> None:
+        self.dag = dag
+        self.dag_id = dag_id
+        self._scheduler = scheduler
+        self._event = VEvent(scheduler.kernel)
+        self._finished = False
+        self.error: Optional[BaseException] = None
+
+    @property
+    def finished(self) -> bool:
+        return all(n.state in NodeState.TERMINAL for n in self.dag.nodes)
+
+    def future(self, node: DagNode):
+        """The :class:`ResponseFuture` backing ``node``."""
+        return node.future
+
+    def expose(self, node: DagNode):
+        """Register ``node``'s future with the executor and return it.
+
+        Only exposed futures join ``executor.futures`` — interior nodes
+        stay private so ``get_result()`` keeps returning what the public
+        API promised (e.g. a single value for a sequence).
+        """
+        future = node.future
+        if future not in self._scheduler.executor.futures:
+            self._scheduler.executor.futures.append(future)
+        return future
+
+    def failed_nodes(self) -> list[DagNode]:
+        return [n for n in self.dag.nodes if n.state == NodeState.FAILED]
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block (virtual time) until every node reached a terminal state."""
+        return self._event.wait(timeout)
+
+    def _finish(self) -> None:
+        if not self._finished:
+            self._finished = True
+            self._event.set()
+
+
+class DagScheduler:
+    """Submits :class:`Dag` graphs and watches their dependencies.
+
+    ``label`` prefixes the generated callset ids (one callset per
+    topological level).  ``node_retries`` bounds RetryPolicy-backed
+    re-execution of nodes that *finished in error* (default 0: function
+    errors propagate, matching executor semantics); lost-activation
+    recovery is separate and follows the executor's ``recover_lost``
+    setting.  ``retries`` is the per-call lost-invocation budget passed
+    through to call preparation.
+    """
+
+    def __init__(
+        self,
+        executor,
+        *,
+        label: str = "D",
+        locality: bool = True,
+        node_retries: int = 0,
+        retries: Optional[int] = None,
+        poll_interval: Optional[float] = None,
+    ) -> None:
+        self.executor = executor
+        self.kernel = executor.kernel
+        self.label = label
+        self.locality = bool(locality)
+        self.node_retries = int(node_retries)
+        self.retries = retries
+        self.poll_interval = (
+            poll_interval
+            if poll_interval is not None
+            else executor.config.poll_interval
+        )
+        self._policy = RetryPolicy(
+            executor.config.retry, seed=executor.environment.seed
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, dag: Dag) -> DagRun:
+        """Upload all nodes, invoke the roots, start the watcher."""
+        with self.executor._trace_scope():
+            return self._submit_inner(dag)
+
+    def _submit_inner(self, dag: Dag) -> DagRun:
+        executor = self.executor
+        seq = getattr(executor, "_dag_seq", 0)
+        executor._dag_seq = seq + 1
+        dag_id = f"dag{seq:03d}"
+        run = DagRun(dag, self, dag_id)
+
+        for node in dag.nodes:
+            if node.external:
+                if node.external_future is None:
+                    raise ValueError(f"external node {node.name!r} has no future")
+                node.future = node.external_future
+                node.state = NodeState.SUBMITTED
+
+        internal = dag.internal_nodes
+        self._validate_functions(internal)
+
+        # One callset per topological level; payloads for level N embed the
+        # futures created for level N-1, so prepare in ascending order.
+        by_level: dict[int, list[DagNode]] = {}
+        for node in internal:
+            by_level.setdefault(node.level, []).append(node)
+        for level in sorted(by_level):
+            nodes = sorted(by_level[level], key=lambda n: n.node_id)
+            payloads = [self._payload(node) for node in nodes]
+            _, calls, futures = executor._prepare_calls(
+                _dag_node_call,
+                items=payloads,
+                label=self.label,
+                retries=self.retries,
+            )
+            for node, future, params in zip(nodes, futures, calls):
+                node.future = future
+                node.call_params = params
+                node.state = (
+                    NodeState.READY if node.unresolved == 0 else NodeState.PENDING
+                )
+
+        tracer = executor.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.point(
+                "dag.submit", "dag",
+                ids={"executor_id": executor.executor_id, "dag_id": dag_id},
+                nodes=len(dag.nodes),
+                activations=len(internal),
+                levels=len(by_level),
+            )
+
+        # First round runs synchronously in the caller: roots are in flight
+        # before submit() returns, exactly like a plain executor.map.
+        self._round(run)
+        if not run.finished:
+            self.kernel.spawn_model(
+                self._watch_steps, run, name=f"dag-watch-{dag_id}"
+            )
+        return run
+
+    def _validate_functions(self, nodes: list[DagNode]) -> None:
+        import types as _types
+
+        executor = self.executor
+        if not executor.config.validate_runtime_packages:
+            return
+        from repro.core.modules import validate_runtime
+
+        for node in nodes:
+            for fn in node.fns:
+                if isinstance(fn, _types.FunctionType):
+                    validate_runtime(fn, executor._runtime_image)
+
+    def _payload(self, node: DagNode) -> dict[str, Any]:
+        payload: dict[str, Any] = {"mode": node.mode, "fns": node.fns}
+        if node.mode == ARG_VALUE:
+            payload["value"] = node.value
+        else:
+            payload["futures"] = [dep.future for dep in node.deps]
+            payload["poll_interval"] = self.executor.config.poll_interval
+        return payload
+
+    # ------------------------------------------------------------------
+    # Dependency watcher
+    # ------------------------------------------------------------------
+    def _watch_steps(self, run: DagRun):
+        """Model task: wake each poll interval, run one round off-thread.
+
+        The round itself uses the blocking storage/gateway APIs, so it runs
+        as a short-lived thread task; between rounds no OS thread is held.
+        """
+        while not run.finished:
+            yield vsleep(self.poll_interval)
+            task = self.kernel.spawn(
+                self._round_guard, run, name=f"dag-round-{run.dag_id}"
+            )
+            yield vjoin(task)
+            if run.error is not None:
+                break
+
+    def _round_guard(self, run: DagRun) -> None:
+        try:
+            self._round(run)
+        except BaseException as exc:
+            # A broken round must not leave waiters pending forever in
+            # virtual time: fail every unfinished node, then surface.
+            run.error = exc
+            self._abort(run, f"DAG scheduler aborted: {exc!r}")
+
+    def _round(self, run: DagRun) -> None:
+        executor = self.executor
+        with executor._trace_scope():
+            self._poll(run)
+            if executor._recover_lost_enabled:
+                in_flight = [
+                    n.future
+                    for n in run.dag.nodes
+                    if n.state == NodeState.SUBMITTED and not n.external
+                ]
+                if in_flight:
+                    executor._recover_lost(in_flight)
+                    # recovery buries exhausted calls by ingesting a
+                    # synthetic status directly — pick those up now
+                    for node in run.dag.nodes:
+                        if (
+                            node.state == NodeState.SUBMITTED
+                            and node.future._status is not None
+                        ):
+                            self._complete(run, node)
+            self._submit_ready(run)
+            if run.finished:
+                run._finish()
+
+    def _poll(self, run: DagRun) -> None:
+        """One LIST per in-flight callset, then judge newly-done nodes."""
+        storage = self.executor._storage
+        groups: dict[tuple[str, str], list[DagNode]] = {}
+        for node in run.dag.nodes:
+            if node.state != NodeState.SUBMITTED:
+                continue
+            future = node.future
+            groups.setdefault(
+                (future.executor_id, future.callset_id), []
+            ).append(node)
+        for key in sorted(groups):
+            nodes = groups[key]
+            if all(
+                n.future._status is not None
+                or getattr(n.future, "_status_seen", False)
+                for n in nodes
+            ):
+                done_ids = None  # statuses already known; skip the LIST
+            else:
+                done_ids = storage.list_done_call_ids(*key)
+            for node in nodes:
+                future = node.future
+                if (
+                    future._status is not None
+                    or getattr(future, "_status_seen", False)
+                    or (done_ids is not None and future.call_id in done_ids)
+                ):
+                    self._complete(run, node)
+
+    def _complete(self, run: DagRun, node: DagNode) -> None:
+        future = node.future
+        if future._status is None:
+            status = self.executor._storage.get_status(
+                future.executor_id, future.callset_id, future.call_id
+            )
+            if status is None:
+                return  # raced a partial commit; next round sees it
+            future._ingest_status(status)
+        status = future._status
+        if status.get("success"):
+            node.state = NodeState.DONE
+            _locality.record_invoker(node, status)
+            self._trace_node(run, node, status, "done")
+            for dependent in node.dependents:
+                dependent.unresolved -= 1
+                if (
+                    dependent.unresolved == 0
+                    and dependent.state == NodeState.PENDING
+                ):
+                    dependent.state = NodeState.READY
+        else:
+            self._on_failure(run, node, status)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_failure(self, run: DagRun, node: DagNode, status: dict) -> None:
+        from repro import vtime
+
+        executor = self.executor
+        if (
+            not node.external
+            and not status.get("lost")
+            and node.error_attempts < self.node_retries
+        ):
+            node.error_attempts += 1
+            self._reset_for_retry(node)
+            node.retry_at = vtime.now() + self._policy.backoff(node.error_attempts)
+            node.state = NodeState.READY
+            executor._retries_total += 1
+            tracer = executor.tracer
+            if tracer is not None and tracer.enabled:
+                future = node.future
+                tracer.point(
+                    "dag.retry", "dag",
+                    ids={
+                        "executor_id": future.executor_id,
+                        "callset_id": future.callset_id,
+                        "call_id": future.call_id,
+                        "dag_id": run.dag_id,
+                    },
+                    node=node.display_name,
+                    attempt=node.error_attempts,
+                )
+            return
+        node.state = NodeState.FAILED
+        self._trace_node(run, node, status, "failed")
+        self._bury_dependents(run, node, status)
+
+    def _reset_for_retry(self, node: DagNode) -> None:
+        """Same reset as ``retry_failed``: clear state, drop stale objects."""
+        from repro.cos.errors import NoSuchKey
+
+        executor = self.executor
+        future = node.future
+        future._status = None
+        future._status_seen = False
+        future._value_loaded = False
+        future._value = None
+        future._state = "invoked"
+        executor._push_buffer.pop((future.callset_id, future.call_id), None)
+        for key in (
+            executor._storage.status_key(
+                future.executor_id, future.callset_id, future.call_id
+            ),
+            executor._storage.result_key(
+                future.executor_id, future.callset_id, future.call_id
+            ),
+        ):
+            try:
+                executor._cos.delete_object(executor.config.storage_bucket, key)
+            except NoSuchKey:
+                pass
+
+    def _bury_dependents(self, run: DagRun, node: DagNode, status: dict) -> None:
+        reason = (
+            f"upstream DAG node '{node.display_name}' failed: "
+            f"{status.get('error')}"
+        )
+        queue = list(node.dependents)
+        while queue:
+            dependent = queue.pop(0)
+            if dependent.state in NodeState.TERMINAL:
+                continue
+            self._bury_node(run, dependent, reason)
+            queue.extend(dependent.dependents)
+
+    def _abort(self, run: DagRun, reason: str) -> None:
+        for node in run.dag.nodes:
+            if node.state not in NodeState.TERMINAL:
+                self._bury_node(run, node, reason)
+        run._finish()
+
+    def _bury_node(self, run: DagRun, node: DagNode, reason: str) -> None:
+        """Synthesize an error status so every waiter unblocks.
+
+        Result first, then the conditional status commit (the worker's
+        ordering): if a real status landed in the meantime the commit
+        loses and the real outcome wins.
+        """
+        from repro import vtime
+
+        storage = self.executor._storage
+        future = node.future
+        node.state = NodeState.FAILED
+        now = vtime.now()
+        storage.put_result(
+            future.executor_id, future.callset_id, future.call_id, (None, reason)
+        )
+        status = {
+            "executor_id": future.executor_id,
+            "callset_id": future.callset_id,
+            "call_id": future.call_id,
+            "success": False,
+            "error": reason,
+            "buried": True,
+            "start_time": now,
+            "end_time": now,
+            "activation_id": None,
+            "container_id": None,
+            "cold_start": False,
+        }
+        if storage.commit_status(
+            future.executor_id, future.callset_id, future.call_id, status
+        ):
+            future._ingest_status(status)
+        else:
+            future._status_seen = True  # a real status exists; use it
+        self._trace_node(run, node, status, "buried")
+
+    # ------------------------------------------------------------------
+    # Node submission
+    # ------------------------------------------------------------------
+    def _submit_ready(self, run: DagRun) -> None:
+        from repro import vtime
+
+        executor = self.executor
+        now = vtime.now()
+        ready = sorted(
+            (
+                n
+                for n in run.dag.nodes
+                if n.state == NodeState.READY and n.retry_at <= now
+            ),
+            key=lambda n: n.node_id,
+        )
+        if not ready:
+            return
+        calls: list[dict[str, Any]] = []
+        futures = []
+        for node in ready:
+            params = node.call_params
+            if self.locality:
+                hint = _locality.placement_hint(node)
+                if hint is not None:
+                    params = {**params, "placement_hint": hint}
+                    node.call_params = params
+                    node.future._call_params = params
+            node.state = NodeState.SUBMITTED
+            node.submit_time = now
+            calls.append(params)
+            futures.append(node.future)
+        executor._make_invoker().invoke_calls(
+            executor.config.namespace, executor._runner_action, calls, futures
+        )
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _trace_node(
+        self, run: DagRun, node: DagNode, status: dict, outcome: str
+    ) -> None:
+        tracer = self.executor.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        future = node.future
+        start = status.get("start_time")
+        end = status.get("end_time")
+        if start is None or end is None:
+            from repro import vtime
+
+            start = node.submit_time
+            end = vtime.now()
+        tracer.span_at(
+            "dag.node", "dag", start, end,
+            ids={
+                "executor_id": future.executor_id,
+                "callset_id": future.callset_id,
+                "call_id": future.call_id,
+                "dag_id": run.dag_id,
+            },
+            node=node.display_name,
+            stage=run.dag.stage_name(node),
+            level=node.level,
+            outcome=outcome,
+        )

@@ -438,7 +438,9 @@ class CloudFunctions:
         tracer,
     ):
         t_place = self.kernel.now()
-        placement, node = yield from self._place_steps(action)
+        placement, node = yield from self._place_steps(
+            action, params.get("placement_hint")
+        )
         record.invoker_id = node.node_id
         record.container_id = placement.container.container_id
         record.cold_start = placement.cold
@@ -606,12 +608,18 @@ class CloudFunctions:
         with self._capacity:
             self._capacity.notify_all()
 
-    def _place_steps(self, action: Action):
+    def _place_steps(self, action: Action, hint: Optional[list] = None):
         """Find a node for the activation, waiting for capacity if needed.
 
         Steps generator: when the cluster is full, the activation parks on
         the capacity condition via a registered waiter (1 s timeout retry),
         holding no OS thread while it waits.
+
+        ``hint`` is an optional ordered list of preferred invoker-node ids
+        (the DAG scheduler's locality hint: nodes whose warm containers
+        produced this call's inputs).  Hinted nodes are tried first in the
+        warm scan only — locality means reusing a warm container next to
+        the data; a cold start is the same price everywhere.
         """
         invokers = self.invokers
         n_nodes = len(invokers)
@@ -626,6 +634,19 @@ class CloudFunctions:
             # The hint makes the scan O(1) when nothing can be warm; the
             # scan itself is authoritative, the hint only gates it.
             if self._warm_idle.get(action.fqn, 0) > 0:
+                if hint:
+                    for node_id in hint:
+                        if not isinstance(node_id, int):
+                            continue
+                        if not 0 <= node_id < n_nodes:
+                            continue
+                        node = invokers[node_id]
+                        if chaos and not node.available(now):
+                            continue
+                        placement = node.try_place_warm(action, now)
+                        if placement is not None:
+                            self._warm_idle[action.fqn] -= 1
+                            return placement, node
                 for k in range(n_nodes):
                     node = invokers[(start + k) % n_nodes]
                     if chaos and not node.available(now):

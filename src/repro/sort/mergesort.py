@@ -1,12 +1,15 @@
 """Serverless mergesort via nested parallelism (§4.4/§6.3).
 
 The recursion tree of mergesort is mapped onto a *function* tree of
-configurable depth ``d``: a function at depth < d spawns two child
-functions for its halves (through a nested executor — §4.4's dynamic
-composability), while a function at depth d sorts its slice locally.
-"In order to amortize the overhead of function spawning, it is better off
-to execute part of the tree of recursive calls within each function" —
-``depth`` is exactly that knob.
+configurable depth ``d``: leaves sort their slice locally, interior nodes
+merge their children's sorted halves.  "In order to amortize the overhead
+of function spawning, it is better off to execute part of the tree of
+recursive calls within each function" — ``depth`` is exactly that knob.
+
+The tree runs as an explicit DAG (:mod:`repro.dag`): every node is its
+own activation and each merge is invoked the moment *its* two children
+finish — merges in one subtree proceed while a slow sibling subtree is
+still sorting, with no client-side barrier per tree level.
 """
 
 from __future__ import annotations
@@ -41,24 +44,9 @@ def local_mergesort(array: Sequence[Any]) -> list[Any]:
     return merge(local_mergesort(array[:mid]), local_mergesort(array[mid:]))
 
 
-def _mergesort_task(payload: dict[str, Any]) -> list[Any]:
-    """One node of the function tree; runs inside a cloud function."""
-    array: list[Any] = payload["array"]
-    depth: int = payload["depth"]
-    if depth <= 0 or len(array) <= 1:
-        return local_mergesort(array)
-    import repro
-
-    executor = repro.ibm_cf_executor()
-    mid = len(array) // 2
-    futures = executor.map(
-        _mergesort_task,
-        [
-            {"array": array[:mid], "depth": depth - 1},
-            {"array": array[mid:], "depth": depth - 1},
-        ],
-    )
-    left, right = executor.get_result(futures)
+def _merge_pair(results: list[list[Any]]) -> list[Any]:
+    """Merge node: receives the two children's sorted lists, in order."""
+    left, right = results
     return merge(left, right)
 
 
@@ -68,7 +56,8 @@ def serverless_mergesort(
     """Sort ``array`` with a function tree of the given ``depth``.
 
     Non-blocking: returns the root future.  ``depth=0`` runs one function
-    that sorts everything; ``depth=d`` spawns ``2**d`` leaf functions.
+    that sorts everything; ``depth=d`` spawns up to ``2**d`` leaf
+    functions plus one merge function per interior tree node.
     """
     if depth < 0:
         raise ValueError("depth must be >= 0")
@@ -76,4 +65,28 @@ def serverless_mergesort(
         import repro
 
         executor = repro.ibm_cf_executor()
-    return executor.call_async(_mergesort_task, {"array": list(array), "depth": depth})
+    from repro.dag import DagBuilder, DagScheduler
+
+    builder = DagBuilder()
+
+    def build(arr: list[Any], d: int):
+        if d <= 0 or len(arr) <= 1:
+            node = builder.call(
+                local_mergesort, arr, name=f"sort[{len(arr)}]", stage="sort"
+            )
+            return node, 0
+        mid = len(arr) // 2
+        left, left_height = build(arr[:mid], d - 1)
+        right, right_height = build(arr[mid:], d - 1)
+        height = max(left_height, right_height) + 1
+        node = builder.reduce(
+            _merge_pair,
+            [left, right],
+            name=f"merge[{len(arr)}]",
+            stage=f"merge{height}",
+        )
+        return node, height
+
+    root, _ = build(list(array), depth)
+    run = DagScheduler(executor).submit(builder.build())
+    return run.expose(root)

@@ -1,0 +1,148 @@
+"""DagBuilder / Dag construction: handles, edges, levels, fusion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import DagBuilder
+from repro.dag.node import ARG_DEP, ARG_DEPS, ARG_FUTURES, ARG_VALUE
+
+
+def inc(x):
+    return x + 1
+
+
+def double(x):
+    return x * 2
+
+
+def total(values):
+    return sum(values)
+
+
+class TestBuilder:
+    def test_call_makes_value_node(self):
+        builder = DagBuilder()
+        node = builder.call(inc, 5)
+        assert node.mode == ARG_VALUE
+        assert node.value == 5
+        assert node.fns == [inc]
+        assert node.deps == []
+
+    def test_call_on_node_chains(self):
+        builder = DagBuilder()
+        a = builder.call(inc, 1)
+        b = builder.call(double, a)
+        assert b.mode == ARG_DEP
+        assert b.deps == [a]
+
+    def test_then_chains(self):
+        builder = DagBuilder()
+        a = builder.call(inc, 1)
+        b = a.then(double)
+        assert b.deps == [a]
+        assert b.fns == [double]
+
+    def test_map_makes_one_node_per_item(self):
+        builder = DagBuilder()
+        nodes = builder.map(inc, [1, 2, 3])
+        assert len(nodes) == 3
+        assert [n.value for n in nodes] == [1, 2, 3]
+        assert all(n.mode == ARG_VALUE for n in nodes)
+
+    def test_reduce_collects_all_inputs(self):
+        builder = DagBuilder()
+        maps = builder.map(inc, [1, 2])
+        red = builder.reduce(total, maps)
+        assert red.mode == ARG_DEPS
+        assert red.deps == maps
+
+    def test_reduce_pass_futures_mode(self):
+        builder = DagBuilder()
+        maps = builder.map(inc, [1])
+        red = builder.reduce(total, maps, pass_futures=True)
+        assert red.mode == ARG_FUTURES
+
+    def test_reduce_requires_inputs(self):
+        builder = DagBuilder()
+        with pytest.raises(ValueError):
+            builder.reduce(total, [])
+
+    def test_foreign_node_rejected(self):
+        a = DagBuilder().call(inc, 1)
+        other = DagBuilder()
+        with pytest.raises(ValueError, match="different DagBuilder"):
+            other.then(a, double)
+
+    def test_build_only_once(self):
+        builder = DagBuilder()
+        builder.call(inc, 1)
+        builder.build()
+        with pytest.raises(ValueError):
+            builder.build()
+        with pytest.raises(ValueError):
+            builder.call(inc, 2)
+
+
+class TestLevelsAndFusion:
+    def test_topological_levels(self):
+        builder = DagBuilder()
+        maps = builder.map(inc, [1, 2, 3])
+        red = builder.reduce(total, maps)
+        top = builder.reduce(total, [red, maps[0]])
+        dag = builder.build(fuse=False)
+        levels = dag.levels()
+        assert [len(level) for level in levels] == [3, 1, 1]
+        assert red.level == 1
+        assert top.level == 2
+
+    def test_linear_chain_fuses_to_one_node(self):
+        builder = DagBuilder()
+        node = builder.call(inc, 1).then(double).then(inc)
+        dag = builder.build()
+        assert len(dag.nodes) == 1
+        fused = dag.nodes[0]
+        assert fused is node
+        assert fused.fns == [inc, double, inc]
+        assert fused.mode == ARG_VALUE
+        assert fused.value == 1
+
+    def test_fusion_stops_at_fanout(self):
+        builder = DagBuilder()
+        a = builder.call(inc, 1)
+        b = a.then(double)
+        c = a.then(inc)  # a has two consumers: no fusion into b or c
+        builder.reduce(total, [b, c])
+        dag = builder.build()
+        assert len(dag.nodes) == 4
+
+    def test_fusion_respects_opt_out(self):
+        builder = DagBuilder()
+        node = builder.call(inc, 1, fusable=False).then(double, fusable=False)
+        dag = builder.build()
+        assert len(dag.nodes) == 2
+        assert node.fns == [double]
+
+    def test_build_fuse_false_keeps_chain(self):
+        builder = DagBuilder()
+        builder.call(inc, 1).then(double)
+        dag = builder.build(fuse=False)
+        assert len(dag.nodes) == 2
+
+    def test_fused_reduce_tail(self):
+        # reduce -> then fuses downward (the reduce is the chain head)
+        builder = DagBuilder()
+        maps = builder.map(inc, [1, 2])
+        node = builder.reduce(total, maps).then(double)
+        dag = builder.build()
+        assert len(dag.nodes) == 3
+        assert node.fns == [total, double]
+        assert node.mode == ARG_DEPS
+
+    def test_stage_names(self):
+        builder = DagBuilder()
+        a = builder.call(inc, 1, stage="ingest")
+        b = a.then(double, fusable=False)
+        dag = builder.build(fuse=False)
+        assert dag.stage_name(a) == "ingest"
+        assert dag.stage_name(b) == "stage1"

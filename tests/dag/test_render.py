@@ -1,0 +1,113 @@
+"""DAG rendering: DOT text, standalone SVG, and the CLI subcommand."""
+
+from __future__ import annotations
+
+from repro.__main__ import main as cli_main
+from repro.dag import DagBuilder, render
+
+
+def inc(x):
+    return x + 1
+
+
+def total(values):
+    return sum(values)
+
+
+def _diamond_dag():
+    builder = DagBuilder()
+    src = builder.call(inc, 1, name="src", stage="load")
+    left = src.then(inc, name="left", fusable=False)
+    right = src.then(inc, name="right", fusable=False)
+    builder.reduce(total, [left, right], name="join", stage="merge")
+    return builder.build(fuse=False)
+
+
+class TestDot:
+    def test_dot_has_nodes_and_edges(self):
+        dag = _diamond_dag()
+        dot = render.to_dot(dag)
+        assert dot.startswith("digraph dag {")
+        assert dot.rstrip().endswith("}")
+        for name in ("src", "left", "right", "join"):
+            assert name in dot
+        # diamond: 2 edges out of src, 2 into join
+        assert dot.count("->") == 4
+        assert "rank=same" in dot
+
+    def test_dot_quotes_special_characters(self):
+        builder = DagBuilder()
+        builder.call(inc, 1, name='say "hi"')
+        dot = render.to_dot(builder.build())
+        assert '\\"hi\\"' in dot
+
+    def test_stage_labels_in_dot(self):
+        dot = render.to_dot(_diamond_dag())
+        assert "[load]" in dot
+        assert "[merge]" in dot
+
+
+class TestSvg:
+    def test_svg_is_well_formed_with_all_nodes(self):
+        dag = _diamond_dag()
+        svg = render.to_svg(dag)
+        assert svg.startswith("<svg ")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") == len(dag.nodes) + 1  # + background
+        assert svg.count("<line") == 4
+        for name in ("src", "left", "right", "join"):
+            assert name in svg
+
+    def test_empty_dag_renders(self):
+        svg = render.to_svg(DagBuilder().build())
+        assert svg.startswith("<svg ")
+        assert svg.endswith("</svg>")
+
+
+class TestDescribe:
+    def test_levels_and_deps_listed(self):
+        text = render.describe(_diamond_dag())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("level 0: ")
+        assert "src" in lines[0]
+        assert "join" in lines[2] and "(" in lines[2]
+
+
+class TestCli:
+    def test_render_mergesort_prints_dot(self, capsys):
+        assert cli_main(["dag", "render", "--example", "mergesort"]) == 0
+        out = capsys.readouterr().out
+        assert "level 0:" in out
+        assert "digraph dag {" in out
+
+    def test_render_writes_dot_and_svg_files(self, tmp_path, capsys):
+        dot_path = tmp_path / "dag.dot"
+        svg_path = tmp_path / "dag.svg"
+        code = cli_main(
+            [
+                "dag",
+                "render",
+                "--example",
+                "wordcount",
+                "--dot",
+                str(dot_path),
+                "--svg",
+                str(svg_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert str(dot_path) in out and str(svg_path) in out
+        assert dot_path.read_text().startswith("digraph dag {")
+        assert svg_path.read_text().startswith("<svg ")
+
+    def test_render_sequence_fuses(self, capsys):
+        assert cli_main(["dag", "render", "--example", "sequence"]) == 0
+        fused = capsys.readouterr().out
+        assert cli_main(
+            ["dag", "render", "--example", "sequence", "--no-fuse"]
+        ) == 0
+        unfused = capsys.readouterr().out
+        assert fused.count("level") == 1
+        assert unfused.count("level") == 3

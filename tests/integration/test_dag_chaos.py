@@ -1,0 +1,123 @@
+"""DAG engine under the fault-injection plane (slow, nightly tier).
+
+The barrier-free scheduler must inherit the executor's whole recovery
+story: lost activations are re-invoked within the retry budget, flaky COS
+is absorbed by the storage client's retries, and a (chaos seed, env seed)
+pair reproduces the exact same fault timeline and answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.chaos import ChaosProfile
+from repro.core.environment import CloudEnvironment
+from repro.dag import DagBuilder, DagScheduler
+from repro.sort.mergesort import serverless_mergesort
+
+pytestmark = pytest.mark.slow
+
+
+def _word_pairs(text):
+    return [(word, 1) for word in text.split()]
+
+
+def _count(key, values):
+    del key
+    return sum(values)
+
+
+def _mergesort_under(chaos, seed=123, retries=None):
+    env = CloudEnvironment.create(seed=seed, chaos=chaos)
+    array = [37, 5, 99, 1, 62, 8, 44, 13, 70, 2, 55, 91, 24, 6, 83, 17]
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        future = serverless_mergesort(array, depth=2, executor=executor)
+        if retries is not None:
+            # widen the lost-call budget on every node of the DAG
+            for f in executor.futures:
+                f.max_retries = retries
+        return executor.get_result(future), executor.resilience_stats()
+
+    (result, stats), horizon = env.run(main), env.now()
+    return result, stats, horizon, env, sorted(array)
+
+
+class TestRecovery:
+    def test_mergesort_survives_storm(self):
+        result, _stats, _t, env, expected = _mergesort_under(
+            ChaosProfile("storm", seed=7)
+        )
+        assert result == expected
+        assert env.chaos.fault_counts()  # the storm actually hit something
+
+    def test_mergesort_survives_crashy_workers(self):
+        result, stats, _t, env, expected = _mergesort_under(
+            ChaosProfile("crashy-workers", seed=3, crash_prob=0.25)
+        )
+        assert result == expected
+        if any(k.startswith("worker:") for k in env.chaos.fault_counts()):
+            assert stats["invocation_retries"] >= 1
+
+    def test_shuffle_dag_survives_flaky_cos(self):
+        env = CloudEnvironment.create(
+            seed=123, chaos=ChaosProfile("flaky-cos", seed=5)
+        )
+        docs = ["a b a", "b c", "a c c", "b b"]
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reducers = executor.map_reduce_shuffle(
+                _word_pairs, docs, _count, n_reducers=3
+            )
+            merged = {}
+            for part in executor.get_result(reducers):
+                merged.update(part)
+            return merged
+
+        assert env.run(main) == {"a": 3, "b": 4, "c": 3}
+        assert any(
+            key.startswith("cos:") for key in env.chaos.fault_counts()
+        )
+
+
+class TestChaosDeterminism:
+    def test_same_seeds_reproduce_run(self):
+        runs = []
+        for _ in range(2):
+            result, stats, horizon, env, expected = _mergesort_under(
+                ChaosProfile("storm", seed=11)
+            )
+            assert result == expected
+            runs.append((result, stats, horizon, env.chaos.timeline_key()))
+        assert runs[0] == runs[1]
+
+    def test_node_retries_recover_under_chaos(self):
+        """App-level node retries compose with infrastructure chaos."""
+        env = CloudEnvironment.create(
+            seed=123, chaos=ChaosProfile("flaky-cos", seed=5)
+        )
+
+        def flaky(x):
+            from repro.core import context as ambient
+
+            environment = ambient.require_context().environment
+            bucket = environment.config.storage_bucket
+            if not environment.storage.object_exists(bucket, "dag-chaos-marker"):
+                environment.storage.put_object(bucket, "dag-chaos-marker", b"1")
+                raise RuntimeError("transient app failure")
+            return x * 10
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            builder = DagBuilder()
+            node = builder.call(flaky, 7)
+            run = DagScheduler(executor, node_retries=2).submit(builder.build())
+            run.join()
+            return run.future(node).result(), node.error_attempts
+
+        value, attempts = env.run(main)
+        assert value == 70
+        assert attempts == 1

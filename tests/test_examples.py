@@ -15,6 +15,7 @@ EXAMPLES_DIR = REPO_ROOT / "examples"
 EXPECTED_OUTPUT = {
     "quickstart.py": "map result: [10, 13, 16]",
     "mergesort_composition.py": "sorted correctly",
+    "dag_mergesort.py": "before the slowest sort finished",
     "wordcount.py": "distinct tokens",
     "montecarlo_pi.py": "pi ~= 3.14",
     "custom_runtime.py": "warm container",
