@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache docs-check examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -37,6 +37,18 @@ bench-kernel-scale:
 # (acceptance: DAG wins mergesort wall-clock, same-seed traces identical)
 bench-dag:
 	PYTHONPATH=src python benchmarks/bench_dag_pipeline.py
+
+# COS-only vs memory-tier cached intermediate exchange on the Fig. 4
+# mergesort + shuffle wordcount; writes BENCH_cache_exchange.json
+# (acceptance: cached wins intermediate-read time, per-mode same-seed
+# traces byte-identical)
+bench-cache:
+	PYTHONPATH=src python benchmarks/bench_cache_exchange.py
+
+# documentation guards: no dead relative links in README/docs, every
+# public repro.* symbol documented in docs/API.md
+docs-check:
+	PYTHONPATH=src python scripts/check_docs.py
 
 examples:
 	@for ex in examples/*.py; do echo "=== $$ex ==="; python3 $$ex; echo; done

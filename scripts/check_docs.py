@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Documentation guards, run by the CI docs job and `make docs-check`.
+
+Two checks, both offline:
+
+1. **Link check** — every relative markdown link in README.md and
+   docs/*.md must resolve to a file (or directory) in the repository.
+   External (http/https/mailto) and intra-page (#anchor) links are left
+   alone; anchors on relative links are checked against the target file's
+   headings.
+2. **API coverage** — every public symbol in ``repro.__all__`` (parsed
+   statically from ``src/repro/__init__.py``, no import needed) must be
+   mentioned in docs/API.md.  New exports therefore fail CI until they
+   are documented.
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+API_DOC = REPO / "docs" / "API.md"
+PACKAGE_INIT = REPO / "src" / "repro" / "__init__.py"
+
+# [text](target) — but not images' inner parens and not reference defs
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (close enough for our headings)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def check_links() -> list[str]:
+    errors = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(REPO)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                anchors = {github_anchor(h) for h in HEADING_RE.findall(text)}
+                if target[1:] not in anchors:
+                    errors.append(f"{rel}: dead anchor {target!r}")
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}: dead link {target!r}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                other = resolved.read_text(encoding="utf-8")
+                anchors = {github_anchor(h) for h in HEADING_RE.findall(other)}
+                if fragment not in anchors:
+                    errors.append(f"{rel}: dead anchor in link {target!r}")
+    return errors
+
+
+def public_symbols() -> list[str]:
+    tree = ast.parse(PACKAGE_INIT.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return [ast.literal_eval(elt) for elt in node.value.elts]
+    raise SystemExit(f"could not find __all__ in {PACKAGE_INIT}")
+
+
+def check_api_coverage() -> list[str]:
+    text = API_DOC.read_text(encoding="utf-8")
+    rel = API_DOC.relative_to(REPO)
+    errors = []
+    for symbol in public_symbols():
+        if not re.search(rf"(?<!\w){re.escape(symbol)}(?!\w)", text):
+            errors.append(f"{rel}: public symbol {symbol!r} is undocumented")
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_api_coverage()
+    for error in errors:
+        print(f"FAIL {error}")
+    checked = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)
+    if errors:
+        print(f"{len(errors)} documentation problem(s) in: {checked}")
+        return 1
+    print(f"docs OK: links + API coverage over {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

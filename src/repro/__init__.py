@@ -24,8 +24,9 @@ Quickstart (mirrors Fig. 1 of the paper)::
     print(env.run(main))   # [10, 13, 16]
 """
 
+from repro.cache import CachePlane
 from repro.chaos import ChaosPlane, ChaosProfile
-from repro.config import InvokerMode, PyWrenConfig, RetryConfig
+from repro.config import CacheConfig, InvokerMode, PyWrenConfig, RetryConfig
 from repro.core import (
     ALL_COMPLETED,
     ALWAYS,
@@ -91,6 +92,8 @@ __all__ = [
     "InvokerMode",
     "RetryConfig",
     "RetryPolicy",
+    "CacheConfig",
+    "CachePlane",
     "ChaosProfile",
     "ChaosPlane",
     "CallFailure",

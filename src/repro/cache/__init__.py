@@ -1,0 +1,13 @@
+"""repro.cache — the memory-tier intermediate-data cache plane.
+
+A tiered data-exchange path for intermediates (shuffle partitions, DAG
+node outputs, mergesort runs): write-through to COS, read cache-first —
+local memory hit, then a peer node over the emulated network, then the
+COS fallback that correctness always rests on.  See ARCHITECTURE.md §9.
+"""
+
+from repro.cache.node_cache import NodeCache
+from repro.cache.plane import CachePlane
+from repro.cache.ring import HashRing
+
+__all__ = ["CachePlane", "HashRing", "NodeCache"]

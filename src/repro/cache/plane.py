@@ -1,0 +1,289 @@
+"""The cache plane: per-node memory caches + a consistent-hash directory.
+
+:class:`CachePlane` is the cluster-wide view of the intermediate-data
+cache tier (ARCHITECTURE.md §9).  It owns one
+:class:`~repro.cache.node_cache.NodeCache` per invoker node and the
+directory that records *which* nodes hold a key.  The directory metadata
+itself is free at simulation granularity — registration piggybacks on the
+status/result writes producers already make — but *consulting* a remote
+directory owner and *moving* the bytes are charged by the reader through
+its own in-cloud :class:`~repro.net.link.NetworkLink`
+(see ``InternalStorage._exchange_get_steps``).
+
+Consistency story: the cache is strictly a performance tier.  Every write
+goes through to COS first (write-through), a publish invalidates stale
+copies on other nodes, and any lookup path — local, peer, directory — may
+fail or find nothing, in which case the reader transparently falls back
+to COS.  Correctness therefore never depends on cache residency, which is
+what lets the chaos plane crash containers (dropping their entries)
+without any recovery protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.cache.node_cache import NodeCache
+from repro.cache.ring import HashRing
+
+__all__ = ["CachePlane"]
+
+
+class CachePlane:
+    """One cache tier per emulated cloud; inert unless config enables it."""
+
+    def __init__(
+        self,
+        config: Any,
+        n_nodes: int,
+        kernel: Any = None,
+        tracer: Any = None,
+    ) -> None:
+        self.config = config
+        self.kernel = kernel
+        #: optional :class:`repro.trace.Tracer`; cache traffic is emitted
+        #: as ``cache.*`` events on the "cache" layer
+        self.tracer = tracer
+        clock = kernel.now if kernel is not None else None
+        self.nodes = [
+            NodeCache(i, config.node_budget_bytes, clock=clock)
+            for i in range(n_nodes)
+        ]
+        self.ring = HashRing(n_nodes, config.ring_vnodes)
+        self._directory: dict[str, set[int]] = {}
+        self._lock = threading.Lock()
+        # aggregate read-path counters (virtual seconds + bytes by source)
+        self._counters = {
+            "local_hits": 0,
+            "peer_hits": 0,
+            "cos_misses": 0,
+            "peer_failures": 0,
+            "bytes_from_memory": 0,
+            "bytes_from_peers": 0,
+            "bytes_from_cos": 0,
+            "read_seconds_local": 0.0,
+            "read_seconds_peer": 0.0,
+            "read_seconds_cos": 0.0,
+        }
+        self._evictions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return bool(self.config.enabled)
+
+    def node(self, node_id: int) -> NodeCache:
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Cost model (virtual seconds; far below the COS path)
+    # ------------------------------------------------------------------
+    def hit_delay(self, nbytes: int) -> float:
+        """Local memory read: fixed latency + bytes / memory bandwidth."""
+        return self.config.hit_latency_s + nbytes / self.config.memory_bandwidth_bps
+
+    def peer_transfer_delay(self, nbytes: int) -> float:
+        """Node-to-node payload time (the RTT rides the reader's link)."""
+        return nbytes / self.config.peer_bandwidth_bps
+
+    # ------------------------------------------------------------------
+    # Directory
+    # ------------------------------------------------------------------
+    def holders(self, key: str) -> list[int]:
+        """Node ids recorded as holding ``key`` (sorted, deterministic)."""
+        with self._lock:
+            return sorted(self._directory.get(key, ()))
+
+    def directory_owner(self, key: str) -> int:
+        """The node owning ``key``'s directory shard (consistent hash)."""
+        return self.ring.owner(key)
+
+    def locate(self, key: str) -> list[tuple[int, int]]:
+        """``(node_id, resident_bytes)`` for every live copy of ``key``.
+
+        Consults the node caches directly (without touching recency) and
+        prunes directory entries that turn out stale — the peer-lookup
+        consistency invariant the tests pin.
+        """
+        located: list[tuple[int, int]] = []
+        for node_id in self.holders(key):
+            size = self.nodes[node_id].peek_size(key)
+            if size is None:
+                self._deregister(key, node_id)
+            else:
+                located.append((node_id, size))
+        return located
+
+    def _register(self, key: str, node_id: int, exclusive: bool = False) -> set[int]:
+        """Record a holder; ``exclusive`` replaces the holder set (a fresh
+        write supersedes every older copy).  Returns the displaced ids."""
+        with self._lock:
+            previous = self._directory.get(key, set())
+            if exclusive:
+                displaced = previous - {node_id}
+                self._directory[key] = {node_id}
+                return displaced
+            self._directory.setdefault(key, set()).add(node_id)
+            return set()
+
+    def _deregister(self, key: str, node_id: int) -> None:
+        with self._lock:
+            holders = self._directory.get(key)
+            if holders is not None:
+                holders.discard(node_id)
+                if not holders:
+                    del self._directory[key]
+
+    # ------------------------------------------------------------------
+    # Data path (bookkeeping only — callers charge the virtual time)
+    # ------------------------------------------------------------------
+    def local_get(self, key: str, node_id: int) -> Optional[bytes]:
+        return self.nodes[node_id].get(key)
+
+    def peer_get(
+        self, key: str, reader_node: int
+    ) -> Optional[tuple[bytes, int]]:
+        """Fetch ``key`` from the first live peer copy (lowest node id)."""
+        for node_id, _size in self.locate(key):
+            if node_id == reader_node:
+                continue
+            blob = self.nodes[node_id].get(key)
+            if blob is not None:
+                return blob, node_id
+            self._deregister(key, node_id)
+        return None
+
+    def publish(
+        self, key: str, blob: bytes, node_id: int, container_id: Optional[str]
+    ) -> None:
+        """Write-through insert by the producer: supersedes older copies."""
+        displaced = self._register(key, node_id, exclusive=True)
+        for stale_node in sorted(displaced):
+            if self.nodes[stale_node].drop(key) is not None:
+                self._count_eviction("invalidate")
+                self.trace_point(
+                    "cache.evict", node=stale_node, key=key, reason="invalidate"
+                )
+        self._admit_local(key, blob, node_id, container_id)
+        self.trace_point("cache.put", node=node_id, key=key, bytes=len(blob))
+
+    def admit(
+        self, key: str, blob: bytes, node_id: int, container_id: Optional[str]
+    ) -> None:
+        """Populate a reader's local cache with an additional copy."""
+        self._register(key, node_id)
+        self._admit_local(key, blob, node_id, container_id)
+
+    def _admit_local(
+        self, key: str, blob: bytes, node_id: int, container_id: Optional[str]
+    ) -> None:
+        evicted = self.nodes[node_id].put(key, blob, container_id)
+        if not self.nodes[node_id].__contains__(key):
+            # over-budget object: it was never stored, only written through
+            self._deregister(key, node_id)
+        for victim, size in evicted:
+            self._deregister(victim, node_id)
+            self._count_eviction("lru")
+            self.trace_point(
+                "cache.evict", node=node_id, key=victim, bytes=size, reason="lru"
+            )
+
+    # ------------------------------------------------------------------
+    # Invalidation & reclaim
+    # ------------------------------------------------------------------
+    def invalidate(self, key: str) -> None:
+        """Drop every copy of ``key`` (its COS object was deleted/replaced)."""
+        for node_id in self.holders(key):
+            if self.nodes[node_id].drop(key) is not None:
+                self._count_eviction("invalidate")
+                self.trace_point(
+                    "cache.evict", node=node_id, key=key, reason="invalidate"
+                )
+            self._deregister(key, node_id)
+
+    def invalidate_prefix(self, prefix: str) -> None:
+        """Invalidate every cached key under ``prefix`` (executor.clean)."""
+        with self._lock:
+            doomed = sorted(k for k in self._directory if k.startswith(prefix))
+        for key in doomed:
+            self.invalidate(key)
+
+    def reclaim_container(
+        self, node_id: int, container_id: str, reason: str
+    ) -> int:
+        """A container died or was reclaimed: its entries vanish with it.
+
+        Returns the number of bytes dropped.  Called by
+        :class:`~repro.faas.invoker_node.InvokerNode` on idle eviction,
+        TTL expiry and chaos-injected crashes — the transparent-fallback
+        half of the chaos interplay.
+        """
+        dropped = self.nodes[node_id].drop_container(container_id)
+        total = 0
+        for key, size in dropped:
+            self._deregister(key, node_id)
+            self._count_eviction(reason)
+            total += size
+            self.trace_point(
+                "cache.evict", node=node_id, key=key, bytes=size, reason=reason
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Counters / stats
+    # ------------------------------------------------------------------
+    def _count_eviction(self, reason: str) -> None:
+        with self._lock:
+            self._evictions[reason] = self._evictions.get(reason, 0) + 1
+
+    def note_read(self, source: str, nbytes: int, seconds: float) -> None:
+        """Account one intermediate read: source is local|peer|cos."""
+        with self._lock:
+            if source == "local":
+                self._counters["local_hits"] += 1
+                self._counters["bytes_from_memory"] += nbytes
+                self._counters["read_seconds_local"] += seconds
+            elif source == "peer":
+                self._counters["peer_hits"] += 1
+                self._counters["bytes_from_peers"] += nbytes
+                self._counters["read_seconds_peer"] += seconds
+            else:
+                self._counters["cos_misses"] += 1
+                self._counters["bytes_from_cos"] += nbytes
+                self._counters["read_seconds_cos"] += seconds
+
+    def note_peer_failure(self) -> None:
+        with self._lock:
+            self._counters["peer_failures"] += 1
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate counters for reports and benchmarks."""
+        with self._lock:
+            stats = dict(self._counters)
+            stats["evictions"] = dict(self._evictions)
+        stats["intermediate_reads"] = (
+            stats["local_hits"] + stats["peer_hits"] + stats["cos_misses"]
+        )
+        stats["read_seconds_total"] = (
+            stats["read_seconds_local"]
+            + stats["read_seconds_peer"]
+            + stats["read_seconds_cos"]
+        )
+        stats["resident_bytes"] = sum(n.used_bytes for n in self.nodes)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Trace emission (no-ops unless the environment traces)
+    # ------------------------------------------------------------------
+    def trace_point(self, name: str, **attrs: Any) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.point(name, "cache", **attrs)
+
+    def trace_span(self, name: str, t0: float, t1: float, **attrs: Any) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.span_at(name, "cache", t0, t1, **attrs)

@@ -1,0 +1,68 @@
+"""Consistent-hash ring: stable key → node assignment for the cache directory.
+
+The directory that tells readers *where* an intermediate object is cached
+is itself sharded: every key has one deterministic *owner* node, computed
+by consistent hashing, so any function can find the owner without a
+central lookup service.  Virtual nodes smooth the assignment — with
+``vnodes`` points per physical node the share each node owns concentrates
+around ``1/n`` — and the hash is built on :func:`hashlib.sha256` of the
+key text, so the mapping is identical across processes and runs
+(independent of ``PYTHONHASHSEED``), which the byte-identical-trace
+guarantee relies on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit position on the ring."""
+    digest = hashlib.sha256(text.encode("utf-8", "backslashreplace")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Maps string keys onto ``n_nodes`` integer node ids, consistently.
+
+    Immutable after construction: the emulated cluster has a fixed node
+    count (``SystemLimits.invoker_count``), so there is no rebalancing
+    path — what matters here is that every participant computes the same
+    owner for the same key.
+    """
+
+    def __init__(self, n_nodes: int, vnodes: int = 64) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.n_nodes = n_nodes
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for node_id in range(n_nodes):
+            for replica in range(vnodes):
+                points.append((_hash64(f"node-{node_id}#{replica}"), node_id))
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [o for _, o in points]
+
+    def owner(self, key: str) -> int:
+        """The node id owning ``key``'s directory entry."""
+        position = _hash64(key)
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+    def shares(self) -> dict[int, float]:
+        """Fraction of the ring each node owns (diagnostics/tests)."""
+        totals = dict.fromkeys(range(self.n_nodes), 0)
+        span = 2**64
+        previous = self._positions[-1] - span
+        for position, owner in zip(self._positions, self._owners):
+            totals[owner] += position - previous
+            previous = position
+        return {node: arc / span for node, arc in totals.items()}

@@ -96,6 +96,59 @@ class RetryConfig:
             )
 
 
+@dataclass(frozen=True)
+class CacheConfig:
+    """The memory-tier intermediate-data cache plane (ARCHITECTURE.md §9).
+
+    Disabled by default: with ``enabled=False`` no plane is built, no
+    ``cache.*`` trace events are emitted and every data exchange behaves
+    exactly as before (the COS-only path), which keeps existing golden
+    traces byte-identical.  When enabled, each invoker node hosts a
+    byte-budgeted LRU memory cache; intermediates (shuffle partitions,
+    DAG node results) are written through it to COS and read cache-first:
+    local memory hit → peer transfer over the emulated network → COS.
+    """
+
+    #: build the cache plane at all
+    enabled: bool = False
+    #: per-invoker-node memory budget for cached intermediates (bytes)
+    node_budget_bytes: int = 64 * 1024 * 1024
+    #: eviction policy; only ``"lru"`` exists (victim = oldest virtual
+    #: touch, ties broken by key for determinism)
+    policy: str = "lru"
+    #: fixed latency of a local memory hit (seconds)
+    hit_latency_s: float = 200e-6
+    #: local memory streaming bandwidth (bytes/second)
+    memory_bandwidth_bps: float = 2 * 1024**3
+    #: node-to-node transfer bandwidth for peer hits (bytes/second)
+    peer_bandwidth_bps: float = 1 * 1024**3
+    #: consult the consistent-hash directory and fetch from peer nodes
+    #: (off = local-or-COS only)
+    peer_fetch: bool = True
+    #: after a COS miss, keep a copy in the reader's local cache
+    populate_on_miss: bool = True
+    #: virtual points per node on the directory's consistent-hash ring
+    ring_vnodes: int = 64
+
+    POLICIES = ("lru",)
+
+    def validate(self) -> None:
+        if self.node_budget_bytes < 0:
+            raise ValueError("node_budget_bytes must be non-negative")
+        if self.policy not in self.POLICIES:
+            raise ValueError(
+                f"policy must be one of {self.POLICIES}, got {self.policy!r}"
+            )
+        if self.hit_latency_s < 0:
+            raise ValueError("hit_latency_s must be non-negative")
+        if self.memory_bandwidth_bps <= 0:
+            raise ValueError("memory_bandwidth_bps must be positive")
+        if self.peer_bandwidth_bps <= 0:
+            raise ValueError("peer_bandwidth_bps must be positive")
+        if self.ring_vnodes <= 0:
+            raise ValueError("ring_vnodes must be positive")
+
+
 @dataclass
 class PyWrenConfig:
     """Client-side configuration for :class:`repro.core.FunctionExecutor`."""
@@ -136,6 +189,8 @@ class PyWrenConfig:
     monitoring: str = MonitoringTransport.COS_POLLING
     #: shared retry schedule for COS requests, invocations and 429s
     retry: RetryConfig = field(default_factory=RetryConfig)
+    #: memory-tier intermediate-data cache plane (disabled by default)
+    cache: CacheConfig = field(default_factory=CacheConfig)
     #: times a *lost* call (its activation died without writing a status
     #: object) is re-invoked before it is failed; ``map(..., retries=N)``
     #: overrides this per job
@@ -169,6 +224,9 @@ class PyWrenConfig:
         if not isinstance(self.retry, RetryConfig):
             raise ValueError("retry must be a RetryConfig")
         self.retry.validate()
+        if not isinstance(self.cache, CacheConfig):
+            raise ValueError("cache must be a CacheConfig")
+        self.cache.validate()
         if self.invocation_retries < 0:
             raise ValueError("invocation_retries must be non-negative")
         if self.recover_lost not in (True, False, "auto"):
@@ -205,6 +263,15 @@ class PyWrenConfig:
                     f"(known: {sorted(retry_known)})"
                 )
             data = {**data, "retry": RetryConfig(**data["retry"])}
+        if isinstance(data.get("cache"), dict):
+            cache_known = {f.name for f in dataclasses.fields(CacheConfig)}
+            cache_unknown = set(data["cache"]) - cache_known
+            if cache_unknown:
+                raise ValueError(
+                    f"unknown cache config keys: {sorted(cache_unknown)} "
+                    f"(known: {sorted(cache_known)})"
+                )
+            data = {**data, "cache": CacheConfig(**data["cache"])}
         cfg = cls(**data)
         cfg.validate()
         return cfg

@@ -13,7 +13,7 @@ import itertools
 import threading
 from typing import Any, Callable, Optional
 
-from repro.config import PyWrenConfig
+from repro.config import CacheConfig, PyWrenConfig
 from repro.core import context as ambient
 from repro.core import worker
 from repro.core.storage_client import InternalStorage
@@ -43,6 +43,7 @@ class CloudEnvironment:
         seed: int = 42,
         chaos=None,
         tracer: Optional[Tracer] = None,
+        cache: Optional[CacheConfig] = None,
     ) -> None:
         self.kernel = kernel
         self.storage = storage
@@ -59,6 +60,23 @@ class CloudEnvironment:
         platform.tracer = self.tracer
         if chaos is not None:
             chaos.tracer = self.tracer
+        #: the intermediate-data cache plane (``None`` = COS-only exchange).
+        #: Built only when explicitly enabled, so the default environment
+        #: has zero new behaviour, timings or trace events.
+        self.cache = None
+        cache_config = cache if cache is not None else config.cache
+        if cache_config.enabled:
+            from repro.cache import CachePlane
+
+            self.cache = CachePlane(
+                cache_config,
+                len(platform.invokers),
+                kernel=kernel,
+                tracer=self.tracer,
+            )
+            platform.cache = self.cache
+            for node in platform.invokers:
+                node.cache_plane = self.cache
         self._link_seq = itertools.count(1)
         self._deploy_lock = threading.Lock()
         self._deployed_actions: set[str] = set()
@@ -83,6 +101,7 @@ class CloudEnvironment:
         crash_prob: float = 0.0,
         chaos=None,
         trace: bool = False,
+        cache: Optional[CacheConfig] = None,
     ) -> "CloudEnvironment":
         """Build a complete environment with sensible defaults.
 
@@ -98,6 +117,10 @@ class CloudEnvironment:
 
         ``trace=True`` enables the trace spine: every layer emits spans
         onto ``env.tracer`` (see :mod:`repro.trace`).
+
+        ``cache`` attaches the memory-tier intermediate-data cache plane
+        (a :class:`~repro.config.CacheConfig` with ``enabled=True``); by
+        default ``config.cache`` decides, which is disabled.
         """
         from repro.chaos import build_plane
 
@@ -128,6 +151,7 @@ class CloudEnvironment:
             seed,
             chaos=plane,
             tracer=Tracer(kernel, enabled=bool(trace)),
+            cache=cache,
         )
 
     # ------------------------------------------------------------------
@@ -168,7 +192,10 @@ class CloudEnvironment:
             retry=self.config.retry,
         )
         return InternalStorage(
-            cos, self.config.storage_bucket, self.config.storage_prefix
+            cos,
+            self.config.storage_bucket,
+            self.config.storage_prefix,
+            cache=self.cache,
         )
 
     # ------------------------------------------------------------------

@@ -16,6 +16,13 @@ primitives:
 Everything — the map shim, the reducers, the completion signalling — rides
 the ordinary executor machinery: shims are plain functions serialized by
 value; reducers are `call_async` calls shipping the map futures.
+
+When the environment carries the memory-tier cache plane (ARCHITECTURE.md
+§9), the shims are cache-aware for free: partitions are written through
+the producing node's cache by ``put_shuffle_partition`` and reducers
+resolve them cache-first via ``get_shuffle_partition`` — the
+ElastiCache-style exchange path of the related work, without changing a
+line here.
 """
 
 from __future__ import annotations

@@ -77,7 +77,13 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext):
     executor_id = params["executor_id"]
     callset_id = params["callset_id"]
     call_id = params["call_id"]
-    storage = InternalStorage(ctx.cos, params["bucket"], params["prefix"])
+    storage = InternalStorage(
+        ctx.cos,
+        params["bucket"],
+        params["prefix"],
+        cache=ctx.platform.cache,
+        site=(ctx.record.invoker_id, ctx.record.container_id),
+    )
     tracer = ctx.platform.tracer
     if tracer is not None and not tracer.enabled:
         tracer = None

@@ -7,6 +7,13 @@ invoker nodes that ran its dependencies — and the controller's warm scan
 tries those nodes first, so a chained function lands next to its data
 (Wukong-style task cluster locality) instead of wherever round-robin
 points.
+
+With the cache plane attached the hint gets sharper: instead of "the
+nodes that *ran* my dependencies", it ranks candidates by how many of the
+node's input bytes are still *resident* in each node's memory cache right
+now (a free directory peek — evictions, crashes and invalidations have
+already been applied), so the warm scan aims at the node where a local
+cache hit is actually waiting.
 """
 
 from __future__ import annotations
@@ -20,23 +27,50 @@ from repro.dag.node import DagNode
 MAX_HINT = 4
 
 
-def placement_hint(node: DagNode, limit: int = MAX_HINT) -> Optional[list[int]]:
+def placement_hint(
+    node: DagNode,
+    limit: int = MAX_HINT,
+    cache=None,
+    storage=None,
+) -> Optional[list[int]]:
     """Invoker-node ids that produced ``node``'s inputs, dep order, deduped.
 
-    Returns ``None`` when nothing useful is known (no dependencies, or the
-    producing workers predate invoker-id stamping).
+    ``cache`` (a :class:`~repro.cache.CachePlane`) and ``storage`` (the
+    executor's :class:`~repro.core.storage_client.InternalStorage`, for key
+    construction) upgrade the ranking to cached-input residency: nodes
+    holding more of this node's input bytes in memory come first, with the
+    legacy produced-here order breaking ties.  Returns ``None`` when
+    nothing useful is known (no dependencies, or the producing workers
+    predate invoker-id stamping).
     """
-    hint: list[int] = []
+    legacy: list[int] = []
     seen: set[int] = set()
     for dep in node.deps:
         invoker = dep.invoker_id
         if invoker is None or invoker in seen:
             continue
         seen.add(invoker)
-        hint.append(invoker)
-        if len(hint) >= limit:
-            break
-    return hint or None
+        legacy.append(invoker)
+    if cache is not None and storage is not None and cache.enabled:
+        resident: dict[int, int] = {}
+        for dep in node.deps:
+            future = dep.future
+            if future is None:
+                continue
+            key = storage.result_key(
+                future.executor_id, future.callset_id, future.call_id
+            )
+            for node_id, nbytes in cache.locate(key):
+                resident[node_id] = resident.get(node_id, 0) + nbytes
+        if resident:
+            order = {node_id: i for i, node_id in enumerate(legacy)}
+            ranked = sorted(
+                resident,
+                key=lambda n: (-resident[n], order.get(n, len(order)), n),
+            )
+            hint = ranked + [n for n in legacy if n not in resident]
+            return hint[:limit] or None
+    return legacy[:limit] or None
 
 
 def record_invoker(node: DagNode, status: dict) -> None:

@@ -393,6 +393,10 @@ class DagScheduler:
                 executor._cos.delete_object(executor.config.storage_bucket, key)
             except NoSuchKey:
                 pass
+            if executor.environment.cache is not None:
+                # the retry will rewrite these objects; stale cached copies
+                # on other nodes must not satisfy future reads
+                executor.environment.cache.invalidate(key)
 
     def _bury_dependents(self, run: DagRun, node: DagNode, status: dict) -> None:
         reason = (
@@ -473,7 +477,11 @@ class DagScheduler:
         for node in ready:
             params = node.call_params
             if self.locality:
-                hint = _locality.placement_hint(node)
+                hint = _locality.placement_hint(
+                    node,
+                    cache=executor.environment.cache,
+                    storage=executor._storage,
+                )
                 if hint is not None:
                     params = {**params, "placement_hint": hint}
                     node.call_params = params

@@ -14,6 +14,12 @@ class Container:
     OpenWhisk warms containers per action: after an activation finishes, the
     container parks in the invoker's idle pool and a subsequent activation
     of the *same action* reuses it with no start latency.
+
+    Cached intermediates are tagged with the container that produced (or
+    fetched) them: the container's memory is where they physically live, so
+    its reclaim — idle eviction, pressure, or a chaos-injected crash —
+    drops those entries from the node's cache and readers fall back to a
+    peer copy or COS (see :mod:`repro.cache`).
     """
 
     IDLE = "idle"

@@ -42,6 +42,14 @@ class InvokerNode:
         #: scheduled (start, end) windows during which this node accepts no
         #: placements (chaos-plane blackouts); empty by default
         self.blackouts: list[tuple[float, float]] = []
+        #: the :class:`~repro.cache.CachePlane`, or ``None`` when the cache
+        #: tier is disabled.  Cached intermediates live in container memory,
+        #: so reclaiming a container drops its entries from this node's cache.
+        self.cache_plane = None
+        # (container_id, reason) pairs evicted under self._lock, reclaimed
+        # from the cache plane once the lock is released (lock order:
+        # node lock strictly before any cache-plane lock)
+        self._doomed_containers: list[tuple[str, str]] = []
 
     # -- availability --------------------------------------------------------
     def available(self, now: float) -> bool:
@@ -84,6 +92,7 @@ class InvokerNode:
     # -- placement -----------------------------------------------------------
     def try_place_warm(self, action: Action, now: float) -> Optional[Placement]:
         """Reuse a warm idle container of ``action``, if this node has one."""
+        placement = None
         with self._lock:
             self._expire_idle_locked(now)
             pool = self._idle.get(action.fqn)
@@ -92,8 +101,9 @@ class InvokerNode:
                 container.state = Container.BUSY
                 container.last_used = now
                 self.warm_starts += 1
-                return Placement(container, cold=False, needs_pull=False)
-            return None
+                placement = Placement(container, cold=False, needs_pull=False)
+        self._flush_doomed_containers()
+        return placement
 
     def try_place(self, action: Action, now: float) -> Optional[Placement]:
         """Try to place an activation of ``action`` on this node.
@@ -110,22 +120,35 @@ class InvokerNode:
             return warm
         return self.try_place_cold(action, now)
 
+    def _flush_doomed_containers(self) -> None:
+        """Drop cached entries of containers evicted while holding the lock."""
+        if not self._doomed_containers:
+            return
+        with self._lock:
+            doomed, self._doomed_containers = self._doomed_containers, []
+        plane = self.cache_plane
+        if plane is not None:
+            for container_id, reason in doomed:
+                plane.reclaim_container(self.node_id, container_id, reason)
+
     def try_place_cold(self, action: Action, now: float) -> Optional[Placement]:
         """Start a cold container, evicting idle ones for room if needed.
 
         Skips the warm check: callers that already scanned the cluster for
         warm containers (the controller's placement loop) use this directly.
         """
+        placement = None
         with self._lock:
-            if not self._make_room_locked(action.memory_mb, now):
-                return None
-            self._used_mb += action.memory_mb
-            container = Container(
-                action.fqn, action.runtime, action.memory_mb, now, self.node_id
-            )
-            self.cold_starts += 1
-            needs_pull = action.runtime not in self._cached_images
-            return Placement(container, cold=True, needs_pull=needs_pull)
+            if self._make_room_locked(action.memory_mb, now):
+                self._used_mb += action.memory_mb
+                container = Container(
+                    action.fqn, action.runtime, action.memory_mb, now, self.node_id
+                )
+                self.cold_starts += 1
+                needs_pull = action.runtime not in self._cached_images
+                placement = Placement(container, cold=True, needs_pull=needs_pull)
+        self._flush_doomed_containers()
+        return placement
 
     def release(self, container: Container, now: float) -> None:
         """Return a finished container to the warm pool."""
@@ -136,10 +159,21 @@ class InvokerNode:
             self._idle.setdefault(container.action_fqn, []).append(container)
 
     def discard(self, container: Container, crashed: bool = False) -> None:
-        """Destroy a busy container (crash path): frees its memory."""
+        """Destroy a busy container (crash path): frees its memory.
+
+        Any intermediates the container held in the node cache die with it;
+        readers transparently fall back to a peer copy or to COS.
+        """
         with self._lock:
             container.state = Container.CRASHED if crashed else Container.STOPPED
             self._used_mb -= container.memory_mb
+        plane = self.cache_plane
+        if plane is not None:
+            plane.reclaim_container(
+                self.node_id,
+                container.container_id,
+                "crash" if crashed else "stop",
+            )
 
     def _make_room_locked(self, needed_mb: int, now: float) -> bool:
         if self.memory_mb - self._used_mb >= needed_mb:
@@ -161,6 +195,10 @@ class InvokerNode:
             pool.remove(container)
             container.state = Container.STOPPED
             self._used_mb -= container.memory_mb
+            if self.cache_plane is not None:
+                self._doomed_containers.append(
+                    (container.container_id, "reclaim")
+                )
 
     def _expire_idle_locked(self, now: float) -> None:
         for pool in list(self._idle.values()):

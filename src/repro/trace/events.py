@@ -19,6 +19,7 @@ LAYERS = (
     "controller",  # CloudFunctions: accepted activations, placement, image pulls
     "container",   # cold starts, user-code execution windows, injected fates
     "worker",      # runner phases: deserialize / run / commit
+    "cache",       # memory-tier exchange: hits, peer transfers, misses, evicts
     "cos",         # object-storage requests with byte counts
     "net",         # raw link round trips
     "chaos",       # injected faults mirrored from the chaos plane
