@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache docs-check examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache bench-resume docs-check examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -44,6 +44,12 @@ bench-dag:
 # traces byte-identical)
 bench-cache:
 	PYTHONPATH=src python benchmarks/bench_cache_exchange.py
+
+# event-journal overhead (off vs on, Fig. 3-shaped map) plus
+# time-to-recover after a client crash; writes BENCH_resume_overhead.json
+# (acceptance: journal enabled adds <5% executor wall-clock overhead)
+bench-resume:
+	PYTHONPATH=src python benchmarks/bench_resume_overhead.py
 
 # documentation guards: no dead relative links in README/docs, every
 # public repro.* symbol documented in docs/API.md

@@ -26,12 +26,19 @@ Quickstart (mirrors Fig. 1 of the paper)::
 
 from repro.cache import CachePlane
 from repro.chaos import ChaosPlane, ChaosProfile
-from repro.config import CacheConfig, InvokerMode, PyWrenConfig, RetryConfig
+from repro.config import (
+    CacheConfig,
+    EventsConfig,
+    InvokerMode,
+    PyWrenConfig,
+    RetryConfig,
+)
 from repro.core import (
     ALL_COMPLETED,
     ALWAYS,
     ANY_COMPLETED,
     CallFailure,
+    ClientCrashError,
     CloudEnvironment,
     FailureReport,
     FunctionError,
@@ -48,6 +55,14 @@ from repro.core import (
 )
 from repro.core.stats import JobStats, collect_job_stats
 from repro.dag import Dag, DagBuilder, DagNode, DagRun, DagScheduler
+from repro.events import (
+    EventJournal,
+    EventRecord,
+    JournalConflictError,
+    ResumedJob,
+    TriggerEngine,
+    TriggerRule,
+)
 from repro.retry import RetryPolicy
 from repro.trace import TraceEvent, Tracer
 from repro.vtime import now, sleep
@@ -96,12 +111,20 @@ __all__ = [
     "CachePlane",
     "ChaosProfile",
     "ChaosPlane",
+    "EventsConfig",
+    "EventRecord",
+    "EventJournal",
+    "TriggerRule",
+    "TriggerEngine",
+    "ResumedJob",
+    "JournalConflictError",
     "CallFailure",
     "FailureReport",
     "PyWrenError",
     "FunctionError",
     "ResultTimeoutError",
     "NoActiveEnvironmentError",
+    "ClientCrashError",
     "sleep",
     "now",
     "compute",

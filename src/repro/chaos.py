@@ -13,7 +13,11 @@ reproduction *cause* those failures on demand, repeatably:
   (:mod:`repro.cos.client` / :mod:`repro.cos.object_store`);
 * **link degradation** — inflated RTTs and extra transient drops
   (:mod:`repro.net.link`);
-* synthetic **429 throttles** from the controller.
+* synthetic **429 throttles** from the controller;
+* **client crashes** — the *driver* dies at a seeded virtual time while
+  cloud-side work keeps running (consumed by the executor's submit/wait
+  paths and the DAG watcher; recover with the event journal's
+  ``reattach``, see :mod:`repro.events`).
 
 Determinism contract: every decision is drawn from a private RNG keyed by
 ``(profile seed, fault site, stable per-event key)`` — an activation id, a
@@ -70,6 +74,9 @@ PROFILE_PRESETS: dict[str, dict[str, float]] = {
         "blackout_rate_per_hour": 2.0,
         "blackout_duration_s": 60.0,
     },
+    "client-crash": {
+        "client_crash_window_s": 60.0,
+    },
 }
 
 
@@ -86,6 +93,7 @@ class FaultEvent:
     #: virtual time the fault was injected (window start for blackouts)
     t: float
     #: fault site: "container" | "cos" | "link" | "throttle" | "blackout"
+    #: | "client"
     site: str
     #: fault kind: "crash" | "hang" | "503" | "slowdown" | "slow-read" |
     #: "drop" | "429" | "window"
@@ -119,6 +127,8 @@ class ChaosProfile:
         "link_failure_boost": 0.0,  # extra transient-drop probability
         "blackout_rate_per_hour": 0.0,  # node blackout windows per hour
         "blackout_duration_s": 60.0,    # blackout window length
+        "client_crash_at_s": 0.0,       # kill the driver at this vtime (0 = off)
+        "client_crash_window_s": 0.0,   # ... or at a seeded time in (0, window]
     }
 
     def __init__(self, name: str = "none", seed: int = 0, **overrides: float) -> None:
@@ -164,6 +174,10 @@ class ChaosProfile:
             raise ValueError("blackout_rate_per_hour must be non-negative")
         if self.blackout_duration_s <= 0:
             raise ValueError("blackout_duration_s must be positive")
+        if self.client_crash_at_s < 0:
+            raise ValueError("client_crash_at_s must be non-negative")
+        if self.client_crash_window_s < 0:
+            raise ValueError("client_crash_window_s must be non-negative")
 
     @property
     def enabled(self) -> bool:
@@ -177,6 +191,8 @@ class ChaosProfile:
             or self.link_latency_factor > 1.0
             or self.link_failure_boost > 0
             or self.blackout_rate_per_hour > 0
+            or self.client_crash_at_s > 0
+            or self.client_crash_window_s > 0
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -199,6 +215,11 @@ class ChaosPlane:
         #: optional :class:`repro.trace.Tracer`; injected faults are mirrored
         #: onto the trace spine as ``chaos.<site>`` points
         self.tracer = None
+        #: driver generation: 0 is the original client process; each
+        #: ``begin_new_client()`` (a reattach) starts a new one.  The
+        #: client-crash fault only ever kills generation 0.
+        self.client_epoch = 0
+        self._client_crash_recorded = False
 
     # -- bookkeeping -------------------------------------------------------
     def record(self, t: float, site: str, kind: str, target: str) -> None:
@@ -277,6 +298,62 @@ class ChaosPlane:
         if p.throttle_prob <= 0:
             return False
         return self._rng("throttle", invoke_index).random() < p.throttle_prob
+
+    # -- client crash (executor / DAG watcher) ------------------------------
+    def client_crash_time(self) -> Optional[float]:
+        """Virtual time the original driver dies, or ``None`` (no crash).
+
+        An explicit ``client_crash_at_s`` wins; otherwise a time is drawn
+        once, uniformly from ``(0, client_crash_window_s]``, from an RNG
+        keyed by the profile seed — "kill the client at a seeded virtual
+        time".
+        """
+        p = self.profile
+        if p.client_crash_at_s > 0:
+            return p.client_crash_at_s
+        if p.client_crash_window_s > 0:
+            rng = self._rng("client-crash")
+            return p.client_crash_window_s * (1.0 - rng.random())
+        return None
+
+    def client_dead(self, epoch: int, now: float) -> bool:
+        """Whether the driver of generation ``epoch`` is dead at ``now``.
+
+        Only the original generation (epoch 0) is subject to the crash;
+        reattached drivers (``begin_new_client()``) run to completion.
+        """
+        if epoch != 0:
+            return False
+        t = self.client_crash_time()
+        return t is not None and now >= t
+
+    def check_client(self, epoch: int, now: float) -> None:
+        """Raise :class:`~repro.core.errors.ClientCrashError` if the
+        driver of generation ``epoch`` is dead at virtual time ``now``.
+
+        The fault is recorded on the timeline once, at the first check
+        that observes the crash.
+        """
+        if not self.client_dead(epoch, now):
+            return
+        from repro.core.errors import ClientCrashError
+
+        t = self.client_crash_time()
+        with self._lock:
+            record = not self._client_crash_recorded
+            self._client_crash_recorded = True
+        if record:
+            self.record(t, "client", "crash", f"driver@{t:.3f}")
+        raise ClientCrashError(
+            f"client-crash chaos killed the driver at t={t:.3f}s "
+            f"(observed at t={now:.3f}s)"
+        )
+
+    def begin_new_client(self) -> int:
+        """Register a replacement driver; returns its (crash-immune) epoch."""
+        with self._lock:
+            self.client_epoch += 1
+            return self.client_epoch
 
     # -- invoker-node blackouts (invoker_node/controller) -------------------
     def blackout_windows(self, node_id: int) -> list[tuple[float, float]]:

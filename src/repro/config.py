@@ -149,6 +149,45 @@ class CacheConfig:
             raise ValueError("ring_vnodes must be positive")
 
 
+@dataclass(frozen=True)
+class EventsConfig:
+    """Durable event-sourced orchestration journal (ARCHITECTURE.md §10).
+
+    Disabled by default: with ``enabled=False`` no journal is built, no
+    ``events.*`` trace events are emitted and nothing changes in any
+    existing request pattern or golden trace.  When enabled, every
+    externally-visible executor/DAG transition (job submitted, calls
+    invoked, status committed, node fired/buried, results collected) is
+    appended as a deterministic :class:`repro.events.EventRecord` to a
+    durable journal, and DAG trigger rules ("when all N dependency
+    statuses commit, fire the node") are evaluated from the log via
+    :class:`repro.events.TriggerEngine` instead of in-memory watcher
+    state.  A crashed client can then be replaced:
+    ``FunctionExecutor.reattach(job_id)`` replays the journal,
+    reconciles against committed statuses in COS and completes the run
+    (see :mod:`repro.events.resume`).
+    """
+
+    #: build the journal at all
+    enabled: bool = False
+    #: durable backend: ``"cos"`` (one conditional-PUT object per event
+    #: under ``{prefix}/{executor_id}/journal/``) or ``"mq"`` (a broker
+    #: queue per executor; survives client death, not broker death)
+    backend: str = "cos"
+    #: with the COS backend, additionally publish every record to the MQ
+    #: plane (queue ``events-{executor_id}``) for live subscribers
+    mirror_to_mq: bool = False
+
+    BACKENDS = ("cos", "mq")
+
+    def validate(self) -> None:
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"events backend must be one of {self.BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+
+
 @dataclass
 class PyWrenConfig:
     """Client-side configuration for :class:`repro.core.FunctionExecutor`."""
@@ -191,6 +230,8 @@ class PyWrenConfig:
     retry: RetryConfig = field(default_factory=RetryConfig)
     #: memory-tier intermediate-data cache plane (disabled by default)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: event-sourced orchestration journal + resume (disabled by default)
+    events: EventsConfig = field(default_factory=EventsConfig)
     #: times a *lost* call (its activation died without writing a status
     #: object) is re-invoked before it is failed; ``map(..., retries=N)``
     #: overrides this per job
@@ -227,6 +268,9 @@ class PyWrenConfig:
         if not isinstance(self.cache, CacheConfig):
             raise ValueError("cache must be a CacheConfig")
         self.cache.validate()
+        if not isinstance(self.events, EventsConfig):
+            raise ValueError("events must be an EventsConfig")
+        self.events.validate()
         if self.invocation_retries < 0:
             raise ValueError("invocation_retries must be non-negative")
         if self.recover_lost not in (True, False, "auto"):
@@ -272,6 +316,15 @@ class PyWrenConfig:
                     f"(known: {sorted(cache_known)})"
                 )
             data = {**data, "cache": CacheConfig(**data["cache"])}
+        if isinstance(data.get("events"), dict):
+            events_known = {f.name for f in dataclasses.fields(EventsConfig)}
+            events_unknown = set(data["events"]) - events_known
+            if events_unknown:
+                raise ValueError(
+                    f"unknown events config keys: {sorted(events_unknown)} "
+                    f"(known: {sorted(events_known)})"
+                )
+            data = {**data, "events": EventsConfig(**data["events"])}
         cfg = cls(**data)
         cfg.validate()
         return cfg

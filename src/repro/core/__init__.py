@@ -3,6 +3,7 @@
 from repro.core.composition import compose, sequence
 from repro.core.environment import CloudEnvironment
 from repro.core.errors import (
+    ClientCrashError,
     FunctionError,
     NoActiveEnvironmentError,
     PyWrenError,
@@ -50,4 +51,5 @@ __all__ = [
     "FunctionError",
     "ResultTimeoutError",
     "NoActiveEnvironmentError",
+    "ClientCrashError",
 ]

@@ -78,6 +78,7 @@ class CloudEnvironment:
             for node in platform.invokers:
                 node.cache_plane = self.cache
         self._link_seq = itertools.count(1)
+        self._id_seq = itertools.count(1)
         self._deploy_lock = threading.Lock()
         self._deployed_actions: set[str] = set()
         #: optional ApiKey sent by this client's executors (multi-tenant
@@ -102,6 +103,7 @@ class CloudEnvironment:
         chaos=None,
         trace: bool = False,
         cache: Optional[CacheConfig] = None,
+        events=None,
     ) -> "CloudEnvironment":
         """Build a complete environment with sensible defaults.
 
@@ -121,13 +123,25 @@ class CloudEnvironment:
         ``cache`` attaches the memory-tier intermediate-data cache plane
         (a :class:`~repro.config.CacheConfig` with ``enabled=True``); by
         default ``config.cache`` decides, which is disabled.
+
+        ``events`` switches on the durable orchestration journal: an
+        :class:`~repro.config.EventsConfig`, or ``True`` for the default
+        COS-backed journal.  By default ``config.events`` decides, which
+        is disabled.
         """
         from repro.chaos import build_plane
+        from repro.config import EventsConfig
 
         plane = build_plane(chaos)
         kernel = kernel or Kernel()
         client_latency = client_latency or LatencyModel.wan()
         config = config or PyWrenConfig()
+        if events is not None:
+            if events is True:
+                events = EventsConfig(enabled=True)
+            elif events is False:
+                events = EventsConfig(enabled=False)
+            config.events = events
         config.validate()
         registry = RuntimeRegistry()
         storage = CloudObjectStorage(kernel)
@@ -165,6 +179,17 @@ class CloudEnvironment:
             chaos=self.chaos,
             tracer=self.tracer,
         )
+
+    def new_executor_id(self) -> str:
+        """An executor id that is a pure function of (seed, serial).
+
+        Scoping the serial to the environment — not the process — keeps
+        same-seed runs byte-identical (the id appears in every journal
+        record), no matter what else the process allocated before.
+        """
+        from repro.utils.ids import new_executor_id
+
+        return new_executor_id(self.seed, serial=next(self._id_seq))
 
     def client_cos(self) -> COSClient:
         """A COS client as seen from the user's machine."""

@@ -34,3 +34,13 @@ class FunctionError(PyWrenError):
 
 class SerializationError(PyWrenError):
     """Re-exported for convenience; see :mod:`repro.core.serializer`."""
+
+
+class ClientCrashError(PyWrenError):
+    """The driver process died (client-crash chaos killed it).
+
+    Raised inside client-side executor code at the seeded virtual crash
+    time; in-flight cloud work keeps running.  A later process can adopt
+    the orphaned job with ``FunctionExecutor.reattach(job_id)`` when the
+    event journal is enabled (see :mod:`repro.events`).
+    """

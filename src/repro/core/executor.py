@@ -80,7 +80,11 @@ class FunctionExecutor:
         self.config.validate()
         self.environment = environment
         self.kernel = environment.kernel
-        self.executor_id = new_executor_id(environment.seed)
+        self.executor_id = (
+            environment.new_executor_id()
+            if hasattr(environment, "new_executor_id")
+            else new_executor_id(environment.seed)
+        )
         self.in_cloud = in_cloud
         #: the environment's trace spine (disabled unless ``trace=True``)
         self.tracer = getattr(environment, "tracer", None)
@@ -130,11 +134,33 @@ class FunctionExecutor:
         # Lost-call recovery: "auto" switches it on only when a fault plane
         # is active, so fault-free runs keep their exact request pattern.
         recover = self.config.recover_lost
+        chaos = getattr(environment, "chaos", None)
         if recover == "auto":
-            chaos = getattr(environment, "chaos", None)
             recover = chaos is not None and chaos.profile.enabled
         self._recover_lost_enabled = bool(recover)
         self._retries_total = 0
+
+        # Client-crash chaos kills driver epoch 0 only; a reattached
+        # driver (epoch >= 1) is immune.  The epoch is captured here so
+        # executors created by the replacement client are born immune.
+        self._chaos_epoch = chaos.client_epoch if chaos is not None else 0
+
+        #: the event-sourced orchestration journal (``EventsConfig``);
+        #: ``None`` unless enabled — and never for in-cloud executors:
+        #: the client is the journal's single writer
+        self.journal = None
+        self._journal_seen: set[tuple[str, str]] = set()
+        if self.config.events.enabled and not in_cloud:
+            from repro.events import records as ev
+            from repro.events.journal import EventJournal
+
+            self.journal = EventJournal.for_executor(self)
+            self.journal.append(
+                ev.EXECUTOR_CREATED,
+                executor_id=self.executor_id,
+                seed=environment.seed,
+                backend=self.config.events.backend,
+            )
 
     # ------------------------------------------------------------------
     # Computing methods (asynchronous)
@@ -316,6 +342,80 @@ class FunctionExecutor:
         return run.expose(node)
 
     # ------------------------------------------------------------------
+    # Event journal plumbing
+    # ------------------------------------------------------------------
+    def _check_client(self) -> None:
+        """Die here if client-crash chaos scheduled this driver's death.
+
+        Checked at every externally-visible client step (submission,
+        polling rounds); raises :class:`~repro.core.errors.ClientCrashError`
+        once the seeded virtual crash time has passed.  In-cloud executors
+        are not the driver and never crash this way.
+        """
+        chaos = getattr(self.environment, "chaos", None)
+        if chaos is not None and not self.in_cloud:
+            chaos.check_client(self._chaos_epoch, self.kernel.now())
+
+    def _journal_invoked(self, futures: Sequence[ResponseFuture],
+                         recovered: bool = False) -> None:
+        """Journal issued invocations: ``[callset, call, activation, attempt]``."""
+        if self.journal is None or not futures:
+            return
+        from repro.events import records as ev
+
+        self.journal.append(
+            ev.CALLS_INVOKED,
+            calls=[
+                [f.callset_id, f.call_id, f.activation_id,
+                 max(1, f.invoke_count)]
+                for f in futures
+            ],
+            recovered=recovered,
+        )
+
+    def _journal_exposed(self, futures: Sequence[ResponseFuture]) -> None:
+        """Journal futures becoming user-visible, in exposure order.
+
+        Replay rebuilds ``executor.futures`` from these, so a resumed
+        ``get_result()`` returns values in the exact original shape.
+        """
+        if self.journal is None or not futures:
+            return
+        from repro.events import records as ev
+
+        self.journal.append(
+            ev.FUTURES_EXPOSED,
+            calls=[[f.callset_id, f.call_id] for f in futures],
+        )
+
+    def _journal_round(self, fs: Sequence[ResponseFuture]) -> None:
+        """Per-poll-round hook: crash check + batch-journal new statuses.
+
+        One ``status.observed`` record per round that saw completions —
+        O(rounds), not O(calls), which is what keeps journal overhead
+        inside the <5% budget on wide maps.
+        """
+        self._check_client()
+        if self.journal is None:
+            return
+        newly = []
+        for f in fs:
+            key = (f.callset_id, f.call_id)
+            if key in self._journal_seen:
+                continue
+            if f._status is not None or getattr(f, "_status_seen", False):
+                self._journal_seen.add(key)
+                success = (
+                    bool(f._status.get("success"))
+                    if f._status is not None else None
+                )
+                newly.append([f.callset_id, f.call_id, success])
+        if newly:
+            from repro.events import records as ev
+
+            self.journal.append(ev.STATUS_OBSERVED, calls=newly)
+
+    # ------------------------------------------------------------------
     # Result collection (synchronous)
     # ------------------------------------------------------------------
     def wait(
@@ -355,6 +455,7 @@ class FunctionExecutor:
                 lost_detector=(
                     self._recover_lost if self._recover_lost_enabled else None
                 ),
+                on_round=self._journal_round,
             )
 
     def _wait_push(
@@ -395,6 +496,14 @@ class FunctionExecutor:
                 future._ingest_status(dict(message))
             else:
                 self._push_buffer[key] = dict(message)
+            if self.journal is not None and key not in self._journal_seen:
+                self._journal_seen.add(key)
+                from repro.events import records as ev
+
+                self.journal.append(
+                    ev.STATUS_OBSERVED,
+                    calls=[[key[0], key[1], bool(message.get("success"))]],
+                )
 
         # drain everything already delivered (needed for ALWAYS semantics)
         while pending:
@@ -415,6 +524,7 @@ class FunctionExecutor:
 
         detect = self._recover_lost if self._recover_lost_enabled else None
         while not _policy_met():
+            self._check_client()
             remaining = None if deadline is None else deadline - vtime.now()
             if remaining is not None and remaining <= 0:
                 raise ResultTimeoutError(
@@ -511,6 +621,7 @@ class FunctionExecutor:
                     },
                     recovered=True,
                 )
+        self._journal_invoked(reinvoke, recovered=True)
 
     def _bury(self, future: ResponseFuture, record) -> None:
         """Exhausted retry budget: publish a synthetic ``lost`` status.
@@ -552,6 +663,17 @@ class FunctionExecutor:
                     run_start=record.start_time,
                     run_end=record.end_time,
                 )
+            if self.journal is not None:
+                key = (future.callset_id, future.call_id)
+                if key not in self._journal_seen:
+                    self._journal_seen.add(key)
+                    from repro.events import records as ev
+
+                    self.journal.append(
+                        ev.STATUS_OBSERVED,
+                        calls=[[future.callset_id, future.call_id, False]],
+                        buried=True,
+                    )
         # else: a real status exists after all — the next poll round sees it
 
     def resilience_stats(self) -> dict[str, Any]:
@@ -647,6 +769,13 @@ class FunctionExecutor:
             self.config.result_fetch_pool_size,
             name="result-fetch",
         )
+        if self.journal is not None:
+            from repro.events import records as ev
+
+            self.journal.append(
+                ev.RESULTS_COLLECTED,
+                calls=[[f.callset_id, f.call_id] for f in fs],
+            )
         if throw_except:
             return values[0] if single else values
         report = self._build_failure_report(fs)
@@ -686,6 +815,32 @@ class FunctionExecutor:
                 callset_id,
                 FailureReport(self.executor_id, failures, report.retries_total),
             )
+            if self.journal is not None:
+                from repro.events import records as ev
+
+                self.journal.append(
+                    ev.DEADLETTER_PERSISTED,
+                    callset_id=callset_id,
+                    failures=len(failures),
+                )
+
+    # ------------------------------------------------------------------
+    # Resume (event journal)
+    # ------------------------------------------------------------------
+    def reattach(self, job_id: str):
+        """Adopt an orphaned journaled job and drive it to completion.
+
+        ``job_id`` is the executor id of a (presumed-dead) driver that ran
+        with ``events.enabled=True``.  Replays its journal, reconciles
+        against committed statuses in COS — the conditional status PUT
+        guarantees a committed call is never re-executed — re-arms the
+        pending trigger rules and re-invokes only what never committed.
+        Returns a :class:`repro.events.ResumedJob`; call ``get_result()``
+        on it as if this executor had submitted the job itself.
+        """
+        from repro.events.resume import attach
+
+        return attach(self, job_id)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -906,6 +1061,7 @@ class FunctionExecutor:
             from repro.core.modules import validate_runtime
 
             validate_runtime(func, self._runtime_image)
+        self._check_client()
         _, calls, futures = self._prepare_calls(
             func, items=items, partitions=partitions, label=label,
             retries=retries,
@@ -915,6 +1071,8 @@ class FunctionExecutor:
             self.config.namespace, self._runner_action, calls, futures
         )
         self.futures.extend(futures)
+        self._journal_invoked(futures)
+        self._journal_exposed(futures)
         return futures
 
     def _prepare_calls(
@@ -1007,6 +1165,20 @@ class FunctionExecutor:
             future.bind(self._storage, self.config.poll_interval)
             future.max_retries = max_retries
             future._call_params = call_params  # kept for retry_failed()
+        if self.journal is not None:
+            # Everything resume needs to re-create these calls: the params
+            # reference code and data already durably in COS, so the
+            # record stays small and JSON-pure.
+            from repro.events import records as ev
+
+            self.journal.append(
+                ev.JOB_SUBMITTED,
+                callset_id=callset_id,
+                label=label,
+                retries=max_retries,
+                func_key=func_key,
+                calls=[dict(c) for c in calls],
+            )
         return callset_id, calls, futures
 
     def _make_invoker(self) -> Invoker:

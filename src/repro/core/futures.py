@@ -44,6 +44,29 @@ class CallFailure:
     error: Optional[str]
     lost: bool = False
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "call_id": self.call_id,
+            "callset_id": self.callset_id,
+            "executor_id": self.executor_id,
+            "activation_id": self.activation_id,
+            "attempts": self.attempts,
+            "error": self.error,
+            "lost": self.lost,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "CallFailure":
+        return cls(
+            call_id=str(raw["call_id"]),
+            callset_id=str(raw["callset_id"]),
+            executor_id=str(raw["executor_id"]),
+            activation_id=raw.get("activation_id"),
+            attempts=int(raw.get("attempts", 0)),
+            error=raw.get("error"),
+            lost=bool(raw.get("lost", False)),
+        )
+
 
 @dataclass
 class FailureReport:
@@ -77,6 +100,35 @@ class FailureReport:
                 f"{f.attempts} attempt(s)]: {f.error}"
             )
         return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Lossless JSON form, used for the COS dead-letter object.
+
+        JSON rather than pickle so any process — a different Python, a
+        human with ``curl`` — can read why a job lost calls.  Exception
+        text and retry counters survive the round-trip exactly.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "executor_id": self.executor_id,
+                "retries_total": self.retries_total,
+                "failures": [f.to_dict() for f in self.failures],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureReport":
+        import json
+
+        raw = json.loads(text)
+        return cls(
+            executor_id=str(raw["executor_id"]),
+            failures=[CallFailure.from_dict(f) for f in raw.get("failures", [])],
+            retries_total=int(raw.get("retries_total", 0)),
+        )
 
 
 class ResponseFuture:

@@ -330,25 +330,86 @@ class InternalStorage:
 
     # -- dead letters ----------------------------------------------------------
     def deadletter_key(self, executor_id: str, callset_id: str) -> str:
-        return f"{self.callset_prefix(executor_id, callset_id)}/deadletter.pickle"
+        return f"{self.callset_prefix(executor_id, callset_id)}/deadletter.json"
 
     def put_deadletter(
         self, executor_id: str, callset_id: str, report: Any
     ) -> str:
-        """Persist a failure report next to the callset's other objects."""
+        """Persist a failure report next to the callset's other objects.
+
+        Stored as lossless JSON (``FailureReport.to_json``) rather than
+        pickle so the dead-letter object is inspectable by anything that
+        can read COS, and round-trips exception text and retry counters
+        exactly.
+        """
         key = self.deadletter_key(executor_id, callset_id)
-        self.cos.put_object(self.bucket, key, serializer.serialize(report))
+        self.cos.put_object(self.bucket, key, report.to_json().encode("utf-8"))
         return key
 
     def get_deadletter(self, executor_id: str, callset_id: str) -> Any:
-        """The persisted failure report, or ``None`` if the callset has none."""
+        """The persisted :class:`~repro.core.futures.FailureReport`, or
+        ``None`` if the callset has none."""
         try:
             blob = self.cos.get_object(
                 self.bucket, self.deadletter_key(executor_id, callset_id)
             )
         except NoSuchKey:
             return None
-        return serializer.deserialize(blob)
+        from repro.core.futures import FailureReport  # lazy: avoid cycle
+
+        return FailureReport.from_json(blob.decode("utf-8"))
+
+    # -- event journal ---------------------------------------------------------
+    def journal_prefix(self, executor_id: str) -> str:
+        return f"{self.prefix}/{executor_id}/journal/"
+
+    def journal_key(self, executor_id: str, seq: int) -> str:
+        return f"{self.journal_prefix(executor_id)}{seq:08d}.json"
+
+    def append_journal_record(
+        self, executor_id: str, seq: int, text: str
+    ) -> bool:
+        """Durably append one event record at position ``seq``.
+
+        The write is conditional (``If-None-Match: *``, the same primitive
+        as :meth:`commit_status`), so the log is append-once: two drivers
+        racing for the same slot cannot silently overwrite each other —
+        the loser learns it lost and must re-read the log.  Returns
+        whether this append won the slot.
+        """
+        try:
+            self.cos.put_object(
+                self.bucket,
+                self.journal_key(executor_id, seq),
+                text.encode("utf-8"),
+                if_none_match=True,
+            )
+        except PreconditionFailed:
+            return False
+        return True
+
+    def list_journal_seqs(self, executor_id: str) -> list[int]:
+        """Sequence numbers present in the journal, ascending (one LIST)."""
+        prefix = self.journal_prefix(executor_id)
+        seqs = []
+        for key in self.cos.list_keys(self.bucket, prefix):
+            name = key[len(prefix):]
+            if name.endswith(".json"):
+                try:
+                    seqs.append(int(name[:-5]))
+                except ValueError:
+                    continue
+        return sorted(seqs)
+
+    def get_journal_record(self, executor_id: str, seq: int) -> Optional[str]:
+        """One event record's canonical JSON text, or ``None``."""
+        try:
+            blob = self.cos.get_object(
+                self.bucket, self.journal_key(executor_id, seq)
+            )
+        except NoSuchKey:
+            return None
+        return blob.decode("utf-8")
 
     # -- job traces ------------------------------------------------------------
     def trace_key(self, executor_id: str, callset_id: str) -> str:

@@ -52,6 +52,7 @@ def wait(
     timeout: Optional[float] = None,
     on_progress=None,
     lost_detector=None,
+    on_round=None,
 ) -> tuple[list[ResponseFuture], list[ResponseFuture]]:
     """Wait on futures; returns the 2-tuple ``(done, not_done)`` of §4.2.
 
@@ -65,6 +66,10 @@ def wait(
     here: activations that died without writing a status object get
     re-invoked (or declared dead), otherwise ``ALL_COMPLETED`` would block
     forever on a crashed container.
+
+    ``on_round(futures)`` is called right after each polling round, before
+    the unlock policy is evaluated.  The executor hooks client-crash chaos
+    checks (it may raise) and event-journal status observation in here.
     """
     futures = list(futures)
     if not futures:
@@ -81,6 +86,8 @@ def wait(
     deadline = None if timeout is None else vtime.now() + timeout
     while True:
         _poll_round(futures, storage)
+        if on_round is not None:
+            on_round(futures)
         done = [f for f in futures if _is_done(f)]
         not_done = [f for f in futures if not _is_done(f)]
         if on_progress is not None:

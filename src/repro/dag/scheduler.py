@@ -70,6 +70,10 @@ class DagRun:
         self._event = VEvent(scheduler.kernel)
         self._finished = False
         self.error: Optional[BaseException] = None
+        # per-round journal batches (one record per round, not per call)
+        self._obs_batch: list[list] = []
+        self._fired_batch: list[list] = []
+        self._buried_batch: list[list] = []
 
     @property
     def finished(self) -> bool:
@@ -89,6 +93,7 @@ class DagRun:
         future = node.future
         if future not in self._scheduler.executor.futures:
             self._scheduler.executor.futures.append(future)
+            self._scheduler.executor._journal_exposed([future])
         return future
 
     def failed_nodes(self) -> list[DagNode]:
@@ -140,6 +145,16 @@ class DagScheduler:
         self._policy = RetryPolicy(
             executor.config.retry, seed=executor.environment.seed
         )
+        #: the executor's event journal (``None`` when events are off or
+        #: this is an in-cloud executor); when set, node readiness is
+        #: judged by the :class:`~repro.events.TriggerEngine` fed from
+        #: journaled commits instead of the in-memory unresolved counter
+        self.journal = executor.journal
+        self.engine = None
+        if self.journal is not None:
+            from repro.events.triggers import TriggerEngine
+
+            self.engine = TriggerEngine()
 
     # ------------------------------------------------------------------
     # Submission
@@ -151,6 +166,7 @@ class DagScheduler:
 
     def _submit_inner(self, dag: Dag) -> DagRun:
         executor = self.executor
+        executor._check_client()
         seq = getattr(executor, "_dag_seq", 0)
         executor._dag_seq = seq + 1
         dag_id = f"dag{seq:03d}"
@@ -197,6 +213,37 @@ class DagScheduler:
                 levels=len(by_level),
             )
 
+        if self.journal is not None:
+            # Journal the graph's edges as trigger rules.  Replay folds
+            # these back into a TriggerEngine, which is how a resumed
+            # driver knows "when all N map statuses commit, fire the
+            # reducer" without any surviving in-memory watcher state.
+            from repro.events import records as ev
+
+            specs = []
+            for node in dag.nodes:
+                future = node.future
+                key = [future.callset_id, future.call_id]
+                deps = [
+                    [d.future.callset_id, d.future.call_id] for d in node.deps
+                ]
+                specs.append({
+                    "call": key,
+                    "deps": deps,
+                    "name": node.display_name,
+                    "external": bool(node.external),
+                    "retries": future.max_retries,
+                })
+                if not node.external and node.deps:
+                    self.engine.add_rule(tuple(key), [tuple(d) for d in deps])
+            self.journal.append(
+                ev.DAG_SUBMITTED,
+                dag_id=dag_id,
+                label=self.label,
+                node_retries=self.node_retries,
+                nodes=specs,
+            )
+
         # First round runs synchronously in the caller: roots are in flight
         # before submit() returns, exactly like a plain executor.map.
         self._round(run)
@@ -239,12 +286,27 @@ class DagScheduler:
         """
         while not run.finished:
             yield vsleep(self.poll_interval)
+            if self._client_dead():
+                # The driver died (client-crash chaos): the watcher dies
+                # with it, silently, leaving the DAG orphaned exactly as a
+                # real process crash would.  reattach() adopts it later.
+                return
             task = self.kernel.spawn(
                 self._round_guard, run, name=f"dag-round-{run.dag_id}"
             )
             yield vjoin(task)
             if run.error is not None:
                 break
+
+    def _client_dead(self) -> bool:
+        """Whether client-crash chaos has already killed this driver."""
+        executor = self.executor
+        if executor.in_cloud:
+            return False
+        chaos = getattr(executor.environment, "chaos", None)
+        return chaos is not None and chaos.client_dead(
+            executor._chaos_epoch, self.kernel.now()
+        )
 
     def _round_guard(self, run: DagRun) -> None:
         try:
@@ -257,6 +319,11 @@ class DagScheduler:
 
     def _round(self, run: DagRun) -> None:
         executor = self.executor
+        if self._client_dead():
+            # the driver died while this round was in flight: a real crash
+            # stops mid-round, so do nothing more (no invokes, no burials,
+            # no journal appends) and let the watcher notice and exit
+            return
         with executor._trace_scope():
             self._poll(run)
             if executor._recover_lost_enabled:
@@ -276,8 +343,31 @@ class DagScheduler:
                         ):
                             self._complete(run, node)
             self._submit_ready(run)
+            self._journal_flush(run)
             if run.finished:
                 run._finish()
+
+    def _journal_flush(self, run: DagRun) -> None:
+        """Batch-append this round's transitions (O(rounds) journal cost)."""
+        if self.journal is None:
+            return
+        from repro.events import records as ev
+
+        if run._obs_batch:
+            self.journal.append(
+                ev.STATUS_OBSERVED, dag_id=run.dag_id, calls=run._obs_batch
+            )
+            run._obs_batch = []
+        if run._buried_batch:
+            self.journal.append(
+                ev.NODE_BURIED, dag_id=run.dag_id, calls=run._buried_batch
+            )
+            run._buried_batch = []
+        if run._fired_batch:
+            self.journal.append(
+                ev.NODE_FIRED, dag_id=run.dag_id, calls=run._fired_batch
+            )
+            run._fired_batch = []
 
     def _poll(self, run: DagRun) -> None:
         """One LIST per in-flight callset, then judge newly-done nodes."""
@@ -319,19 +409,38 @@ class DagScheduler:
                 return  # raced a partial commit; next round sees it
             future._ingest_status(status)
         status = future._status
-        if status.get("success"):
+        success = bool(status.get("success"))
+        if self.engine is not None:
+            key = (future.callset_id, future.call_id)
+            self.engine.note_commit(key, success)
+            if key not in self.executor._journal_seen:
+                self.executor._journal_seen.add(key)
+                run._obs_batch.append([key[0], key[1], success])
+        if success:
             node.state = NodeState.DONE
             _locality.record_invoker(node, status)
             self._trace_node(run, node, status, "done")
             for dependent in node.dependents:
                 dependent.unresolved -= 1
-                if (
-                    dependent.unresolved == 0
-                    and dependent.state == NodeState.PENDING
+                if dependent.state == NodeState.PENDING and self._node_ready(
+                    dependent
                 ):
                     dependent.state = NodeState.READY
         else:
             self._on_failure(run, node, status)
+
+    def _node_ready(self, node: DagNode) -> bool:
+        """Readiness of a pending node after one of its deps resolved.
+
+        With the journal on, readiness is the TriggerEngine's call — the
+        same log-derived judgement a resumed driver would make — instead
+        of the in-memory ``unresolved`` counter.
+        """
+        if self.engine is not None:
+            key = (node.future.callset_id, node.future.call_id)
+            if self.engine.rule_for(key) is not None:
+                return self.engine.satisfied(key)
+        return node.unresolved == 0
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -415,6 +524,7 @@ class DagScheduler:
         for node in run.dag.nodes:
             if node.state not in NodeState.TERMINAL:
                 self._bury_node(run, node, reason)
+        self._journal_flush(run)
         run._finish()
 
     def _bury_node(self, run: DagRun, node: DagNode, reason: str) -> None:
@@ -452,6 +562,11 @@ class DagScheduler:
             future._ingest_status(status)
         else:
             future._status_seen = True  # a real status exists; use it
+        if self.engine is not None:
+            key = (future.callset_id, future.call_id)
+            self.engine.note_commit(key, False)
+            self.executor._journal_seen.add(key)
+            run._buried_batch.append([key[0], key[1]])
         self._trace_node(run, node, status, "buried")
 
     # ------------------------------------------------------------------
@@ -493,6 +608,14 @@ class DagScheduler:
         executor._make_invoker().invoke_calls(
             executor.config.namespace, executor._runner_action, calls, futures
         )
+        if self.engine is not None:
+            for future in futures:
+                key = (future.callset_id, future.call_id)
+                self.engine.mark_fired(key)
+                run._fired_batch.append(
+                    [key[0], key[1], future.activation_id,
+                     max(1, future.invoke_count)]
+                )
 
     # ------------------------------------------------------------------
     # Tracing

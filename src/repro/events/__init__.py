@@ -1,0 +1,42 @@
+"""repro.events — durable event-sourced orchestration (ARCHITECTURE §10).
+
+Everything the driver does that matters beyond its own process — jobs
+submitted, calls invoked, statuses committed, DAG nodes fired or buried,
+results collected — is appended to a durable journal as deterministic
+:class:`EventRecord` entries.  Trigger rules ("when all N map statuses
+commit, fire the reducer") are evaluated from the log through the
+:class:`TriggerEngine`, so the workflow's control state survives the
+client: after a crash, :func:`repro.events.resume.attach` (via
+``FunctionExecutor.reattach(job_id)``) replays the journal, reconciles
+against committed statuses in COS and completes the run with zero lost
+work.
+
+Off by default (``EventsConfig.enabled=False``): nothing here runs and
+no request pattern changes unless the journal is switched on.
+"""
+
+from repro.events.journal import (
+    COSJournalBackend,
+    EventJournal,
+    JournalConflictError,
+    MQJournalBackend,
+)
+from repro.events.records import EventRecord, from_jsonl, to_jsonl
+from repro.events.resume import CallEntry, JobLedger, ResumedJob, attach
+from repro.events.triggers import TriggerEngine, TriggerRule
+
+__all__ = [
+    "EventRecord",
+    "EventJournal",
+    "COSJournalBackend",
+    "MQJournalBackend",
+    "JournalConflictError",
+    "TriggerRule",
+    "TriggerEngine",
+    "JobLedger",
+    "CallEntry",
+    "ResumedJob",
+    "attach",
+    "to_jsonl",
+    "from_jsonl",
+]

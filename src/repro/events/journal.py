@@ -1,0 +1,227 @@
+"""The durable event journal: append-once backends + the client-side writer.
+
+Two backends, selected by ``EventsConfig.backend``:
+
+``cos``
+    One COS object per record at ``{prefix}/{executor_id}/journal/
+    {seq:08d}.json``, written with a conditional PUT (``If-None-Match:
+    *``) — the same at-most-once primitive status commits use — so the
+    log is append-once: a second driver racing for a slot loses loudly
+    (:class:`JournalConflictError`) instead of corrupting history.
+    Replay is one LIST plus one GET per record.
+
+``mq``
+    One message per record on a dedicated broker queue
+    (``events-{executor_id}``).  Appends are cheaper (one publish vs a
+    WAN PUT) but the queue offers no compare-and-set, so the COS backend
+    is the default where crash-consistency matters most.  Replay browses
+    the queue without consuming it.
+
+``EventsConfig.mirror_to_mq`` combines them: COS stays the durable
+source of truth, and each record is additionally published to the MQ
+queue so live observers can tail the log push-style.
+
+The :class:`EventJournal` assigns contiguous sequence numbers under a
+lock and stamps each record with the virtual time of the append.  All
+appends happen from client-side driver code at points that are
+serialized by the virtual-time kernel, which is what makes two
+same-seed runs produce byte-identical logs (the property the resume
+tests pin).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core.errors import PyWrenError
+from repro.events.records import EventRecord, to_jsonl
+
+EVENTS_QUEUE_PREFIX = "events-"
+
+
+class JournalConflictError(PyWrenError):
+    """Two writers raced for the same journal slot; this append lost.
+
+    Seeing this means another driver owns (or owned) the journal —
+    e.g. a presumed-dead client came back while its replacement was
+    already appending.  The loser must stop writing and re-read the log.
+    """
+
+
+class COSJournalBackend:
+    """Append-once object log in COS (the durable default)."""
+
+    def __init__(self, storage: Any, executor_id: str) -> None:
+        self.storage = storage
+        self.executor_id = executor_id
+
+    def append(self, seq: int, text: str) -> None:
+        if not self.storage.append_journal_record(self.executor_id, seq, text):
+            raise JournalConflictError(
+                f"journal slot {seq} of {self.executor_id} is already "
+                "written — another driver owns this log"
+            )
+
+    def replay(self) -> list[EventRecord]:
+        records = []
+        for seq in self.storage.list_journal_seqs(self.executor_id):
+            text = self.storage.get_journal_record(self.executor_id, seq)
+            if text is not None:
+                records.append(EventRecord.from_json(text))
+        return records
+
+
+class MQJournalBackend:
+    """Event stream on a broker queue (cheap appends, browse-to-replay)."""
+
+    def __init__(self, mq: Any, executor_id: str) -> None:
+        self.mq = mq
+        self.executor_id = executor_id
+        self.queue = EVENTS_QUEUE_PREFIX + executor_id
+        self.mq.declare_queue(self.queue)
+
+    def append(self, seq: int, text: str) -> None:
+        self.mq.publish(self.queue, text)
+
+    def replay(self) -> list[EventRecord]:
+        records = [EventRecord.from_json(text) for text in self.mq.browse(self.queue)]
+        records.sort(key=lambda r: r.seq)
+        return records
+
+
+class EventJournal:
+    """The driver's handle on its orchestration log.
+
+    Owns the sequence counter, stamps virtual time, traces every append
+    on the ``events`` layer, and optionally mirrors records to the MQ
+    plane.  One journal per (external) executor; in-cloud executors
+    never journal — the client is the single writer.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        executor_id: str,
+        kernel: Any,
+        tracer: Any = None,
+        mirror: Optional[MQJournalBackend] = None,
+        start_seq: int = 0,
+        alive: Any = None,
+    ) -> None:
+        self.backend = backend
+        self.executor_id = executor_id
+        self.kernel = kernel
+        self.tracer = tracer
+        self.mirror = mirror
+        self._seq = start_seq
+        self._lock = threading.Lock()
+        #: liveness predicate — a driver killed by client-crash chaos stops
+        #: writing: a dead process's appends simply never happen, they must
+        #: not race the adopter for journal slots
+        self.alive = alive
+        #: records appended by *this* process, in order (replay reads the
+        #: backend instead and also sees a predecessor's records)
+        self.appended: list[EventRecord] = []
+
+    def append(self, kind: str, **data: Any) -> Optional[EventRecord]:
+        """Durably append one event; returns the stored record.
+
+        Returns ``None`` without writing when this driver is already dead
+        (client-crash chaos): whatever the doomed process was about to log
+        is exactly the state the resume protocol must live without.
+        """
+        if self.alive is not None and not self.alive():
+            return None
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            record = EventRecord(seq=seq, t=self.kernel.now(), kind=kind, data=data)
+        # The backend PUT spends *virtual* time; it must happen outside
+        # the slot lock.  The kernel only advances the clock when every
+        # task is parked in a kernel-aware wait — a second writer stuck
+        # on this (real) lock would freeze the very clock the PUT needs.
+        text = record.to_json()
+        self.backend.append(seq, text)
+        if self.mirror is not None:
+            self.mirror.append(seq, text)
+        with self._lock:
+            self.appended.append(record)
+            self.appended.sort(key=lambda r: r.seq)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.point(
+                "events.append", layer="events", kind=kind, seq=seq, bytes=len(text)
+            )
+        return record
+
+    @property
+    def next_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def replay(self) -> list[EventRecord]:
+        """Re-read the whole log from the backend, ascending by seq."""
+        records = self.backend.replay()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.point(
+                "events.replay", layer="events", n=len(records)
+            )
+        return records
+
+    def export_jsonl(self) -> str:
+        """The locally-appended records as canonical JSONL."""
+        return to_jsonl(self.appended)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def for_executor(cls, executor: Any, start_seq: int = 0) -> "EventJournal":
+        """Build the journal an executor's config asks for."""
+        cfg = executor.config.events
+        backend: Any
+        mirror: Optional[MQJournalBackend] = None
+        if cfg.backend == "mq":
+            backend = MQJournalBackend(
+                executor.environment.mq_client(in_cloud=False),
+                executor.executor_id,
+            )
+        else:
+            backend = COSJournalBackend(executor._storage, executor.executor_id)
+            if cfg.mirror_to_mq:
+                mirror = MQJournalBackend(
+                    executor.environment.mq_client(in_cloud=False),
+                    executor.executor_id,
+                )
+        chaos = getattr(executor.environment, "chaos", None)
+        alive = None
+        if chaos is not None:
+            kernel = executor.kernel
+
+            def alive() -> bool:
+                # read the epoch through the executor so a journal built
+                # before reattach sees the adopter's new epoch
+                return not chaos.client_dead(
+                    executor._chaos_epoch, kernel.now()
+                )
+
+        return cls(
+            backend,
+            executor.executor_id,
+            executor.kernel,
+            tracer=getattr(executor.environment, "tracer", None),
+            mirror=mirror,
+            start_seq=start_seq,
+            alive=alive,
+        )
+
+    @classmethod
+    def replay_for(cls, executor: Any) -> list[EventRecord]:
+        """Replay an executor id's log without constructing a live journal."""
+        cfg = executor.config.events
+        if cfg.backend == "mq":
+            backend: Any = MQJournalBackend(
+                executor.environment.mq_client(in_cloud=False),
+                executor.executor_id,
+            )
+        else:
+            backend = COSJournalBackend(executor._storage, executor.executor_id)
+        return backend.replay()

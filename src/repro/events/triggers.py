@@ -1,0 +1,106 @@
+"""Trigger rules evaluated from the event log, not in-memory watcher state.
+
+A :class:`TriggerRule` is the journal's representation of one DAG edge
+set: *"when all N dependency statuses commit successfully, fire the
+target call"*.  The :class:`TriggerEngine` keeps the materialized view —
+which calls have committed (and whether they succeeded), which rules
+have fired — and can be rebuilt at any time by folding the journal's
+``dag.submitted`` / ``status.observed`` / ``node.fired`` records, which
+is exactly what the resume path does after a client crash.
+
+Calls are identified by ``(callset_id, call_id)`` pairs within one
+executor's namespace (the journal is per-executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+CallKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class TriggerRule:
+    """Fire ``target`` once every dependency has committed successfully."""
+
+    target: CallKey
+    deps: tuple[CallKey, ...]
+
+
+class TriggerEngine:
+    """Materialized view of the journal's trigger state.
+
+    ``note_commit`` folds in an observed status commit; ``ready()``
+    yields the rules whose dependencies are now all satisfied and that
+    have not fired yet.  Re-noting a key overwrites its success flag
+    (a retried node commits again after its failed attempt's status
+    objects were deleted).
+    """
+
+    def __init__(self) -> None:
+        self._rules: dict[CallKey, TriggerRule] = {}
+        self._committed: dict[CallKey, bool] = {}
+        self._fired: set[CallKey] = set()
+
+    # -- folding --------------------------------------------------------------
+    def add_rule(self, target: CallKey, deps: Iterable[CallKey]) -> TriggerRule:
+        rule = TriggerRule(target=tuple(target), deps=tuple(tuple(d) for d in deps))
+        self._rules[rule.target] = rule
+        return rule
+
+    def note_commit(self, key: CallKey, success: bool) -> None:
+        self._committed[tuple(key)] = bool(success)
+
+    def mark_fired(self, target: CallKey) -> None:
+        self._fired.add(tuple(target))
+
+    # -- queries --------------------------------------------------------------
+    def committed(self, key: CallKey) -> Optional[bool]:
+        """``True``/``False`` once the call committed a status, else ``None``."""
+        return self._committed.get(tuple(key))
+
+    def fired(self, target: CallKey) -> bool:
+        return tuple(target) in self._fired
+
+    def rule_for(self, target: CallKey) -> Optional[TriggerRule]:
+        return self._rules.get(tuple(target))
+
+    def satisfied(self, target: CallKey) -> bool:
+        """All of ``target``'s dependencies committed successfully."""
+        rule = self._rules.get(tuple(target))
+        if rule is None:
+            return False
+        return all(self._committed.get(dep) is True for dep in rule.deps)
+
+    def blocked_by(self, target: CallKey) -> Optional[CallKey]:
+        """A dependency that committed *unsuccessfully*, or ``None``.
+
+        A blocked target can never fire; the scheduler buries it (and
+        transitively its own dependents).
+        """
+        rule = self._rules.get(tuple(target))
+        if rule is None:
+            return None
+        for dep in rule.deps:
+            if self._committed.get(dep) is False:
+                return dep
+        return None
+
+    def ready(self) -> list[TriggerRule]:
+        """Rules whose deps are all satisfied, unfired, targets uncommitted."""
+        out = []
+        for target, rule in sorted(self._rules.items()):
+            if target in self._fired or target in self._committed:
+                continue
+            if self.satisfied(target):
+                out.append(rule)
+        return out
+
+    def pending(self) -> list[TriggerRule]:
+        """Rules that have neither fired nor had their target commit."""
+        return [
+            rule
+            for target, rule in sorted(self._rules.items())
+            if target not in self._fired and target not in self._committed
+        ]

@@ -15,13 +15,21 @@ _counter = itertools.count(1)
 _lock = threading.Lock()
 
 
-def new_hex_id(prefix: str, seed: int = 0, width: int = 8) -> str:
-    """A unique, reproducible id like ``job-5f3a9c12``."""
-    with _lock:
-        n = next(_counter)
-    digest = hashlib.sha256(f"{prefix}:{seed}:{n}".encode()).hexdigest()
+def new_hex_id(
+    prefix: str, seed: int = 0, width: int = 8, serial: int | None = None
+) -> str:
+    """A unique, reproducible id like ``job-5f3a9c12``.
+
+    With an explicit ``serial`` the id is a pure function of its inputs;
+    otherwise a process-wide counter supplies one, which is unique but
+    depends on everything else the process allocated before.
+    """
+    if serial is None:
+        with _lock:
+            serial = next(_counter)
+    digest = hashlib.sha256(f"{prefix}:{seed}:{serial}".encode()).hexdigest()
     return f"{prefix}-{digest[:width]}"
 
 
-def new_executor_id(seed: int = 0) -> str:
-    return new_hex_id("exec", seed)
+def new_executor_id(seed: int = 0, serial: int | None = None) -> str:
+    return new_hex_id("exec", seed, serial=serial)

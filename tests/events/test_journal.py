@@ -1,0 +1,209 @@
+"""Journal backends: append-once COS log, MQ stream, mirroring, liveness."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.config import EventsConfig
+from repro.events import (
+    COSJournalBackend,
+    EventJournal,
+    JournalConflictError,
+    MQJournalBackend,
+)
+from repro.events import records as ev
+
+
+def _square(x):
+    return x * x
+
+
+class TestEventsConfig:
+    def test_disabled_by_default(self):
+        config = pw.PyWrenConfig()
+        assert config.events.enabled is False
+
+    def test_backend_validated(self):
+        with pytest.raises(ValueError, match="events backend"):
+            EventsConfig(backend="postgres").validate()
+
+    def test_from_dict(self):
+        config = pw.PyWrenConfig.from_dict(
+            {"events": {"enabled": True, "backend": "mq"}}
+        )
+        assert config.events.enabled
+        assert config.events.backend == "mq"
+
+
+class TestCOSBackend:
+    def test_append_once_and_replay(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            backend = COSJournalBackend(executor._storage, "job-x")
+            backend.append(0, '{"data":{},"kind":"a","seq":0,"t":0.0}')
+            backend.append(1, '{"data":{},"kind":"b","seq":1,"t":1.0}')
+            with pytest.raises(JournalConflictError, match="slot 1"):
+                backend.append(1, '{"data":{},"kind":"c","seq":1,"t":2.0}')
+            return [r.kind for r in backend.replay()]
+
+        assert env.run(main) == ["a", "b"]
+
+    def test_replay_is_per_executor(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            a = COSJournalBackend(executor._storage, "job-a")
+            b = COSJournalBackend(executor._storage, "job-b")
+            a.append(0, '{"data":{},"kind":"a","seq":0,"t":0.0}')
+            return b.replay()
+
+        assert env.run(main) == []
+
+
+class TestMQBackend:
+    def test_append_and_browse_replay(self, env):
+        def main():
+            mq = env.mq_client()
+            backend = MQJournalBackend(mq, "job-q")
+            backend.append(1, '{"data":{},"kind":"b","seq":1,"t":1.0}')
+            backend.append(0, '{"data":{},"kind":"a","seq":0,"t":0.0}')
+            # browse is non-destructive and replay sorts by seq
+            first = [r.seq for r in backend.replay()]
+            second = [r.seq for r in backend.replay()]
+            return first, second
+
+        first, second = env.run(main)
+        assert first == [0, 1]
+        assert second == [0, 1]
+
+
+class TestEventJournal:
+    def test_executor_journals_a_map(self, cloud):
+        env = cloud()
+        env.config = env.config.with_overrides(
+            events=EventsConfig(enabled=True)
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(_square, [1, 2, 3])
+            result = executor.get_result()
+            return result, [r.kind for r in executor.journal.replay()]
+
+        result, kinds = env.run(main)
+        assert result == [1, 4, 9]
+        assert kinds[0] == ev.EXECUTOR_CREATED
+        assert ev.JOB_SUBMITTED in kinds
+        assert ev.CALLS_INVOKED in kinds
+        assert ev.FUTURES_EXPOSED in kinds
+        assert ev.STATUS_OBSERVED in kinds
+        assert kinds[-1] == ev.RESULTS_COLLECTED
+
+    def test_seqs_contiguous_from_zero(self, cloud):
+        env = cloud()
+        env.config = env.config.with_overrides(
+            events=EventsConfig(enabled=True)
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(_square, [1, 2])
+            executor.get_result()
+            return [r.seq for r in executor.journal.replay()]
+
+        seqs = env.run(main)
+        assert seqs == list(range(len(seqs)))
+
+    def test_mirror_to_mq_tails_the_cos_log(self, cloud):
+        env = cloud()
+        env.config = env.config.with_overrides(
+            events=EventsConfig(enabled=True, mirror_to_mq=True)
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(_square, [5])
+            executor.get_result()
+            cos_log = executor.journal.replay()
+            mq_log = MQJournalBackend(
+                env.mq_client(), executor.executor_id
+            ).replay()
+            return cos_log, mq_log
+
+        cos_log, mq_log = env.run(main)
+        assert cos_log == mq_log  # byte-identical records, both orders
+
+    def test_mq_backend_alone(self, cloud):
+        env = cloud()
+        env.config = env.config.with_overrides(
+            events=EventsConfig(enabled=True, backend="mq")
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(_square, [2, 3])
+            result = executor.get_result()
+            return result, [r.kind for r in executor.journal.replay()]
+
+        result, kinds = env.run(main)
+        assert result == [4, 9]
+        assert kinds[0] == ev.EXECUTOR_CREATED
+
+    def test_disabled_means_no_journal_no_objects(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(_square, [1])
+            executor.get_result()
+            prefix = executor._storage.journal_prefix(executor.executor_id)
+            keys = executor._cos.list_objects(
+                executor.config.storage_bucket, prefix
+            )
+            return executor.journal, list(keys)
+
+        journal, keys = env.run(main)
+        assert journal is None
+        assert keys == []
+
+    def test_dead_driver_appends_are_dropped(self, cloud):
+        """A driver killed by client-crash chaos stops writing: its
+        in-flight watcher threads must not race the adopter for slots."""
+        from repro.chaos import ChaosProfile
+
+        env = cloud(
+            chaos=ChaosProfile("client-crash", seed=1, client_crash_at_s=2.0)
+        )
+        env.config = env.config.with_overrides(
+            events=EventsConfig(enabled=True)
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            journal = executor.journal
+            before = journal.next_seq
+            pw.sleep(3.0)  # past the crash instant
+            assert journal.append(ev.STATUS_OBSERVED, calls=[]) is None
+            return before, journal.next_seq, len(journal.replay())
+
+        before, after, stored = env.run(main)
+        assert after == before  # no slot consumed
+        assert stored == before
+
+    def test_in_cloud_executor_never_journals(self, cloud):
+        env = cloud()
+        env.config = env.config.with_overrides(
+            events=EventsConfig(enabled=True)
+        )
+
+        def _nested(x):
+            executor = pw.ibm_cf_executor()
+            executor.map(_square, [x, x + 1])
+            return executor.journal is None, executor.get_result()
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map(_nested, [3])
+            return executor.get_result()
+
+        no_journal, inner = env.run(main)
+        assert no_journal
+        assert inner == [9, 16]

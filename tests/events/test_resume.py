@@ -1,0 +1,350 @@
+"""Kill the client, replay the journal, finish the job.
+
+The crash instants are *derived from the baseline run's own journal*
+(same seed => same timeline): "mid-flight" means after the last
+``futures.exposed`` record (the submission is fully durable) and before
+the final ``results.collected`` — the window where the driver is just
+waiting.  A crash inside that window must resume to results
+byte-identical to the uninterrupted run; a crash *during* submission
+resumes the durable prefix (whatever was journaled before the instant
+of death) — and in both cases committed calls are never re-executed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro as pw
+from repro.chaos import ChaosProfile
+from repro.config import EventsConfig
+from repro.core.environment import CloudEnvironment
+from repro.core.errors import PyWrenError
+from repro.events import records as ev
+from repro.events import to_jsonl
+
+NEVER = 1.0e9  # a crash time the run always finishes before
+
+
+def _square(x):
+    return x * x
+
+
+def _total(values):
+    return sum(values)
+
+
+def _make_env(crash_at: float, seed: int = 123) -> CloudEnvironment:
+    """Identical environments except for the crash instant (same chaos
+    profile in both, so every latency draw lines up)."""
+    return CloudEnvironment.create(
+        seed=seed,
+        events=True,
+        chaos=ChaosProfile("client-crash", seed=7, client_crash_at_s=crash_at),
+    )
+
+
+def _run_map_reduce(env: CloudEnvironment, items: list[int]):
+    """Returns (outcome, result, records, stats) for one driver's life."""
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        job_id = executor.executor_id
+        try:
+            executor.map_reduce(_square, items, _total)
+            result = executor.get_result()
+            return "done", result, executor.journal.replay(), None
+        except pw.ClientCrashError:
+            adopter = env.executor()
+            job = adopter.reattach(job_id)
+            result = job.get_result()
+            return "resumed", result, adopter.journal.replay(), job.stats
+
+    return env.run(main)
+
+
+def _submission_window(records) -> tuple[float, float]:
+    """(after submission fully durable, before the last crash checkpoint).
+
+    The driver only *observes* its own death at a checkpoint (a poll
+    round / push iteration), and the last checkpoint of a run is the
+    round that journals the final ``status.observed``.  A crash instant
+    inside this window is therefore guaranteed to be seen mid-wait.
+    """
+    exposed = max(r.t for r in records if r.kind == ev.FUTURES_EXPOSED)
+    observed = [
+        r.t for r in records if r.kind == ev.STATUS_OBSERVED and r.t > exposed
+    ]
+    assert observed, "no status checkpoint after the last exposure"
+    return exposed, min(observed)
+
+
+def _assert_no_reexecution(records) -> None:
+    """Nothing committed at reconcile time is ever invoked again."""
+    started = [r for r in records if r.kind == ev.RESUME_STARTED]
+    assert started, "resumed run must journal resume.started"
+    resume_seq = started[-1].seq
+    committed = set()
+    for record in records:
+        if record.kind == ev.RESUME_RECONCILED and record.seq > resume_seq:
+            committed |= {
+                (cs, call_id) for cs, call_id, _success in record.data["committed"]
+            }
+    for record in records:
+        if record.seq > resume_seq and record.kind in (
+            ev.CALLS_INVOKED,
+            ev.NODE_FIRED,
+        ):
+            for row in record.data.get("calls", []):
+                assert (row[0], row[1]) not in committed, (
+                    f"committed call {row[0]}/{row[1]} was re-invoked "
+                    "after reattach"
+                )
+
+
+class TestKillMidMapReduce:
+    ITEMS = [1, 2, 3, 4]
+
+    def _baseline(self):
+        outcome, result, records, _ = _run_map_reduce(
+            _make_env(NEVER), self.ITEMS
+        )
+        assert outcome == "done"
+        return result, records
+
+    def test_resume_matches_uninterrupted(self):
+        baseline, records = self._baseline()
+        exposed, end = _submission_window(records)
+        crash_at = (exposed + end) / 2.0
+
+        outcome, resumed, crash_records, stats = _run_map_reduce(
+            _make_env(crash_at), self.ITEMS
+        )
+        assert outcome == "resumed"
+        # byte-identical to the run nobody interrupted
+        assert pickle.dumps(resumed) == pickle.dumps(baseline)
+        # everything was already invoked before the crash: the adopter
+        # only watched, it never issued an activation
+        assert stats["reinvoked"] == 0
+        assert stats["buried"] == 0
+        _assert_no_reexecution(crash_records)
+
+    def test_crash_during_submission_resumes_durable_prefix(self):
+        baseline, records = self._baseline()
+        # die between the maps' exposure and the reducer DAG's journal
+        # append: the reducer was never durably promised, so the adopter
+        # owes exactly the durable prefix — the map results
+        maps_exposed = min(r.t for r in records if r.kind == ev.FUTURES_EXPOSED)
+        dag_submitted = min(r.t for r in records if r.kind == ev.DAG_SUBMITTED)
+        assert dag_submitted > maps_exposed
+        outcome, resumed, crash_records, stats = _run_map_reduce(
+            _make_env((maps_exposed + dag_submitted) / 2.0), self.ITEMS
+        )
+        assert outcome == "resumed"
+        # the maps (and only the maps) were promised before the crash
+        assert resumed == baseline[: len(self.ITEMS)]
+        assert all(value is not None for value in resumed)
+        _assert_no_reexecution(crash_records)
+
+    def test_resumes_counter_survives_in_journal(self):
+        _, records = self._baseline()
+        exposed, end = _submission_window(records)
+        outcome, _, crash_records, _ = _run_map_reduce(
+            _make_env((exposed + end) / 2.0), self.ITEMS
+        )
+        assert outcome == "resumed"
+        kinds = [r.kind for r in crash_records]
+        assert kinds.count(ev.RESUME_STARTED) == 1
+        assert kinds.count(ev.RESUME_RECONCILED) == 1
+        # the log is still contiguous after adoption
+        seqs = [r.seq for r in crash_records]
+        assert seqs == list(range(len(seqs)))
+
+
+class TestKillMidDag:
+    """Crash a mergesort DAG between stage commits; merges fire from
+    replayed trigger rules, not from any surviving watcher state."""
+
+    N_LEAVES = 4
+
+    def _run(self, env: CloudEnvironment):
+        from repro.dag import DagBuilder, DagScheduler
+
+        def chunk_sort(spec):
+            pw.sleep(5 + spec["skew"] * 10)
+            return sorted(spec["chunk"])
+
+        def merge_pair(parts):
+            left, right = parts
+            out, i, j = [], 0, 0
+            while i < len(left) and j < len(right):
+                if left[i] <= right[j]:
+                    out.append(left[i])
+                    i += 1
+                else:
+                    out.append(right[j])
+                    j += 1
+            return out + left[i:] + right[j:]
+
+        rng = random.Random(11)
+        array = [rng.randrange(1_000_000) for _ in range(64)]
+        size = len(array) // self.N_LEAVES
+
+        def main():
+            builder = DagBuilder()
+            level = [
+                builder.call(
+                    chunk_sort,
+                    {"chunk": array[i * size:(i + 1) * size], "skew": i % 3},
+                    name=f"sort[{i}]",
+                    stage="sort",
+                )
+                for i in range(self.N_LEAVES)
+            ]
+            height = 1
+            while len(level) > 1:
+                level = [
+                    builder.reduce(
+                        merge_pair,
+                        [level[i], level[i + 1]],
+                        name=f"merge{height}[{i // 2}]",
+                        stage=f"merge{height}",
+                    )
+                    for i in range(0, len(level), 2)
+                ]
+                height += 1
+            (root,) = level
+
+            executor = pw.ibm_cf_executor()
+            job_id = executor.executor_id
+            try:
+                run = DagScheduler(executor).submit(builder.build())
+                run.expose(root)
+                result = executor.get_result()
+                return "done", result, executor.journal.replay(), None
+            except pw.ClientCrashError:
+                adopter = env.executor()
+                job = adopter.reattach(job_id)
+                result = job.get_result()
+                return "resumed", result, adopter.journal.replay(), job.stats
+
+        return env.run(main), sorted(array)
+
+    def test_resume_fires_pending_merges(self):
+        (outcome, baseline, records, _), expected = self._run(_make_env(NEVER))
+        assert outcome == "done"
+        assert baseline == expected
+
+        exposed = max(r.t for r in records if r.kind == ev.FUTURES_EXPOSED)
+        last_obs = max(r.t for r in records if r.kind == ev.STATUS_OBSERVED)
+        # one third into the wait: some sorts committed, merges pending
+        crash_at = exposed + (last_obs - exposed) / 3.0
+        (outcome, resumed, crash_records, stats), _ = self._run(
+            _make_env(crash_at)
+        )
+        assert outcome == "resumed"
+        assert pickle.dumps(resumed) == pickle.dumps(baseline)
+        # the merges were fired by the adopter, from log-derived rules
+        assert stats["refired"] >= 1
+        assert stats["reinvoked"] == 0
+        _assert_no_reexecution(crash_records)
+
+
+class TestReattachApi:
+    def test_requires_events_enabled(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(PyWrenError, match="events.enabled"):
+                executor.reattach("exec-deadbeef")
+
+        env.run(main)
+
+    def test_unknown_job_raises(self, cloud):
+        env = cloud()
+        env.config = env.config.with_overrides(
+            events=EventsConfig(enabled=True)
+        )
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            own_id = executor.executor_id
+            with pytest.raises(PyWrenError, match="no event journal"):
+                executor.reattach("exec-no-such-job")
+            # a failed reattach must not hijack the executor's identity
+            assert executor.executor_id == own_id
+
+        env.run(main)
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=1, max_value=10_000),
+)
+def test_same_seed_produces_byte_identical_journal(n, seed):
+    """The journal is deterministic: same seed, same workload => the
+    exported JSONL is byte-for-byte identical across two fresh clouds."""
+    items = list(range(1, n + 1))
+
+    def one_run() -> tuple[bytes, list]:
+        env = CloudEnvironment.create(seed=seed, events=True)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            executor.map_reduce(_square, items, _total)
+            result = executor.get_result()
+            return to_jsonl(executor.journal.replay()).encode(), result
+
+        return env.run(main)
+
+    log_a, result_a = one_run()
+    log_b, result_b = one_run()
+    assert log_a == log_b
+    assert result_a == result_b
+
+
+@pytest.mark.slow
+class TestKillAtRandomVtimeSweep:
+    """Nightly: crash the driver at random virtual times across a job's
+    whole life.  Whatever the instant, the adopter must finish with the
+    durable prefix of the baseline's results and never double-execute a
+    committed call."""
+
+    ITEMS = [1, 2, 3, 4, 5, 6]
+
+    def test_sweep(self):
+        outcome, baseline, records, _ = _run_map_reduce(
+            _make_env(NEVER), self.ITEMS
+        )
+        assert outcome == "done"
+        horizon = max(r.t for r in records)
+        exposed = max(r.t for r in records if r.kind == ev.FUTURES_EXPOSED)
+
+        rng = random.Random(0xC0FFEE)
+        crash_times = sorted(rng.uniform(0.5, horizon) for _ in range(8))
+        for crash_at in crash_times:
+            outcome, resumed, crash_records, stats = _run_map_reduce(
+                _make_env(crash_at), self.ITEMS
+            )
+            if outcome == "done":
+                # the crash window landed after the final checkpoint
+                assert resumed == baseline
+                continue
+            if resumed is None:
+                resumed = []  # nothing exposed before the crash instant
+            # resumed results are the durable prefix of the baseline —
+            # and the whole baseline when the submission was durable
+            assert resumed == baseline[: len(resumed)], f"crash@{crash_at}"
+            if crash_at > exposed:
+                assert pickle.dumps(resumed) == pickle.dumps(baseline)
+            _assert_no_reexecution(crash_records)
+            # zero lost work: every exposed call produced a real value
+            assert all(value is not None for value in resumed)

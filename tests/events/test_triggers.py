@@ -1,0 +1,107 @@
+"""TriggerEngine: the materialized view a journal folds into."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import TriggerEngine, TriggerRule
+
+
+MAPS = [("M000", f"{i:05d}") for i in range(3)]
+REDUCER = ("R000", "00000")
+
+
+@pytest.fixture()
+def engine() -> TriggerEngine:
+    e = TriggerEngine()
+    e.add_rule(REDUCER, MAPS)
+    return e
+
+
+class TestRules:
+    def test_rule_for(self, engine):
+        rule = engine.rule_for(REDUCER)
+        assert isinstance(rule, TriggerRule)
+        assert rule.deps == tuple(MAPS)
+        assert engine.rule_for(MAPS[0]) is None
+
+    def test_not_satisfied_until_all_deps_commit(self, engine):
+        assert not engine.satisfied(REDUCER)
+        for key in MAPS[:-1]:
+            engine.note_commit(key, True)
+            assert not engine.satisfied(REDUCER)
+        engine.note_commit(MAPS[-1], True)
+        assert engine.satisfied(REDUCER)
+
+    def test_failed_dep_blocks_instead_of_satisfying(self, engine):
+        engine.note_commit(MAPS[0], True)
+        engine.note_commit(MAPS[1], False)
+        engine.note_commit(MAPS[2], True)
+        assert not engine.satisfied(REDUCER)
+        assert engine.blocked_by(REDUCER) == MAPS[1]
+
+    def test_recommit_overwrites(self, engine):
+        # a retry can turn a failure into a success; the view follows
+        engine.note_commit(MAPS[0], False)
+        assert engine.blocked_by(REDUCER) == MAPS[0]
+        engine.note_commit(MAPS[0], True)
+        assert engine.blocked_by(REDUCER) is None
+        assert engine.committed(MAPS[0]) is True
+
+    def test_committed_tristate(self, engine):
+        assert engine.committed(MAPS[0]) is None
+        engine.note_commit(MAPS[0], True)
+        assert engine.committed(MAPS[0]) is True
+
+
+class TestReadiness:
+    def test_ready_and_fired(self, engine):
+        for key in MAPS:
+            engine.note_commit(key, True)
+        assert [r.target for r in engine.ready()] == [REDUCER]
+        engine.mark_fired(REDUCER)
+        assert engine.fired(REDUCER)
+        assert engine.ready() == []
+
+    def test_pending_lists_unfired_rules(self, engine):
+        assert [r.target for r in engine.pending()] == [REDUCER]
+        engine.mark_fired(REDUCER)
+        assert engine.pending() == []
+
+    def test_committed_target_is_not_ready(self, engine):
+        # replay can see the target's own commit before its fired record
+        for key in MAPS:
+            engine.note_commit(key, True)
+        engine.note_commit(REDUCER, True)
+        assert engine.ready() == []
+        assert engine.pending() == []
+
+    def test_diamond(self):
+        # a -> (b, c) -> d: d fires only after both mid nodes commit
+        engine = TriggerEngine()
+        a, b, c, d = ("S", "a"), ("S", "b"), ("S", "c"), ("S", "d")
+        engine.add_rule(b, [a])
+        engine.add_rule(c, [a])
+        engine.add_rule(d, [b, c])
+        engine.note_commit(a, True)
+        assert {r.target for r in engine.ready()} == {b, c}
+        engine.mark_fired(b)
+        engine.mark_fired(c)
+        engine.note_commit(b, True)
+        assert not engine.satisfied(d)
+        engine.note_commit(c, True)
+        assert engine.satisfied(d)
+
+
+class TestReplayEquivalence:
+    def test_fold_order_does_not_matter(self):
+        """Commits folded in any order produce the same view (the property
+        replay relies on: the journal's order is one valid order)."""
+        import itertools
+
+        for perm in itertools.permutations(MAPS):
+            engine = TriggerEngine()
+            engine.add_rule(REDUCER, MAPS)
+            for key in perm:
+                engine.note_commit(key, True)
+            assert engine.satisfied(REDUCER)

@@ -23,6 +23,7 @@ EXPECTED_OUTPUT = {
     "shuffle_wordcount.py": "reducers in",
     "push_monitoring.py": "MQ push",
     "operations_demo.py": "billing summary",
+    "resume_mergesort.py": "resumed after the crash",
 }
 
 
