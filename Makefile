@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache bench-resume docs-check examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache bench-resume bench-exchange docs-check examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -44,6 +44,13 @@ bench-dag:
 # traces byte-identical)
 bench-cache:
 	PYTHONPATH=src python benchmarks/bench_cache_exchange.py
+
+# exchange-backend matrix: shuffle volume x fan-out x backend (cos /
+# cached-cos / vm); writes BENCH_exchange_matrix.json (acceptance: VM
+# plane wins a large-volume cell on wall time, direct COS Pareto-wins a
+# small cell, per-backend same-seed traces byte-identical)
+bench-exchange:
+	PYTHONPATH=src python benchmarks/bench_exchange_matrix.py
 
 # event-journal overhead (off vs on, Fig. 3-shaped map) plus
 # time-to-recover after a client crash; writes BENCH_resume_overhead.json

@@ -29,6 +29,7 @@ from repro.chaos import ChaosPlane, ChaosProfile
 from repro.config import (
     CacheConfig,
     EventsConfig,
+    ExchangeConfig,
     InvokerMode,
     PyWrenConfig,
     RetryConfig,
@@ -55,6 +56,12 @@ from repro.core import (
 )
 from repro.core.stats import JobStats, collect_job_stats
 from repro.dag import Dag, DagBuilder, DagNode, DagRun, DagScheduler
+from repro.exchange import (
+    CachedCosExchange,
+    CosExchange,
+    ExchangeBackend,
+    VmExchange,
+)
 from repro.events import (
     EventJournal,
     EventRecord,
@@ -109,6 +116,11 @@ __all__ = [
     "RetryPolicy",
     "CacheConfig",
     "CachePlane",
+    "ExchangeConfig",
+    "ExchangeBackend",
+    "CosExchange",
+    "CachedCosExchange",
+    "VmExchange",
     "ChaosProfile",
     "ChaosPlane",
     "EventsConfig",

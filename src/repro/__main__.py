@@ -1,29 +1,19 @@
 """Top-level command line: ``python -m repro``.
 
-Subcommands::
-
-    python -m repro version          # package + substrate versions
-    python -m repro quickstart       # run the Fig. 1 flow end to end
-    python -m repro demo             # quickstart + wsk-style inspection
-    python -m repro bench <exp>      # delegate to repro.bench (fig2 ...)
-    python -m repro trace FILE [--svg OUT] [--chrome OUT] [--title T]
-                                     # inspect / render an exported trace
-    python -m repro dag render [--example mergesort|wordcount|sequence]
-                   [--dot OUT] [--svg OUT]
-                                     # Graphviz/SVG of a built DAG
-    python -m repro events resume [--crash-at T] [--seed N]
-                   [--workload map_reduce|mergesort] [--journal OUT]
-                                     # kill the driver mid-job, replay the
-                                     # journal, reattach and finish it
+Run without arguments for the subcommand listing — it is generated from
+the command registry at the bottom of this module, so a new subcommand
+shows up the moment it is registered (the old hand-written docstring had
+drifted out of date more than once).
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 
-def _cmd_version() -> int:
+def _cmd_version(args: Sequence[str]) -> int:
+    del args
     import repro
 
     print(f"repro {repro.__version__} — IBM-PyWren reproduction")
@@ -31,7 +21,8 @@ def _cmd_version() -> int:
     return 0
 
 
-def _cmd_quickstart() -> int:
+def _cmd_quickstart(args: Sequence[str]) -> int:
+    del args
     import repro as pw
 
     def my_map_function(x):
@@ -49,7 +40,8 @@ def _cmd_quickstart() -> int:
     return 0
 
 
-def _cmd_demo() -> int:
+def _cmd_demo(args: Sequence[str]) -> int:
+    del args
     import repro as pw
     from repro.faas.shell import WskShell
 
@@ -337,30 +329,137 @@ def _cmd_events(args: Sequence[str]) -> int:
     return env.run(main)
 
 
+def _cmd_exchange(args: Sequence[str]) -> int:
+    """``python -m repro exchange``: inspect the exchange backends.
+
+    Runs a small shuffle wordcount through the chosen backend and prints
+    what the new observability surface exposes: backend identity, node
+    capacities, hit/miss counters, COS request tallies with their dollar
+    cost, and (for the VM backend) provisioned VM-seconds.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro exchange",
+        description="Inspect intermediate-data exchange backends: run a "
+        "small shuffle through one and report node capacities, hit/miss "
+        "counters and the COS-requests vs VM-seconds bill.",
+    )
+    parser.add_argument(
+        "--backend", default="vm", choices=["cos", "cached-cos", "vm"],
+        help="exchange backend to exercise (default: vm)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="run seed")
+    parser.add_argument(
+        "--docs", type=int, default=12, help="documents to shuffle"
+    )
+    parser.add_argument(
+        "--reducers", type=int, default=3, help="reducer fan-in"
+    )
+    opts = parser.parse_args(list(args))
+
+    import repro as pw
+    from repro.core import cost
+    from repro.core.shuffle import merge_shuffle_results
+
+    env = pw.CloudEnvironment.create(seed=opts.seed, exchange=opts.backend)
+    docs = [
+        f"serverless data analytics shuffle exchange doc{i}"
+        for i in range(max(opts.docs, 1))
+    ]
+
+    def main_() -> dict:
+        executor = pw.ibm_cf_executor()
+        reducers = executor.map_reduce_shuffle(
+            lambda text: [(w, 1) for w in text.split()],
+            docs,
+            lambda key, values: sum(values),
+            n_reducers=max(opts.reducers, 1),
+        )
+        merge_shuffle_results(executor.get_result(reducers))
+        return {"t": pw.now()}
+
+    run = env.run(main_)
+    info = env.exchange.describe()
+    print(f"backend: {info['backend']}   (wall {run['t']:.2f}s virtual)")
+    for node in info["nodes"]:
+        line = (
+            f"  node {node['node']}: "
+            f"{node['used_bytes']}/{node['capacity_bytes']} bytes"
+        )
+        if node.get("crash_at_s") is not None:
+            line += f"  crash@{node['crash_at_s']:.1f}s"
+        print(line)
+    stats = env.exchange.stats()
+    if stats:
+        hits = stats.get("hits", 0)
+        misses = stats.get("misses", 0)
+        print(f"  tier reads: {hits} hits, {misses} misses")
+    counts = env.storage.request_counts()
+    cos_usd = cost.cos_request_cost(counts)
+    ops = ", ".join(f"{op}={n}" for op, n in sorted(counts.items()))
+    print(f"  cos requests: {ops}")
+    billing = env.exchange.billing(env.now())
+    print(
+        f"  bill: cos ${cos_usd:.6f}"
+        + (
+            f" + {billing['vm_nodes']} VM nodes x "
+            f"{billing['vm_seconds'] / max(billing['vm_nodes'], 1):.1f}s "
+            f"= ${billing['vm_cost_usd']:.6f}"
+            if billing.get("vm_seconds")
+            else ""
+        )
+    )
+    return 0
+
+
+def _cmd_bench(args: Sequence[str]) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(list(args))
+
+
+#: the single subcommand registry: name -> (handler, one-line help).
+#: ``main()`` dispatches from it and the usage listing is generated from
+#: it, so the two cannot drift apart.
+COMMANDS: dict[str, tuple[Callable[[Sequence[str]], int], str]] = {
+    "version": (_cmd_version, "package + substrate versions"),
+    "quickstart": (_cmd_quickstart, "run the Fig. 1 flow end to end"),
+    "demo": (_cmd_demo, "quickstart + wsk-style inspection"),
+    "bench": (_cmd_bench, "paper experiments (fig2, fig3, ...); see repro.bench"),
+    "trace": (_cmd_trace, "inspect / render an exported trace (SVG, Chrome)"),
+    "dag": (_cmd_dag, "Graphviz/SVG of a built DAG (dag render)"),
+    "events": (_cmd_events, "durable orchestration demo (events resume)"),
+    "exchange": (_cmd_exchange, "inspect exchange backends: nodes, hits, bill"),
+}
+
+
+def usage() -> str:
+    """The subcommand listing, generated from :data:`COMMANDS`."""
+    lines = [
+        "python -m repro — serverless-analytics reproduction CLI.",
+        "",
+        "Subcommands:",
+    ]
+    for name, (_handler, help_line) in COMMANDS.items():
+        lines.append(f"    {name:<12} {help_line}")
+    lines.append("")
+    lines.append("Run 'python -m repro <subcommand> --help' for options.")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
-        print(__doc__)
+        print(usage())
         return 2
     command, *rest = argv
-    if command == "version":
-        return _cmd_version()
-    if command == "quickstart":
-        return _cmd_quickstart()
-    if command == "demo":
-        return _cmd_demo()
-    if command == "bench":
-        from repro.bench.__main__ import main as bench_main
-
-        return bench_main(rest)
-    if command == "trace":
-        return _cmd_trace(rest)
-    if command == "dag":
-        return _cmd_dag(rest)
-    if command == "events":
-        return _cmd_events(rest)
-    print(f"unknown command {command!r}\n{__doc__}")
-    return 2
+    entry = COMMANDS.get(command)
+    if entry is None:
+        print(f"unknown command {command!r}\n{usage()}")
+        return 2
+    handler, _help = entry
+    return handler(rest)
 
 
 if __name__ == "__main__":

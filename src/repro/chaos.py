@@ -17,7 +17,10 @@ reproduction *cause* those failures on demand, repeatably:
 * **client crashes** — the *driver* dies at a seeded virtual time while
   cloud-side work keeps running (consumed by the executor's submit/wait
   paths and the DAG watcher; recover with the event journal's
-  ``reattach``, see :mod:`repro.events`).
+  ``reattach``, see :mod:`repro.events`);
+* **exchange store-VM crashes** — a provisioned ephemeral-store node of
+  the VM exchange backend dies at a seeded time, losing its memory
+  (:mod:`repro.exchange.vm`; readers fall back to COS transparently).
 
 Determinism contract: every decision is drawn from a private RNG keyed by
 ``(profile seed, fault site, stable per-event key)`` — an activation id, a
@@ -77,6 +80,10 @@ PROFILE_PRESETS: dict[str, dict[str, float]] = {
     "client-crash": {
         "client_crash_window_s": 60.0,
     },
+    "vm-node-crash": {
+        "vm_crash_prob": 1.0,
+        "vm_crash_window_s": 60.0,
+    },
 }
 
 
@@ -93,7 +100,7 @@ class FaultEvent:
     #: virtual time the fault was injected (window start for blackouts)
     t: float
     #: fault site: "container" | "cos" | "link" | "throttle" | "blackout"
-    #: | "client"
+    #: | "client" | "vm"
     site: str
     #: fault kind: "crash" | "hang" | "503" | "slowdown" | "slow-read" |
     #: "drop" | "429" | "window"
@@ -129,6 +136,8 @@ class ChaosProfile:
         "blackout_duration_s": 60.0,    # blackout window length
         "client_crash_at_s": 0.0,       # kill the driver at this vtime (0 = off)
         "client_crash_window_s": 0.0,   # ... or at a seeded time in (0, window]
+        "vm_crash_prob": 0.0,           # an exchange store VM dies (per node)
+        "vm_crash_window_s": 120.0,     # ... at a seeded time in (0, window]
     }
 
     def __init__(self, name: str = "none", seed: int = 0, **overrides: float) -> None:
@@ -178,6 +187,12 @@ class ChaosProfile:
             raise ValueError("client_crash_at_s must be non-negative")
         if self.client_crash_window_s < 0:
             raise ValueError("client_crash_window_s must be non-negative")
+        if not (0.0 <= self.vm_crash_prob <= 1.0):
+            raise ValueError(
+                f"vm_crash_prob must be in [0, 1], got {self.vm_crash_prob}"
+            )
+        if self.vm_crash_window_s <= 0:
+            raise ValueError("vm_crash_window_s must be positive")
 
     @property
     def enabled(self) -> bool:
@@ -193,6 +208,7 @@ class ChaosProfile:
             or self.blackout_rate_per_hour > 0
             or self.client_crash_at_s > 0
             or self.client_crash_window_s > 0
+            or self.vm_crash_prob > 0
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -354,6 +370,24 @@ class ChaosPlane:
         with self._lock:
             self.client_epoch += 1
             return self.client_epoch
+
+    # -- exchange store-VM crashes (repro.exchange.vm) -----------------------
+    def vm_node_crash_time(self, node_id: int) -> Optional[float]:
+        """Virtual time exchange store-VM ``node_id`` dies, or ``None``.
+
+        Drawn once per node from an RNG keyed by ``("vm", node_id)``:
+        with probability ``vm_crash_prob`` the node crashes at a seeded
+        time in ``(0, vm_crash_window_s]``.  The VM exchange backend
+        applies it — memory contents vanish, readers fall back to COS,
+        and the node rejoins empty after its startup delay.
+        """
+        p = self.profile
+        if p.vm_crash_prob <= 0:
+            return None
+        rng = self._rng("vm", node_id)
+        if rng.random() >= p.vm_crash_prob:
+            return None
+        return p.vm_crash_window_s * (1.0 - rng.random())
 
     # -- invoker-node blackouts (invoker_node/controller) -------------------
     def blackout_windows(self, node_id: int) -> list[tuple[float, float]]:

@@ -107,6 +107,10 @@ class CacheConfig:
     byte-budgeted LRU memory cache; intermediates (shuffle partitions,
     DAG node results) are written through it to COS and read cache-first:
     local memory hit → peer transfer over the emulated network → COS.
+
+    Enabling this is shorthand for selecting the ``cached-cos`` exchange
+    backend (:class:`ExchangeConfig`, ARCHITECTURE.md §10), which owns
+    the plane since the backend seam was introduced.
     """
 
     #: build the cache plane at all
@@ -150,8 +154,60 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class ExchangeConfig:
+    """Which data plane serves intermediate objects (ARCHITECTURE.md
+    "Exchange backends").
+
+    With the default ``backend="cos"`` (and no :class:`CacheConfig`
+    opt-in) the exchange path is the paper's direct COS exchange and the
+    refactor is invisible: same-seed runs export byte-identical traces to
+    the pre-backend code.  ``"cached-cos"`` selects the PR 5 write-through
+    memory tier; ``"vm"`` provisions an emulated ephemeral-store cluster
+    (:class:`~repro.exchange.vm.VmExchange`) whose knobs follow.
+    """
+
+    #: backend name: ``"cos"`` | ``"cached-cos"`` | ``"vm"``
+    backend: str = "cos"
+    #: provisioned store-VM count (``"vm"`` backend)
+    vm_nodes: int = 3
+    #: memory capacity of each store VM (bytes); LRU eviction on full
+    vm_node_memory_bytes: int = 512 * 1024 * 1024
+    #: cluster provisioning time — exchange traffic arriving earlier
+    #: waits; also the rejoin delay after a chaos node crash (seconds)
+    vm_startup_s: float = 5.0
+    #: fixed latency of a served VM read, on top of the round trip
+    vm_hit_latency_s: float = 200e-6
+    #: store-VM transfer bandwidth (bytes/second; ~10 GbE, an order
+    #: above the COS per-stream rate)
+    vm_bandwidth_bps: float = 1 * 1024**3
+    #: virtual points per node on the key-ownership consistent-hash ring
+    vm_ring_vnodes: int = 64
+
+    BACKENDS = ("cos", "cached-cos", "vm")
+
+    def validate(self) -> None:
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"exchange backend must be one of {self.BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.vm_nodes <= 0:
+            raise ValueError("vm_nodes must be positive")
+        if self.vm_node_memory_bytes < 0:
+            raise ValueError("vm_node_memory_bytes must be non-negative")
+        if self.vm_startup_s < 0:
+            raise ValueError("vm_startup_s must be non-negative")
+        if self.vm_hit_latency_s < 0:
+            raise ValueError("vm_hit_latency_s must be non-negative")
+        if self.vm_bandwidth_bps <= 0:
+            raise ValueError("vm_bandwidth_bps must be positive")
+        if self.vm_ring_vnodes <= 0:
+            raise ValueError("vm_ring_vnodes must be positive")
+
+
+@dataclass(frozen=True)
 class EventsConfig:
-    """Durable event-sourced orchestration journal (ARCHITECTURE.md §10).
+    """Durable event-sourced orchestration journal (ARCHITECTURE.md §11).
 
     Disabled by default: with ``enabled=False`` no journal is built, no
     ``events.*`` trace events are emitted and nothing changes in any
@@ -230,6 +286,8 @@ class PyWrenConfig:
     retry: RetryConfig = field(default_factory=RetryConfig)
     #: memory-tier intermediate-data cache plane (disabled by default)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: intermediate-data exchange backend (default: the direct COS path)
+    exchange: ExchangeConfig = field(default_factory=ExchangeConfig)
     #: event-sourced orchestration journal + resume (disabled by default)
     events: EventsConfig = field(default_factory=EventsConfig)
     #: times a *lost* call (its activation died without writing a status
@@ -268,6 +326,9 @@ class PyWrenConfig:
         if not isinstance(self.cache, CacheConfig):
             raise ValueError("cache must be a CacheConfig")
         self.cache.validate()
+        if not isinstance(self.exchange, ExchangeConfig):
+            raise ValueError("exchange must be an ExchangeConfig")
+        self.exchange.validate()
         if not isinstance(self.events, EventsConfig):
             raise ValueError("events must be an EventsConfig")
         self.events.validate()
@@ -298,33 +359,23 @@ class PyWrenConfig:
                 f"unknown config keys: {sorted(unknown)} "
                 f"(known: {sorted(known)})"
             )
-        if isinstance(data.get("retry"), dict):
-            retry_known = {f.name for f in dataclasses.fields(RetryConfig)}
-            retry_unknown = set(data["retry"]) - retry_known
-            if retry_unknown:
+        nested = {
+            "retry": RetryConfig,
+            "cache": CacheConfig,
+            "exchange": ExchangeConfig,
+            "events": EventsConfig,
+        }
+        for section, section_cls in nested.items():
+            if not isinstance(data.get(section), dict):
+                continue
+            section_known = {f.name for f in dataclasses.fields(section_cls)}
+            section_unknown = set(data[section]) - section_known
+            if section_unknown:
                 raise ValueError(
-                    f"unknown retry config keys: {sorted(retry_unknown)} "
-                    f"(known: {sorted(retry_known)})"
+                    f"unknown {section} config keys: {sorted(section_unknown)} "
+                    f"(known: {sorted(section_known)})"
                 )
-            data = {**data, "retry": RetryConfig(**data["retry"])}
-        if isinstance(data.get("cache"), dict):
-            cache_known = {f.name for f in dataclasses.fields(CacheConfig)}
-            cache_unknown = set(data["cache"]) - cache_known
-            if cache_unknown:
-                raise ValueError(
-                    f"unknown cache config keys: {sorted(cache_unknown)} "
-                    f"(known: {sorted(cache_known)})"
-                )
-            data = {**data, "cache": CacheConfig(**data["cache"])}
-        if isinstance(data.get("events"), dict):
-            events_known = {f.name for f in dataclasses.fields(EventsConfig)}
-            events_unknown = set(data["events"]) - events_known
-            if events_unknown:
-                raise ValueError(
-                    f"unknown events config keys: {sorted(events_unknown)} "
-                    f"(known: {sorted(events_known)})"
-                )
-            data = {**data, "events": EventsConfig(**data["events"])}
+            data = {**data, section: section_cls(**data[section])}
         cfg = cls(**data)
         cfg.validate()
         return cfg

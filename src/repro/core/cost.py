@@ -94,3 +94,45 @@ def merge_seconds(n: int) -> float:
 def array_bytes(n: int) -> int:
     """Serialized size of an ``n``-integer array shipped through COS."""
     return n * BYTES_PER_ELEMENT
+
+
+# ---------------------------------------------------------------------------
+# Exchange economics — COS requests vs provisioned VM-seconds
+# ---------------------------------------------------------------------------
+# The paper's §7 cost argument (and the Milestone follow-up in PAPERS.md)
+# turns on request-priced object storage against time-priced provisioned
+# capacity.  Prices follow IBM COS standard-tier list prices of the era
+# and a small cloud-VM instance; absolute dollars matter less than the
+# *ratio*, which decides where the VM exchange's crossover sits.
+
+#: $/request for class A calls (PUT, COPY, LIST — writes and mutations)
+COS_CLASS_A_PRICE = 0.005 / 1000.0
+
+#: $/request for class B calls (GET, HEAD — reads)
+COS_CLASS_B_PRICE = 0.0004 / 1000.0
+
+#: ops billed at class A rates; everything else observed is class B
+COS_CLASS_A_OPS = frozenset({"put", "delete", "copy", "list", "head_bucket"})
+
+#: $/hour for one ephemeral-store VM node (Redis-class small instance)
+VM_NODE_PRICE_PER_HOUR = 0.095
+
+
+def cos_request_cost(counts: dict[str, int]) -> float:
+    """Dollar cost of a run's COS API requests.
+
+    ``counts`` is :meth:`CloudObjectStorage.request_counts` — billed
+    tallies by op name.  Bandwidth within the cloud is free (the paper's
+    functions read COS over the internal network), so requests are the
+    whole COS bill for an in-cloud shuffle.
+    """
+    cost = 0.0
+    for op, n in counts.items():
+        price = COS_CLASS_A_PRICE if op in COS_CLASS_A_OPS else COS_CLASS_B_PRICE
+        cost += n * price
+    return cost
+
+
+def vm_seconds_cost(seconds: float) -> float:
+    """Dollar cost of ``seconds`` of provisioned ephemeral-store VM time."""
+    return max(0.0, seconds) * VM_NODE_PRICE_PER_HOUR / 3600.0

@@ -44,6 +44,7 @@ class CloudEnvironment:
         chaos=None,
         tracer: Optional[Tracer] = None,
         cache: Optional[CacheConfig] = None,
+        exchange=None,
     ) -> None:
         self.kernel = kernel
         self.storage = storage
@@ -60,23 +61,27 @@ class CloudEnvironment:
         platform.tracer = self.tracer
         if chaos is not None:
             chaos.tracer = self.tracer
-        #: the intermediate-data cache plane (``None`` = COS-only exchange).
-        #: Built only when explicitly enabled, so the default environment
-        #: has zero new behaviour, timings or trace events.
-        self.cache = None
-        cache_config = cache if cache is not None else config.cache
-        if cache_config.enabled:
-            from repro.cache import CachePlane
+        #: the intermediate-data exchange backend (ARCHITECTURE.md
+        #: "Exchange backends").  The default — ``ExchangeConfig()`` with
+        #: no cache — is the direct COS path with zero new behaviour,
+        #: timings or trace events.
+        from repro.exchange import build_exchange
 
-            self.cache = CachePlane(
-                cache_config,
-                len(platform.invokers),
-                kernel=kernel,
-                tracer=self.tracer,
-            )
-            platform.cache = self.cache
+        cache_config = cache if cache is not None else config.cache
+        exchange_config = exchange if exchange is not None else config.exchange
+        self.exchange = build_exchange(
+            exchange_config,
+            cache_config,
+            len(platform.invokers),
+            kernel=kernel,
+            tracer=self.tracer,
+            chaos=chaos,
+        )
+        platform.exchange = self.exchange
+        plane = getattr(self.exchange, "plane", None)
+        if plane is not None:
             for node in platform.invokers:
-                node.cache_plane = self.cache
+                node.cache_plane = plane
         self._link_seq = itertools.count(1)
         self._id_seq = itertools.count(1)
         self._deploy_lock = threading.Lock()
@@ -91,6 +96,12 @@ class CloudEnvironment:
         #: in-cloud message broker (push-monitoring transport)
         self.broker = MessageBroker(kernel)
 
+    @property
+    def cache(self):
+        """The cache plane when the exchange backend carries one, else
+        ``None`` (kept for PR 5 callers; the backend is ``env.exchange``)."""
+        return getattr(self.exchange, "plane", None)
+
     @classmethod
     def create(
         cls,
@@ -103,6 +114,7 @@ class CloudEnvironment:
         chaos=None,
         trace: bool = False,
         cache: Optional[CacheConfig] = None,
+        exchange=None,
         events=None,
     ) -> "CloudEnvironment":
         """Build a complete environment with sensible defaults.
@@ -124,6 +136,12 @@ class CloudEnvironment:
         (a :class:`~repro.config.CacheConfig` with ``enabled=True``); by
         default ``config.cache`` decides, which is disabled.
 
+        ``exchange`` selects the intermediate-data exchange backend: an
+        :class:`~repro.config.ExchangeConfig` or a backend name (``"cos"``,
+        ``"cached-cos"``, ``"vm"``).  By default ``config.exchange``
+        decides, which is the direct COS path (``cache=`` above is the
+        PR 5 spelling for the cached backend and still works).
+
         ``events`` switches on the durable orchestration journal: an
         :class:`~repro.config.EventsConfig`, or ``True`` for the default
         COS-backed journal.  By default ``config.events`` decides, which
@@ -131,7 +149,9 @@ class CloudEnvironment:
         """
         from repro.chaos import build_plane
         from repro.config import EventsConfig
+        from repro.exchange import normalize_exchange
 
+        exchange = normalize_exchange(exchange)
         plane = build_plane(chaos)
         kernel = kernel or Kernel()
         client_latency = client_latency or LatencyModel.wan()
@@ -166,6 +186,7 @@ class CloudEnvironment:
             chaos=plane,
             tracer=Tracer(kernel, enabled=bool(trace)),
             cache=cache,
+            exchange=exchange,
         )
 
     # ------------------------------------------------------------------
@@ -220,7 +241,7 @@ class CloudEnvironment:
             cos,
             self.config.storage_bucket,
             self.config.storage_prefix,
-            cache=self.cache,
+            exchange=self.exchange,
         )
 
     # ------------------------------------------------------------------

@@ -963,9 +963,8 @@ class FunctionExecutor:
                     self._cos.delete_object(self.config.storage_bucket, key)
                 except NoSuchKey:
                     pass
-                if self.environment.cache is not None:
-                    # cached copies of the deleted objects are stale now
-                    self.environment.cache.invalidate(key)
+                # exchange-tier copies of the deleted objects are stale now
+                self.environment.exchange.invalidate(key)
             retried.append(future)
             calls.append(params)
         if retried:
@@ -1021,8 +1020,7 @@ class FunctionExecutor:
         keys = self._cos.list_keys(self.config.storage_bucket, prefix)
         for key in keys:
             self._cos.delete_object(self.config.storage_bucket, key)
-        if self.environment.cache is not None:
-            self.environment.cache.invalidate_prefix(prefix)
+        self.environment.exchange.invalidate_prefix(prefix)
         return len(keys)
 
     # ------------------------------------------------------------------

@@ -9,6 +9,11 @@
 * :class:`MassiveInvoker` — the final design: groups of
   ``group_size`` calls, one remote invoker function per group, executed in
   parallel (~8 s for 1000 calls, like a low-latency client).
+
+Invokers treat call params as opaque: when a locality-providing exchange
+backend supplies a ``placement_hint`` (see :mod:`repro.dag.locality`),
+every strategy forwards it untouched to the FaaS controller, which uses
+it to prefer the invoker node already holding the task's inputs.
 """
 
 from __future__ import annotations

@@ -17,12 +17,13 @@ Everything — the map shim, the reducers, the completion signalling — rides
 the ordinary executor machinery: shims are plain functions serialized by
 value; reducers are `call_async` calls shipping the map futures.
 
-When the environment carries the memory-tier cache plane (ARCHITECTURE.md
-§9), the shims are cache-aware for free: partitions are written through
-the producing node's cache by ``put_shuffle_partition`` and reducers
-resolve them cache-first via ``get_shuffle_partition`` — the
-ElastiCache-style exchange path of the related work, without changing a
-line here.
+The shims never name a data plane: ``put_shuffle_partition`` and
+``get_shuffle_partition`` route through the environment's pluggable
+:class:`~repro.exchange.base.ExchangeBackend` (ARCHITECTURE.md
+"Exchange backends"), so the same code shuffles via direct COS, the
+memory-tier cache, or the VM ephemeral-store cluster — the
+S3/ElastiCache exchange alternatives of the related work, selected by
+``ExchangeConfig`` without changing a line here.
 """
 
 from __future__ import annotations

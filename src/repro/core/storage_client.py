@@ -13,11 +13,16 @@ back.  The key scheme mirrors the real framework's::
 Status objects double as the completion signal: ``wait()`` discovers
 finished calls with a single LIST request over the status prefix.
 
-*Intermediate* objects — shuffle partitions and result blobs — optionally
-ride the memory-tier cache plane (ARCHITECTURE.md §9): writers write
-through the producing node's cache to COS, readers resolve cache-first
-(local memory hit → peer transfer → COS).  Only in-cloud storages carry a
-``cache``; the client's WAN-side storage always takes the plain COS path.
+*Intermediate* objects — shuffle partitions and result blobs — route
+through the environment's :class:`~repro.exchange.base.ExchangeBackend`
+(ARCHITECTURE.md "Exchange backends"): the direct COS path by default, a
+write-through memory tier or a provisioned ephemeral-store VM cluster by
+configuration.  The backend decides per call whether its tier engages
+(only for in-cloud sites); a worker's storage carries a *bound* backend
+view pinned to its ``(invoker_id, container_id)``, and a storage built
+without a backend gets a private direct-COS one.  Everything that is not
+an intermediate — status, func, agg-data, journal, dead-letter, trace
+objects — is the execution record and always talks straight to COS.
 """
 
 from __future__ import annotations
@@ -27,7 +32,6 @@ from typing import Any, Optional
 from repro.core import serializer
 from repro.cos.client import COSClient
 from repro.cos.errors import NoSuchKey, PreconditionFailed
-from repro.net.latency import TransientNetworkError
 
 
 class InternalStorage:
@@ -38,109 +42,18 @@ class InternalStorage:
         cos: COSClient,
         bucket: str,
         prefix: str = "pywren.jobs",
-        cache=None,
-        site: Optional[tuple[int, Optional[str]]] = None,
+        exchange=None,
     ) -> None:
         self.cos = cos
         self.bucket = bucket
         self.prefix = prefix.strip("/")
-        #: the :class:`~repro.cache.CachePlane`, or ``None`` for COS-only
-        self.cache = cache
-        #: fixed ``(invoker_id, container_id)`` for storages owned by one
-        #: running function (the worker's), bypassing the ambient lookup
-        self.site = site
+        if exchange is None:
+            from repro.exchange import CosExchange
 
-    # -- cache tier ---------------------------------------------------------
-    def _cache_site(self) -> Optional[tuple[int, Optional[str]]]:
-        """``(invoker_id, container_id)`` of the running function, if any.
-
-        The cache tier only engages for code executing *on* an invoker node
-        (known from the fixed ``site`` or the ambient execution context);
-        client-side reads and writes — and any storage built without a
-        plane — use pure COS.
-        """
-        if self.cache is None:
-            return None
-        if self.site is not None and self.site[0] is not None:
-            return self.site
-        from repro.core import context as ambient
-
-        ctx = ambient.current_context()
-        if ctx is None or ctx.execution_context is None:
-            return None
-        record = ctx.execution_context.record
-        if record.invoker_id is None:
-            return None
-        return record.invoker_id, record.container_id
-
-    def _cache_publish(self, key: str, blob: bytes) -> None:
-        """Write-through: after the COS put, keep a copy in the local cache."""
-        site = self._cache_site()
-        if site is not None:
-            node_id, container_id = site
-            self.cache.publish(key, blob, node_id, container_id)
-
-    def _exchange_get_steps(self, key: str, site: tuple[int, Optional[str]]):
-        """Tiered read of one intermediate object (steps generator).
-
-        Resolution order: local memory hit (fixed latency + memory
-        bandwidth) → peer copy located via the consistent-hash directory
-        (one round trip on this reader's in-cloud link — the directory
-        owner forwards the request to the holder, so consult and fetch
-        share it — payload at the node-to-node bandwidth) → COS fallback
-        (the ordinary charged GET).  Peer-path transient network failures
-        fall through to COS; :class:`NoSuchKey` from COS propagates
-        unchanged.
-        """
-        from repro.vtime.kernel import vsleep
-
-        plane = self.cache
-        node_id, container_id = site
-        kernel = self.cos.link.kernel
-        t0 = kernel.now()
-        blob = plane.local_get(key, node_id)
-        if blob is not None:
-            yield vsleep(plane.hit_delay(len(blob)))
-            t1 = kernel.now()
-            plane.note_read("local", len(blob), t1 - t0)
-            plane.trace_span(
-                "cache.hit", t0, t1, key=key, bytes=len(blob), node=node_id
-            )
-            return blob
-        if plane.config.peer_fetch:
-            try:
-                located = plane.peer_get(key, node_id)
-                if located is not None:
-                    blob, src_node = located
-                    # one consult+fetch round trip, payload at peer bandwidth
-                    yield from self.cos.link.request_steps(0)
-                    yield vsleep(plane.peer_transfer_delay(len(blob)))
-                    t1 = kernel.now()
-                    plane.note_read("peer", len(blob), t1 - t0)
-                    plane.trace_span(
-                        "cache.peer", t0, t1,
-                        key=key, bytes=len(blob), node=node_id, src=src_node,
-                    )
-                    if plane.config.populate_on_miss:
-                        plane.admit(key, blob, node_id, container_id)
-                    return blob
-            except TransientNetworkError:
-                # the peer path is best-effort: fall back to COS
-                plane.note_peer_failure()
-        plane.trace_point("cache.miss", key=key, node=node_id)
-        t_cos = kernel.now()
-        blob = yield from self.cos.get_object_steps(self.bucket, key)
-        plane.note_read("cos", len(blob), kernel.now() - t_cos)
-        if plane.config.populate_on_miss:
-            plane.admit(key, blob, node_id, container_id)
-        return blob
-
-    def _exchange_get(self, key: str) -> bytes:
-        """Blocking tiered read; plain COS when no cache site applies."""
-        site = self._cache_site()
-        if site is None:
-            return self.cos.get_object(self.bucket, key)
-        return self.cos.link.kernel.drive(self._exchange_get_steps(key, site))
+            exchange = CosExchange()
+        #: the :class:`~repro.exchange.base.ExchangeBackend` (possibly a
+        #: site-bound view) serving intermediate reads and writes
+        self.exchange = exchange
 
     # -- key construction ---------------------------------------------------
     def callset_prefix(self, executor_id: str, callset_id: str) -> str:
@@ -307,8 +220,7 @@ class InternalStorage:
     ) -> int:
         blob = serializer.serialize(pairs)
         key = self.shuffle_key(executor_id, callset_id, call_id, reducer)
-        self.cos.put_object(self.bucket, key, blob)
-        self._cache_publish(key, blob)
+        self.exchange.put(self.cos, self.bucket, key, blob)
         return len(blob)
 
     def get_shuffle_partition(
@@ -316,13 +228,15 @@ class InternalStorage:
     ) -> list:
         """A map task's bucket for one reducer; missing means 'emitted none'.
 
-        Cache-first when this storage carries a cache plane and the caller
-        runs on an invoker node (shuffle partitions are the intermediate
-        the cache tier exists for).
+        Served through the exchange backend (shuffle partitions are the
+        intermediate the faster planes exist for); only in-cloud readers
+        see a tier, everyone else gets the direct COS path.
         """
         try:
-            blob = self._exchange_get(
-                self.shuffle_key(executor_id, callset_id, call_id, reducer)
+            blob = self.exchange.get(
+                self.cos,
+                self.bucket,
+                self.shuffle_key(executor_id, callset_id, call_id, reducer),
             )
         except NoSuchKey:
             return []
@@ -437,8 +351,7 @@ class InternalStorage:
     ) -> int:
         blob = serializer.serialize(value)
         key = self.result_key(executor_id, callset_id, call_id)
-        self.cos.put_object(self.bucket, key, blob)
-        self._cache_publish(key, blob)
+        self.exchange.put(self.cos, self.bucket, key, blob)
         return len(blob)
 
     def put_result_steps(
@@ -447,14 +360,13 @@ class InternalStorage:
         """Steps twin of :meth:`put_result` (model tasks ``yield from``)."""
         blob = serializer.serialize(value)
         key = self.result_key(executor_id, callset_id, call_id)
-        yield from self.cos.put_object_steps(self.bucket, key, blob)
-        self._cache_publish(key, blob)
+        yield from self.exchange.put_steps(self.cos, self.bucket, key, blob)
         return len(blob)
 
     def get_result(self, executor_id: str, callset_id: str, call_id: str) -> Any:
-        """A call's result blob — cache-first for in-cloud readers (DAG
+        """A call's result blob — tier-first for in-cloud readers (DAG
         dependents consuming upstream node outputs); plain COS otherwise."""
-        blob = self._exchange_get(
-            self.result_key(executor_id, callset_id, call_id)
+        blob = self.exchange.get(
+            self.cos, self.bucket, self.result_key(executor_id, callset_id, call_id)
         )
         return serializer.deserialize(blob)

@@ -198,6 +198,7 @@ class COSClient:
         extra transfer time.  All of it is retried under the shared policy.
         ``op`` labels the resulting ``cos.<op>`` trace span.
         """
+        self.store.count_request(op)
         chaos = self.store.chaos
         tracer = getattr(self.store, "tracer", None)
         if tracer is not None and tracer.enabled:

@@ -36,6 +36,7 @@ class CloudObjectStorage:
         self._lock = threading.Lock()
         self._put_count = 0
         self._get_count = 0
+        self._request_counts: dict[str, int] = {}
 
     # -- buckets -----------------------------------------------------------
     def create_bucket(self, name: str, exist_ok: bool = False) -> Bucket:
@@ -179,3 +180,19 @@ class CloudObjectStorage:
     @property
     def get_count(self) -> int:
         return self._get_count
+
+    def count_request(self, op: str) -> None:
+        """Tally one billed API request by operation name.
+
+        Called by every :class:`~repro.cos.client.COSClient` once per
+        *logical* request (retried attempts are one charge, like the real
+        service refunds failed calls is not modeled — the refusal already
+        reached the service).  Pure accounting: no clock, no RNG.
+        """
+        with self._lock:
+            self._request_counts[op] = self._request_counts.get(op, 0) + 1
+
+    def request_counts(self) -> dict[str, int]:
+        """Billed request tallies by operation, for the cost model."""
+        with self._lock:
+            return dict(self._request_counts)

@@ -8,12 +8,16 @@ tries those nodes first, so a chained function lands next to its data
 (Wukong-style task cluster locality) instead of wherever round-robin
 points.
 
-With the cache plane attached the hint gets sharper: instead of "the
-nodes that *ran* my dependencies", it ranks candidates by how many of the
-node's input bytes are still *resident* in each node's memory cache right
-now (a free directory peek — evictions, crashes and invalidations have
-already been applied), so the warm scan aims at the node where a local
-cache hit is actually waiting.
+With a locality-providing exchange backend attached (the cached-cos
+tier) the hint gets sharper: instead of "the nodes that *ran* my
+dependencies", it ranks candidates by how many of the node's input bytes
+are still *resident* in each node's memory cache right now (a free
+directory peek via :meth:`~repro.exchange.base.ExchangeBackend.locate` —
+evictions, crashes and invalidations have already been applied), so the
+warm scan aims at the node where a local cache hit is actually waiting.
+Backends whose storage does not live on invoker nodes (direct COS, the
+VM cluster) advertise ``provides_locality=False`` and the legacy
+produced-here ordering applies.
 """
 
 from __future__ import annotations
@@ -30,13 +34,14 @@ MAX_HINT = 4
 def placement_hint(
     node: DagNode,
     limit: int = MAX_HINT,
-    cache=None,
+    exchange=None,
     storage=None,
 ) -> Optional[list[int]]:
     """Invoker-node ids that produced ``node``'s inputs, dep order, deduped.
 
-    ``cache`` (a :class:`~repro.cache.CachePlane`) and ``storage`` (the
-    executor's :class:`~repro.core.storage_client.InternalStorage`, for key
+    ``exchange`` (an :class:`~repro.exchange.base.ExchangeBackend` with
+    ``provides_locality``) and ``storage`` (the executor's
+    :class:`~repro.core.storage_client.InternalStorage`, for key
     construction) upgrade the ranking to cached-input residency: nodes
     holding more of this node's input bytes in memory come first, with the
     legacy produced-here order breaking ties.  Returns ``None`` when
@@ -51,7 +56,11 @@ def placement_hint(
             continue
         seen.add(invoker)
         legacy.append(invoker)
-    if cache is not None and storage is not None and cache.enabled:
+    if (
+        exchange is not None
+        and storage is not None
+        and exchange.provides_locality
+    ):
         resident: dict[int, int] = {}
         for dep in node.deps:
             future = dep.future
@@ -60,7 +69,7 @@ def placement_hint(
             key = storage.result_key(
                 future.executor_id, future.callset_id, future.call_id
             )
-            for node_id, nbytes in cache.locate(key):
+            for node_id, nbytes in exchange.locate(key):
                 resident[node_id] = resident.get(node_id, 0) + nbytes
         if resident:
             order = {node_id: i for i, node_id in enumerate(legacy)}

@@ -502,10 +502,9 @@ class DagScheduler:
                 executor._cos.delete_object(executor.config.storage_bucket, key)
             except NoSuchKey:
                 pass
-            if executor.environment.cache is not None:
-                # the retry will rewrite these objects; stale cached copies
-                # on other nodes must not satisfy future reads
-                executor.environment.cache.invalidate(key)
+            # the retry will rewrite these objects; stale exchange-tier
+            # copies on other nodes must not satisfy future reads
+            executor.environment.exchange.invalidate(key)
 
     def _bury_dependents(self, run: DagRun, node: DagNode, status: dict) -> None:
         reason = (
@@ -594,7 +593,7 @@ class DagScheduler:
             if self.locality:
                 hint = _locality.placement_hint(
                     node,
-                    cache=executor.environment.cache,
+                    exchange=executor.environment.exchange,
                     storage=executor._storage,
                 )
                 if hint is not None:

@@ -190,10 +190,10 @@ class CloudFunctions:
         #: the trace spine (set by :class:`CloudEnvironment`); the controller
         #: emits accept/place/cold-start/execute spans onto it
         self.tracer = None
-        #: the intermediate-data cache plane (set by
-        #: :class:`CloudEnvironment` when ``CacheConfig.enabled``), or
-        #: ``None`` for the COS-only exchange path
-        self.cache = None
+        #: the intermediate-data exchange backend (set by
+        #: :class:`CloudEnvironment`; ``None`` until attached — workers
+        #: then fall back to a private direct-COS backend)
+        self.exchange = None
         self._chaos_invoke_seq = itertools.count()
         self.kernel = kernel
         self.storage = storage

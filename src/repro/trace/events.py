@@ -21,6 +21,7 @@ LAYERS = (
     "container",   # cold starts, user-code execution windows, injected fates
     "worker",      # runner phases: deserialize / run / commit
     "cache",       # memory-tier exchange: hits, peer transfers, misses, evicts
+    "exchange",    # exchange backends: VM-plane puts/hits/misses, crashes
     "cos",         # object-storage requests with byte counts
     "net",         # raw link round trips
     "chaos",       # injected faults mirrored from the chaos plane

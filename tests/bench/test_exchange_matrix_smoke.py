@@ -1,0 +1,63 @@
+"""Fast smoke of the exchange-matrix benchmark harness.
+
+The full sweep lives in ``benchmarks/bench_exchange_matrix.py`` (run via
+``make bench-exchange``); here we execute one tiny cell per backend so the
+default test run catches harness rot without paying sweep-scale time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+BENCH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "bench_exchange_matrix.py"
+)
+
+
+def load_bench():
+    spec = importlib.util.spec_from_file_location("bench_exchange_matrix", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return load_bench()
+
+
+@pytest.mark.parametrize("backend", ["cos", "cached-cos", "vm"])
+def test_tiny_cell_runs_and_bills(bench, backend):
+    cell, _ = bench.run_cell(backend, volume=64 * 1024, n_maps=2, n_reducers=2)
+    # run_cell asserts the reduced answer internally; check the report shape
+    assert cell["makespan_s"] > 0
+    assert cell["partition_bytes"] == 16 * 1024
+    assert cell["cos_cost_usd"] > 0
+    assert cell["total_cost_usd"] >= cell["cos_cost_usd"]
+    if backend == "vm":
+        assert cell["vm_seconds"] > 0 and cell["vm_cost_usd"] > 0
+        assert cell["tier_hits"] > 0
+    else:
+        assert cell["vm_cost_usd"] == 0
+
+
+def test_tiny_cell_traced_runs_are_deterministic(bench):
+    _, trace_a = bench.run_cell(
+        "vm", volume=64 * 1024, n_maps=2, n_reducers=2, trace=True
+    )
+    _, trace_b = bench.run_cell(
+        "vm", volume=64 * 1024, n_maps=2, n_reducers=2, trace=True
+    )
+    assert trace_a and trace_a == trace_b
+
+
+def test_reducer_keys_cover_every_partition(bench):
+    from repro.core.shuffle import stable_key_hash
+
+    keys = bench.reducer_keys(4)
+    assert [stable_key_hash(k) % 4 for k in keys] == [0, 1, 2, 3]

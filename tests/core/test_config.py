@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import InvokerMode, PyWrenConfig
+from repro.config import ExchangeConfig, InvokerMode, PyWrenConfig
 
 
 class TestDefaults:
@@ -40,6 +40,50 @@ class TestValidation:
     def test_all_invoker_modes_accepted(self):
         for mode in InvokerMode.ALL:
             PyWrenConfig(invoker_mode=mode).validate()
+
+
+class TestExchangeConfig:
+    def test_default_is_direct_cos(self):
+        config = PyWrenConfig()
+        assert config.exchange.backend == "cos"
+        config.validate()
+
+    def test_all_backends_accepted(self):
+        for backend in ExchangeConfig.BACKENDS:
+            PyWrenConfig(exchange=ExchangeConfig(backend=backend)).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "redis"},
+            {"vm_nodes": 0},
+            {"vm_node_memory_bytes": -1},
+            {"vm_startup_s": -0.5},
+            {"vm_bandwidth_bps": 0},
+            {"vm_ring_vnodes": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PyWrenConfig(exchange=ExchangeConfig(**kwargs)).validate()
+
+    def test_from_dict_nested_section(self):
+        config = PyWrenConfig.from_dict(
+            {"exchange": {"backend": "vm", "vm_nodes": 5, "vm_startup_s": 2.0}}
+        )
+        assert isinstance(config.exchange, ExchangeConfig)
+        assert config.exchange.backend == "vm"
+        assert config.exchange.vm_nodes == 5
+        assert config.exchange.vm_startup_s == 2.0
+
+    def test_from_dict_unknown_exchange_key_rejected(self):
+        with pytest.raises(ValueError, match="exchange"):
+            PyWrenConfig.from_dict({"exchange": {"nodez": 3}})
+
+    def test_roundtrips_through_dict(self):
+        config = PyWrenConfig(exchange=ExchangeConfig(backend="cached-cos"))
+        again = PyWrenConfig.from_dict(config.to_dict())
+        assert again.exchange == config.exchange
 
 
 class TestOverrides:

@@ -1,0 +1,31 @@
+"""The tentpole regression gate: the default exchange is byte-identical.
+
+``golden_trace_default_exchange.jsonl`` was exported by the pre-refactor
+code (COS-only intermediates, no backend seam) from the frozen workload
+in :mod:`tests.exchange.golden_workload`.  With ``ExchangeConfig`` unset
+the refactored stack must reproduce it byte for byte — same events, same
+timestamps, same ordering, same JSON serialization.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from tests.exchange.golden_workload import GOLDEN_PATH, run_traced
+
+GOLDEN = pathlib.Path(__file__).parent / GOLDEN_PATH
+
+
+class TestGoldenDefaultExchange:
+    def test_default_exchange_trace_matches_pre_refactor_golden(self):
+        got = run_traced()
+        want = GOLDEN.read_text(encoding="utf-8")
+        assert want, "golden fixture missing or empty"
+        # compare prefixes first for a readable diff on regression
+        if got != want:
+            for i, (a, b) in enumerate(zip(got.splitlines(), want.splitlines())):
+                assert a == b, f"first divergence at trace line {i + 1}"
+        assert got == want
+
+    def test_golden_run_is_self_deterministic(self):
+        assert run_traced() == run_traced()
