@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache bench-resume bench-exchange docs-check examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache bench-resume bench-exchange bench-tenant-storm docs-check examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -51,6 +51,12 @@ bench-cache:
 # small cell, per-backend same-seed traces byte-identical)
 bench-exchange:
 	PYTHONPATH=src python benchmarks/bench_exchange_matrix.py
+
+# weighted-fair dispatch vs first-come under a 200-tenant overload storm;
+# writes BENCH_tenant_storm.json (acceptance: DRR Jain >= 0.9 with the
+# first-come baseline clearly below, equal aggregate throughput)
+bench-tenant-storm:
+	PYTHONPATH=src python benchmarks/bench_tenant_storm.py
 
 # event-journal overhead (off vs on, Fig. 3-shaped map) plus
 # time-to-recover after a client crash; writes BENCH_resume_overhead.json

@@ -33,6 +33,7 @@ from repro.config import (
     InvokerMode,
     PyWrenConfig,
     RetryConfig,
+    TenantConfig,
 )
 from repro.core import (
     ALL_COMPLETED,
@@ -70,6 +71,7 @@ from repro.events import (
     TriggerEngine,
     TriggerRule,
 )
+from repro.faas import FairDispatchQueue, TenantRegistry
 from repro.retry import RetryPolicy
 from repro.trace import TraceEvent, Tracer
 from repro.vtime import now, sleep
@@ -123,6 +125,9 @@ __all__ = [
     "VmExchange",
     "ChaosProfile",
     "ChaosPlane",
+    "TenantConfig",
+    "TenantRegistry",
+    "FairDispatchQueue",
     "EventsConfig",
     "EventRecord",
     "EventJournal",

@@ -84,6 +84,11 @@ def _cmd_trace(args: Sequence[str]) -> int:
     parser.add_argument(
         "--title", default=None, help="SVG title (default: derived from file)"
     )
+    parser.add_argument(
+        "--tenant", default=None, metavar="NAMESPACE",
+        help="keep only one tenant's events (multi-tenant traces stamp a "
+        "'tenant' id; namespace attrs match too)",
+    )
     opts = parser.parse_args(list(args))
 
     from repro.analytics.timeline import render_execution_timeline
@@ -91,6 +96,17 @@ def _cmd_trace(args: Sequence[str]) -> int:
 
     with open(opts.file, "r", encoding="utf-8") as fh:
         events = export.from_jsonl(fh.read())
+    if opts.tenant is not None:
+        events = [
+            event
+            for event in events
+            if event.get_id("tenant") == opts.tenant
+            or event.get_attr("tenant") == opts.tenant
+            or event.get_attr("namespace") == opts.tenant
+        ]
+        if not events:
+            print(f"{opts.file}: no events for tenant {opts.tenant!r}")
+            return 1
     if not events:
         print(f"{opts.file}: no events")
         return 1

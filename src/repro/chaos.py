@@ -84,6 +84,16 @@ PROFILE_PRESETS: dict[str, dict[str, float]] = {
         "vm_crash_prob": 1.0,
         "vm_crash_window_s": 60.0,
     },
+    # A multi-tenant region having a bad day: heavy synthetic throttling
+    # plus background container churn, the regime the tenant-storm bench
+    # and the slow fairness suite run the fair dispatcher under.
+    "tenant-storm": {
+        "throttle_prob": 0.10,
+        "crash_prob": 0.02,
+        "hang_prob": 0.005,
+        "hang_s": 30.0,
+        "link_latency_factor": 1.25,
+    },
 }
 
 
@@ -107,6 +117,9 @@ class FaultEvent:
     kind: str
     #: what was hit (activation id, link seed, node id, ...)
     target: str
+    #: owning tenant namespace, when the injecting layer knows it
+    #: (multi-tenant regions stamp throttles and container faults)
+    tenant: Optional[str] = None
 
     def key(self) -> tuple[str, str, str]:
         """Time-free identity, for comparing timelines across runs."""
@@ -238,12 +251,22 @@ class ChaosPlane:
         self._client_crash_recorded = False
 
     # -- bookkeeping -------------------------------------------------------
-    def record(self, t: float, site: str, kind: str, target: str) -> None:
+    def record(
+        self,
+        t: float,
+        site: str,
+        kind: str,
+        target: str,
+        tenant: Optional[str] = None,
+    ) -> None:
         with self._lock:
-            self.timeline.append(FaultEvent(t, site, kind, target))
+            self.timeline.append(FaultEvent(t, site, kind, target, tenant))
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
-            tracer.point(f"chaos.{site}", "chaos", t=t, kind=kind, target=target)
+            attrs = {"kind": kind, "target": target}
+            if tenant is not None:
+                attrs["tenant"] = tenant
+            tracer.point(f"chaos.{site}", "chaos", t=t, **attrs)
 
     def timeline_key(self) -> list[tuple[str, str, str]]:
         """Order-insensitive timeline identity (sorted event keys)."""
@@ -257,6 +280,21 @@ class ChaosPlane:
             for event in self.timeline:
                 label = f"{event.site}:{event.kind}"
                 counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def fault_counts_by_tenant(self) -> dict[str, dict[str, int]]:
+        """Per-tenant fault counts by ``site:kind``.
+
+        Only events stamped with a tenant appear (multi-tenant regions
+        stamp throttles and container faults); others aggregate under
+        ``""``.
+        """
+        counts: dict[str, dict[str, int]] = {}
+        with self._lock:
+            for event in self.timeline:
+                label = f"{event.site}:{event.kind}"
+                bucket = counts.setdefault(event.tenant or "", {})
+                bucket[label] = bucket.get(label, 0) + 1
         return counts
 
     def _rng(self, site: str, *key: Any) -> random.Random:

@@ -206,6 +206,58 @@ class ExchangeConfig:
 
 
 @dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant quotas and fair-share weight for the multi-tenant
+    control plane (ARCHITECTURE.md "Multi-tenant control plane").
+
+    One instance per namespace, registered with a
+    :class:`~repro.faas.tenants.TenantRegistry`.  The gateway enforces
+    the quotas as *admission control* — a request over quota is answered
+    429 with a ``retry_after`` hint instead of being queued — and the
+    controller's weighted-fair dispatcher shares cluster capacity across
+    admitted work in proportion to ``weight``.  ``None`` quotas fall back
+    to the platform-wide :class:`~repro.faas.limits.SystemLimits`.
+    """
+
+    #: the namespace this tenant owns
+    name: str
+    #: deficit-round-robin share weight (relative to other tenants)
+    weight: float = 1.0
+    #: concurrent invocations admitted at once (queued + running);
+    #: ``None`` → the platform's per-namespace ``max_concurrent``
+    max_concurrent: Optional[int] = None
+    #: total in-flight action memory admitted at once (MB); ``None`` → no
+    #: memory quota beyond the concurrency cap
+    memory_quota_mb: Optional[int] = None
+    #: sustained invocation admission rate (requests per virtual second);
+    #: ``None`` → unmetered
+    rate_per_s: Optional[float] = None
+    #: token-bucket burst: invocations admitted back-to-back before the
+    #: sustained rate applies (only meaningful with ``rate_per_s``)
+    rate_burst: int = 10
+    #: dispatch-queue depth cap: invocations waiting for a fair-share
+    #: slot before new requests are pushed back with 429 (``None`` → the
+    #: concurrency quota bounds the queue)
+    max_pending: Optional[int] = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if self.max_concurrent is not None and self.max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive or None")
+        if self.memory_quota_mb is not None and self.memory_quota_mb <= 0:
+            raise ValueError("memory_quota_mb must be positive or None")
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive or None")
+        if self.rate_burst < 1:
+            raise ValueError("rate_burst must be >= 1")
+        if self.max_pending is not None and self.max_pending <= 0:
+            raise ValueError("max_pending must be positive or None")
+
+
+@dataclass(frozen=True)
 class EventsConfig:
     """Durable event-sourced orchestration journal (ARCHITECTURE.md §11).
 

@@ -136,3 +136,35 @@ def cos_request_cost(counts: dict[str, int]) -> float:
 def vm_seconds_cost(seconds: float) -> float:
     """Dollar cost of ``seconds`` of provisioned ephemeral-store VM time."""
     return max(0.0, seconds) * VM_NODE_PRICE_PER_HOUR / 3600.0
+
+
+# ---------------------------------------------------------------------------
+# Per-tenant billing rollups (multi-tenant regions)
+# ---------------------------------------------------------------------------
+
+
+def tenant_billing_rollup(meter) -> dict[str, dict[str, float]]:
+    """Roll one :class:`~repro.faas.billing.BillingMeter` up by tenant.
+
+    Returns ``{namespace: {"activations", "gb_seconds", "cost"}}`` plus a
+    ``"__region__"`` row holding the totals.  The region row is computed
+    by summing the per-tenant sums (not the flat entry list), so the
+    per-tenant figures add up to the region total *exactly* — the
+    invariant the tenant-isolation contract suite pins.
+    """
+    per_tenant: dict[str, dict[str, float]] = {}
+    for entry in meter.entries():
+        row = per_tenant.setdefault(
+            entry.namespace, {"activations": 0, "gb_seconds": 0.0, "cost": 0.0}
+        )
+        row["activations"] += 1
+        row["gb_seconds"] += entry.gb_seconds
+        row["cost"] += entry.cost
+    region = {"activations": 0, "gb_seconds": 0.0, "cost": 0.0}
+    for name in sorted(per_tenant):
+        row = per_tenant[name]
+        region["activations"] += row["activations"]
+        region["gb_seconds"] += row["gb_seconds"]
+        region["cost"] += row["cost"]
+    per_tenant["__region__"] = region
+    return per_tenant

@@ -85,7 +85,7 @@ class CloudEnvironment:
         self._link_seq = itertools.count(1)
         self._id_seq = itertools.count(1)
         self._deploy_lock = threading.Lock()
-        self._deployed_actions: set[str] = set()
+        self._deployed_actions: set[tuple[str, str]] = set()
         #: optional ApiKey sent by this client's executors (multi-tenant
         #: platforms with ``platform.require_auth`` set)
         self.credentials = None
@@ -116,6 +116,7 @@ class CloudEnvironment:
         cache: Optional[CacheConfig] = None,
         exchange=None,
         events=None,
+        tenants=None,
     ) -> "CloudEnvironment":
         """Build a complete environment with sensible defaults.
 
@@ -146,6 +147,13 @@ class CloudEnvironment:
         :class:`~repro.config.EventsConfig`, or ``True`` for the default
         COS-backed journal.  By default ``config.events`` decides, which
         is disabled.
+
+        ``tenants`` switches the region into multi-tenant mode: a
+        :class:`~repro.faas.tenants.TenantRegistry`, or an iterable of
+        :class:`~repro.config.TenantConfig` (wrapped in a registry with
+        the default ``"drr"`` dispatch policy).  ``None`` — the default —
+        keeps the legacy single-tenant scheduling path, byte-identical to
+        pre-tenancy runs.
         """
         from repro.chaos import build_plane
         from repro.config import EventsConfig
@@ -175,6 +183,12 @@ class CloudEnvironment:
             crash_prob=crash_prob,
             chaos=plane,
         )
+        if tenants is not None:
+            from repro.faas.tenants import TenantRegistry
+
+            if not isinstance(tenants, TenantRegistry):
+                tenants = TenantRegistry(tenants)
+            platform.attach_tenants(tenants)
         return cls(
             kernel,
             storage,
@@ -273,34 +287,43 @@ class CloudEnvironment:
     # Action deployment (idempotent)
     # ------------------------------------------------------------------
     def ensure_runner_action(
-        self, runtime: str, memory_mb: int, timeout_s: float
+        self,
+        runtime: str,
+        memory_mb: int,
+        timeout_s: float,
+        namespace: Optional[str] = None,
     ) -> str:
+        """Deploy the generic runner action into ``namespace`` (default:
+        the environment's configured namespace) once per (namespace, name)
+        — each tenant of a multi-tenant region owns its own copy."""
+        namespace = namespace if namespace is not None else self.config.namespace
         name = worker.runner_action_name(runtime, memory_mb)
         with self._deploy_lock:
-            if name not in self._deployed_actions:
+            if (namespace, name) not in self._deployed_actions:
                 self.platform.create_action(
-                    self.config.namespace,
+                    namespace,
                     name,
                     worker.runner_handler,
                     runtime=runtime,
                     memory_mb=memory_mb,
                     timeout_s=timeout_s,
                 )
-                self._deployed_actions.add(name)
+                self._deployed_actions.add((namespace, name))
         return name
 
     def ensure_remote_invoker_action(self) -> str:
         name = worker.REMOTE_INVOKER_ACTION
+        namespace = self.config.namespace
         with self._deploy_lock:
-            if name not in self._deployed_actions:
+            if (namespace, name) not in self._deployed_actions:
                 self.platform.create_action(
-                    self.config.namespace,
+                    namespace,
                     name,
                     worker.remote_invoker_handler,
                     memory_mb=self.platform.limits.default_memory_mb,
                     timeout_s=self.platform.limits.max_exec_seconds,
                 )
-                self._deployed_actions.add(name)
+                self._deployed_actions.add((namespace, name))
         return name
 
     # ------------------------------------------------------------------

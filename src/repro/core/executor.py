@@ -115,6 +115,7 @@ class FunctionExecutor:
             self.config.runtime,
             self.config.runtime_memory_mb,
             self.config.runtime_timeout_s,
+            namespace=self.config.namespace,
         )
         if self.config.invoker_mode != InvokerMode.LOCAL:
             environment.ensure_remote_invoker_action()

@@ -10,6 +10,7 @@ from repro.faas.billing import (
 )
 from repro.faas.container import Container
 from repro.faas.controller import CloudFunctions, ExecutionContext
+from repro.faas.dispatch import FairDispatchQueue
 from repro.faas.errors import (
     ActionNotFound,
     ActivationNotFound,
@@ -33,6 +34,7 @@ from repro.faas.runtime import (
     RuntimeImage,
     RuntimeRegistry,
 )
+from repro.faas.tenants import TenantNotFound, TenantRegistry
 
 __all__ = [
     "Action",
@@ -63,4 +65,7 @@ __all__ = [
     "ApiKey",
     "AuthenticationError",
     "AuthorizationError",
+    "FairDispatchQueue",
+    "TenantRegistry",
+    "TenantNotFound",
 ]

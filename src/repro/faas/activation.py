@@ -30,6 +30,9 @@ class ActivationRecord:
     namespace: str
     action_name: str
     submit_time: float
+    #: when the fair dispatcher released this invocation to placement
+    #: (multi-tenant regions only; ``None`` on the legacy direct path)
+    dispatch_time: Optional[float] = None
     start_time: Optional[float] = None
     end_time: Optional[float] = None
     cold_start: bool = False

@@ -39,6 +39,8 @@ class BillingEntry:
     action_name: str
     memory_mb: int
     duration_s: float
+    #: owning namespace — the billing dimension tenant rollups group by
+    namespace: str = ""
 
     @property
     def gb_seconds(self) -> float:
@@ -62,8 +64,11 @@ class BillingMeter:
         action_name: str,
         memory_mb: int,
         duration_s: float,
+        namespace: str = "",
     ) -> BillingEntry:
-        entry = BillingEntry(activation_id, action_name, memory_mb, duration_s)
+        entry = BillingEntry(
+            activation_id, action_name, memory_mb, duration_s, namespace
+        )
         with self._lock:
             self._entries.append(entry)
         return entry
@@ -88,6 +93,19 @@ class BillingMeter:
             for entry in self._entries:
                 out[entry.action_name] = out.get(entry.action_name, 0.0) + entry.gb_seconds
             return out
+
+    def by_namespace(self) -> dict[str, float]:
+        """GB-seconds per namespace (the per-tenant billing dimension)."""
+        with self._lock:
+            out: dict[str, float] = {}
+            for entry in self._entries:
+                out[entry.namespace] = out.get(entry.namespace, 0.0) + entry.gb_seconds
+            return out
+
+    def entries_for(self, namespace: str) -> list[BillingEntry]:
+        """This namespace's metered activations, in record order."""
+        with self._lock:
+            return [e for e in self._entries if e.namespace == namespace]
 
     def entries(self) -> list[BillingEntry]:
         with self._lock:

@@ -6,6 +6,15 @@ Cloud Functions: it enforces the per-namespace concurrency limit (429 +
 client retry when exceeded), schedules activations onto invoker nodes,
 charges cold-start/image-pull latencies, and *really executes* the action's
 Python handler inside a kernel task.
+
+The region is multi-tenant: attaching a
+:class:`~repro.faas.tenants.TenantRegistry` (see :meth:`attach_tenants`)
+turns on per-tenant admission control at accept time and replaces
+first-come scheduling with a weighted-fair dispatch queue
+(:class:`~repro.faas.dispatch.FairDispatchQueue`), so one namespace's
+invocation storm cannot starve the others.  With no registry attached the
+controller runs exactly the legacy path — same RNG draws, same trace
+bytes — which is what the paper's one-tenant experiments use.
 """
 
 from __future__ import annotations
@@ -218,9 +227,17 @@ class CloudFunctions:
         from repro.faas.iam import IAM
 
         #: key issuance/verification; enforcement is off unless
-        #: ``require_auth`` is set (the paper's experiments are single-tenant)
+        #: ``require_auth`` is set — the isolation boundary between tenant
+        #: namespaces once a :class:`~repro.faas.tenants.TenantRegistry`
+        #: shares the region
         self.iam = IAM(seed)
         self.require_auth = False
+        #: multi-tenant control plane (``None`` = legacy single-tenant
+        #: scheduling; see :meth:`attach_tenants`)
+        self.tenants = None
+        self._dispatch_queue = None
+        self._dispatched_mb = 0
+        self._dispatch_budget_mb = 0
         #: sentinel credential carried by in-cloud worker clients
         self.trusted_token = object()
         #: CPU-contention coefficient for ExecutionContext.compute();
@@ -311,6 +328,94 @@ class CloudFunctions:
         return action
 
     # ------------------------------------------------------------------
+    # Multi-tenant control plane
+    # ------------------------------------------------------------------
+    def attach_tenants(self, registry) -> None:
+        """Switch the region into multi-tenant mode.
+
+        ``registry`` (a :class:`~repro.faas.tenants.TenantRegistry`)
+        supplies per-tenant quotas enforced at accept time and the
+        dispatch policy.  Accepted invocations then queue per namespace
+        and leave the queue in deficit-round-robin order (or global
+        arrival order under the ``"fifo"`` baseline) as cluster memory
+        frees up, instead of each racing straight to placement.
+        """
+        if self.tenants is not None:
+            raise ValueError("a tenant registry is already attached")
+        from repro.faas.dispatch import FairDispatchQueue
+
+        self.tenants = registry
+        # costs are action memory (MB): a weight-1.0 tenant earns one
+        # default-sized action's worth of dispatch credit per round
+        self._dispatch_queue = FairDispatchQueue(
+            policy=registry.policy,
+            quantum=float(self.limits.default_memory_mb),
+        )
+        self._dispatch_budget_mb = (
+            self.limits.invoker_count * self.limits.invoker_memory_mb
+        )
+        self._dispatched_mb = 0
+
+    def _dispatch_kick(self) -> None:
+        """Drain the fair-dispatch queue while the cluster has headroom.
+
+        Called after every enqueue and every activation completion (no
+        daemon poller: a timer that re-arms forever would keep virtual
+        time advancing and mask real deadlocks).  Pops admitted
+        invocations in the registry's dispatch order while
+        dispatched-but-unfinished action memory stays below the invoker
+        fleet's total, spawning one platform task per activation.  The
+        headroom gate may overshoot by at most one action —
+        :meth:`_place_steps` absorbs any real capacity wait — which keeps
+        the pop decision atomic with the DRR state.
+        """
+        tenants = self.tenants
+        while True:
+            with self._act_lock:
+                if self._dispatched_mb >= self._dispatch_budget_mb:
+                    popped = None
+                else:
+                    popped = self._dispatch_queue.pop()
+                if popped is not None:
+                    self._dispatched_mb += int(popped[2])
+            if popped is None:
+                return
+            namespace, (action, params, record), _cost = popped
+            tenants.on_dispatched(namespace)
+            record.dispatch_time = self.kernel.now()
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.point(
+                    "controller.dispatch", "controller",
+                    ids={
+                        **_call_ids(params),
+                        "activation_id": record.activation_id,
+                        "tenant": namespace,
+                    },
+                    action=action.name,
+                    queued_s=round(
+                        record.dispatch_time - record.submit_time, 6
+                    ),
+                )
+            self.kernel.spawn_model(
+                self._execute,
+                action,
+                params,
+                record,
+                name=f"fn-{action.name}-{record.activation_id}",
+            )
+
+    def _tenant_release(self, action: Action, record: ActivationRecord) -> None:
+        """Return an activation's quota + dispatch credit (tenancy only)."""
+        tenants = self.tenants
+        if tenants is None:
+            return
+        with self._act_lock:
+            self._dispatched_mb -= action.memory_mb
+        tenants.on_complete(record.namespace, action.memory_mb)
+        self._dispatch_kick()
+
+    # ------------------------------------------------------------------
     # Invocation path
     # ------------------------------------------------------------------
     def invoke(
@@ -323,8 +428,10 @@ class CloudFunctions:
         """Accept one invocation; returns its activation id.
 
         Raises :class:`ThrottledError` (HTTP 429) when the namespace is at
-        its concurrent-invocation limit — a *per-namespace* limit, so one
-        tenant's burst cannot starve another.  When ``require_auth`` is set,
+        its concurrent-invocation limit — and, with a tenant registry
+        attached, when any of the calling tenant's quotas (rate,
+        concurrency, memory, queue depth) is exhausted; the error then
+        carries the refusal ``reason``.  When ``require_auth`` is set,
         ``credentials`` (an :class:`~repro.faas.iam.ApiKey`) must authorize
         the namespace.  Charges controller-side processing time to the
         calling task, like a synchronous HTTP POST would.  Blocking wrapper
@@ -354,10 +461,22 @@ class CloudFunctions:
                 1 + self._rng.uniform(-API_OVERHEAD_JITTER, API_OVERHEAD_JITTER)
             )
         yield vsleep(overhead)
+        tenants = self.tenants
+        if tenants is not None:
+            # tenant admission control: quota refusals are 429s carrying a
+            # machine-readable reason, counted per tenant by the registry
+            try:
+                tenants.admit(namespace, action.memory_mb, self.kernel.now())
+            except ThrottledError:
+                with self._act_lock:
+                    self._throttled_total += 1
+                raise
         with self._act_lock:
             current = self._active.get(namespace, 0)
             if current >= self.limits.max_concurrent:
                 self._throttled_total += 1
+                if tenants is not None:
+                    tenants.release_admission(namespace, action.memory_mb)
                 raise ThrottledError(
                     f"namespace {namespace!r} at concurrency limit "
                     f"({self.limits.max_concurrent})",
@@ -367,9 +486,13 @@ class CloudFunctions:
                 next(self._chaos_invoke_seq)
             ):
                 self._throttled_total += 1
+                if tenants is not None:
+                    tenants.release_admission(namespace, action.memory_mb)
                 hint = self._retry_after_hint(current)
                 self.chaos.record(
-                    self.kernel.now(), "throttle", "429", f"{namespace}/{action_name}"
+                    self.kernel.now(), "throttle", "429",
+                    f"{namespace}/{action_name}",
+                    tenant=namespace if tenants is not None else None,
                 )
                 raise ThrottledError(
                     f"chaos: synthetic 429 for namespace {namespace!r}",
@@ -389,20 +512,37 @@ class CloudFunctions:
             self._completion[activation_id] = None
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
+            ids = {**_call_ids(params), "activation_id": activation_id}
+            if tenants is not None:
+                ids["tenant"] = namespace
             tracer.point(
                 "controller.accept",
                 "controller",
-                ids={**_call_ids(params), "activation_id": activation_id},
+                ids=ids,
                 namespace=namespace,
                 action=action_name,
             )
-        self.kernel.spawn_model(
-            self._execute,
-            action,
-            dict(params),
-            record,
-            name=f"fn-{action_name}-{activation_id}",
-        )
+        if tenants is None:
+            self.kernel.spawn_model(
+                self._execute,
+                action,
+                dict(params),
+                record,
+                name=f"fn-{action_name}-{activation_id}",
+            )
+        else:
+            # multi-tenant: the invocation queues per namespace and leaves
+            # in weighted-fair order as the dispatcher finds headroom
+            with self._act_lock:
+                self._dispatch_queue.set_weight(
+                    namespace, tenants.get(namespace).weight
+                )
+                self._dispatch_queue.push(
+                    namespace,
+                    (action, dict(params), record),
+                    cost=float(action.memory_mb),
+                )
+            self._dispatch_kick()
         return activation_id
 
     def _retry_after_hint(self, current: int) -> float:
@@ -430,8 +570,12 @@ class CloudFunctions:
             return
         # bind the causal ids ambiently so every span emitted below this
         # task — worker phases, COS requests, in-cloud link round trips —
-        # is stamped with them automatically
-        with tracer.bind(**_call_ids(params), activation_id=record.activation_id):
+        # is stamped with them automatically (plus the tenant dimension
+        # when the region is multi-tenant)
+        ids = _call_ids(params)
+        if self.tenants is not None:
+            ids["tenant"] = record.namespace
+        with tracer.bind(**ids, activation_id=record.activation_id):
             yield from self._execute_steps(action, params, record, tracer)
 
     def _execute_steps(
@@ -490,7 +634,8 @@ class CloudFunctions:
             fate, fate_delay = self.chaos.container_fate(record.activation_id)
             if fate != "run":
                 self.chaos.record(
-                    record.start_time, "container", fate, record.activation_id
+                    record.start_time, "container", fate, record.activation_id,
+                    tenant=record.namespace if self.tenants is not None else None,
                 )
         if fate != "run":
             # the container dies without the handler completing: no result,
@@ -510,6 +655,7 @@ class CloudFunctions:
                 action.name,
                 action.memory_mb,
                 record.end_time - record.start_time,
+                namespace=record.namespace,
             )
             if tracer is not None:
                 tracer.point(
@@ -535,6 +681,7 @@ class CloudFunctions:
                 event.set()
             with self._capacity:
                 self._capacity.notify_all()
+            self._tenant_release(action, record)
             return
 
         ctx = ExecutionContext(self, record.namespace, record, action)
@@ -588,6 +735,7 @@ class CloudFunctions:
             action.name,
             action.memory_mb,
             record.end_time - record.start_time,
+            namespace=record.namespace,
         )
         if tracer is not None:
             tracer.span_at(
@@ -611,6 +759,7 @@ class CloudFunctions:
             event.set()
         with self._capacity:
             self._capacity.notify_all()
+        self._tenant_release(action, record)
 
     def _place_steps(self, action: Action, hint: Optional[list] = None):
         """Find a node for the activation, waiting for capacity if needed.

@@ -16,18 +16,28 @@ class NamespaceNotFound(FaaSError):
 
 
 class ThrottledError(FaaSError):
-    """HTTP 429: the per-namespace concurrent-invocation limit was hit.
+    """HTTP 429: an invocation was refused for capacity or quota reasons.
 
     Clients are expected to back off and retry, like IBM-PyWren's client
     does when spawning thousands of functions.  The controller populates
     ``retry_after`` (seconds) from its current load — a ``Retry-After``
     header — and well-behaved clients honor it instead of their own
-    backoff schedule.
+    backoff schedule.  When a :class:`~repro.faas.tenants.TenantRegistry`
+    refuses the call, ``reason`` names the exhausted quota (``"rate"``,
+    ``"concurrency"``, ``"memory"`` or ``"queue"``); the legacy
+    per-namespace concurrency limit and chaos-injected 429s leave it
+    ``None``.
     """
 
-    def __init__(self, message: str, retry_after: float | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        retry_after: float | None = None,
+        reason: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+        self.reason = reason
 
 
 class RuntimeNotFound(FaaSError):

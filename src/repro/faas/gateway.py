@@ -57,6 +57,8 @@ class CloudFunctionsClient:
         self.policy = RetryPolicy(retry, seed=link.seed)
         self._invocations = 0
         self._throttle_retries = 0
+        self._throttle_retries_by_ns: dict[str, int] = {}
+        self._throttle_reasons: dict[str, int] = {}
 
     @property
     def invocations(self) -> int:
@@ -65,6 +67,15 @@ class CloudFunctionsClient:
     @property
     def throttle_retries(self) -> int:
         return self._throttle_retries
+
+    def throttle_retries_by_namespace(self) -> dict[str, int]:
+        """429 retries this client absorbed, per target namespace."""
+        return dict(self._throttle_retries_by_ns)
+
+    def throttle_reasons(self) -> dict[str, int]:
+        """429 retries by refusal reason (tenant quotas name theirs;
+        plain capacity throttles count under ``"capacity"``)."""
+        return dict(self._throttle_reasons)
 
     def _network_round_trip(self, payload_bytes: int) -> None:
         self.policy.run(
@@ -106,6 +117,9 @@ class CloudFunctionsClient:
             tracer = None
         call_ids = _gateway_ids(params) if tracer is not None else None
         t0 = kernel.now() if tracer is not None else None
+        # tenant dimension only in multi-tenant regions, so single-tenant
+        # traces stay byte-identical to pre-tenancy runs
+        multitenant = getattr(self.platform, "tenants", None) is not None
         # duck-typed platforms (test fakes) may only offer blocking invoke
         invoke_steps = getattr(self.platform, "invoke_steps", None)
         throttle_attempt = 0
@@ -125,12 +139,27 @@ class CloudFunctionsClient:
             except ThrottledError as exc:
                 self._throttle_retries += 1
                 throttle_attempt += 1
+                self._throttle_retries_by_ns[namespace] = (
+                    self._throttle_retries_by_ns.get(namespace, 0) + 1
+                )
+                reason = getattr(exc, "reason", None)
+                reason_label = reason if reason is not None else "capacity"
+                self._throttle_reasons[reason_label] = (
+                    self._throttle_reasons.get(reason_label, 0) + 1
+                )
                 if tracer is not None:
-                    tracer.point(
-                        "gateway.throttle", "gateway", ids=call_ids,
+                    attrs = dict(
                         action=action_name,
                         attempt=throttle_attempt,
                         retry_after=exc.retry_after,
+                    )
+                    ids = call_ids
+                    if multitenant:
+                        ids = {**call_ids, "tenant": namespace}
+                        if reason is not None:
+                            attrs["reason"] = reason
+                    tracer.point(
+                        "gateway.throttle", "gateway", ids=ids, **attrs
                     )
                 yield vsleep(
                     self.policy.backoff(throttle_attempt, exc.retry_after)
@@ -138,9 +167,12 @@ class CloudFunctionsClient:
                 continue
             self._invocations += 1
             if tracer is not None:
+                ids = {**call_ids, "activation_id": activation_id}
+                if multitenant:
+                    ids["tenant"] = namespace
                 tracer.span_at(
                     "gateway.invoke", "gateway", t0, kernel.now(),
-                    ids={**call_ids, "activation_id": activation_id},
+                    ids=ids,
                     namespace=namespace,
                     action=action_name,
                     throttles=throttle_attempt,

@@ -3,9 +3,12 @@
 IBM Cloud Functions namespaces are per-tenant: an API key authenticates a
 client and authorizes it for exactly one namespace, and the §3 concurrency
 limit ("maximum 1,000 concurrent invocations") applies per namespace, not
-per cluster.  The emulation keeps auth optional (off by default, since the
-paper's experiments run single-tenant) but enforces both properties when
-enabled.
+per cluster.  In a multi-tenant region (a
+:class:`~repro.faas.tenants.TenantRegistry` attached) this is the
+isolation boundary: a key for tenant A can never invoke, list or read
+activations in tenant B's namespace.  Enforcement stays optional
+(``require_auth``, off by default so the paper's one-tenant experiment
+scripts run unchanged) but both properties hold whenever it is on.
 """
 
 from __future__ import annotations

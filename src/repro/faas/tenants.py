@@ -1,0 +1,313 @@
+"""The tenant registry: quotas, admission control and per-tenant accounting.
+
+A public FaaS region serves thousands of namespaces at once; the paper's
+experiments were run against exactly such a shared region, where the §3
+limits ("maximum 1,000 concurrent invocations") are enforced *per tenant*.
+This module is the control-plane half of that story: a
+:class:`TenantRegistry` holds one :class:`~repro.config.TenantConfig` per
+namespace and answers, per incoming invocation, "may this tenant admit
+one more?" — by concurrency quota, in-flight memory quota, token-bucket
+invocation rate and dispatch-queue depth.  A refusal is an HTTP 429
+(:class:`~repro.faas.errors.ThrottledError`) with a ``retry_after`` hint
+and a machine-readable ``reason``, which the gateway client backs off on.
+
+The registry is pure bookkeeping on the virtual clock: no RNG, no kernel
+tasks.  Attaching one to a platform
+(:meth:`~repro.faas.controller.CloudFunctions.attach_tenants`) is what
+switches the controller from first-come scheduling to the weighted-fair
+dispatch queue (:mod:`repro.faas.dispatch`); with no registry attached
+the platform behaves exactly as the single-tenant emulation always did.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Union
+
+from repro.config import TenantConfig
+from repro.faas.dispatch import POLICIES
+from repro.faas.errors import FaaSError, ThrottledError
+
+__all__ = ["TenantRegistry", "TenantNotFound", "TenantState"]
+
+
+class TenantNotFound(FaaSError):
+    """Invocation for a namespace no registered tenant owns."""
+
+
+class TenantState:
+    """Runtime accounting for one tenant (all mutation under registry lock)."""
+
+    __slots__ = (
+        "config",
+        "inflight",
+        "inflight_mb",
+        "pending",
+        "tokens",
+        "token_time",
+        "admitted",
+        "dispatched",
+        "completed",
+        "throttled",
+    )
+
+    def __init__(self, config: TenantConfig) -> None:
+        self.config = config
+        #: admitted invocations not yet finished (queued + running)
+        self.inflight = 0
+        #: action memory (MB) held by in-flight invocations
+        self.inflight_mb = 0
+        #: invocations sitting in the fair-dispatch queue
+        self.pending = 0
+        #: token bucket for the invocation-rate quota
+        self.tokens = float(config.rate_burst)
+        self.token_time = 0.0
+        self.admitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        #: 429 counts by reason: rate | concurrency | memory | queue
+        self.throttled: dict[str, int] = {}
+
+    def snapshot(self) -> dict:
+        return {
+            "tenant": self.config.name,
+            "weight": self.config.weight,
+            "inflight": self.inflight,
+            "inflight_mb": self.inflight_mb,
+            "pending": self.pending,
+            "admitted": self.admitted,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "throttled": dict(self.throttled),
+        }
+
+
+class TenantRegistry:
+    """All tenants of one emulated region, plus the dispatch policy.
+
+    ``policy`` selects how the controller drains admitted work under
+    overload: ``"drr"`` (weighted-fair deficit round robin, the default)
+    or ``"fifo"`` (the historical first-come order — kept as the unfair
+    baseline the tenant-storm bench measures against).
+
+    ``default`` is an optional :class:`TenantConfig` template: when set,
+    an invocation for an unregistered namespace lazily registers a copy
+    of it (with ``name`` rebound); when ``None``, unknown namespaces are
+    rejected with :class:`TenantNotFound`.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantConfig] = (),
+        default: Optional[TenantConfig] = None,
+        policy: str = "drr",
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"dispatch policy must be one of {POLICIES}, got {policy!r}"
+            )
+        self.policy = policy
+        self.default = default
+        if default is not None:
+            default.validate()
+        self._states: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+        self._throttled_total = 0
+        for tenant in tenants:
+            self.register(tenant)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, tenant: Union[TenantConfig, str]) -> TenantConfig:
+        """Register a tenant (idempotent for an identical config)."""
+        if isinstance(tenant, str):
+            tenant = TenantConfig(name=tenant)
+        tenant.validate()
+        with self._lock:
+            existing = self._states.get(tenant.name)
+            if existing is not None:
+                if existing.config != tenant:
+                    raise ValueError(
+                        f"tenant {tenant.name!r} already registered with a "
+                        f"different config"
+                    )
+                return existing.config
+            self._states[tenant.name] = TenantState(tenant)
+        return tenant
+
+    def get(self, namespace: str) -> TenantConfig:
+        """The config owning ``namespace`` (raises :class:`TenantNotFound`)."""
+        return self._state(namespace).config
+
+    def known(self, namespace: str) -> bool:
+        with self._lock:
+            return namespace in self._states
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._states)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._states)
+
+    def _state(self, namespace: str) -> TenantState:
+        with self._lock:
+            state = self._states.get(namespace)
+            if state is None:
+                if self.default is None:
+                    raise TenantNotFound(
+                        f"namespace {namespace!r} has no registered tenant"
+                    )
+                import dataclasses
+
+                config = dataclasses.replace(self.default, name=namespace)
+                state = self._states[namespace] = TenantState(config)
+            return state
+
+    # ------------------------------------------------------------------
+    # Admission control (the gateway-facing 429 surface)
+    # ------------------------------------------------------------------
+    def admit(self, namespace: str, memory_mb: int, now: float) -> TenantState:
+        """Admit one invocation of ``memory_mb`` at virtual time ``now``.
+
+        Checks, in order: invocation rate (token bucket), concurrency
+        quota, in-flight memory quota, dispatch-queue depth.  All checks
+        pass → the token is consumed and the in-flight counters charged
+        atomically; any failure raises :class:`ThrottledError` carrying
+        ``retry_after`` and a ``reason`` without consuming anything.
+        """
+        state = self._state(namespace)
+        config = state.config
+        with self._lock:
+            # refill the bucket lazily on the virtual clock
+            if config.rate_per_s is not None:
+                elapsed = max(0.0, now - state.token_time)
+                state.tokens = min(
+                    float(config.rate_burst),
+                    state.tokens + elapsed * config.rate_per_s,
+                )
+                state.token_time = now
+                if state.tokens < 1.0:
+                    retry_after = (1.0 - state.tokens) / config.rate_per_s
+                    self._throttle_locked(state, "rate")
+                    raise ThrottledError(
+                        f"tenant {namespace!r} over invocation rate "
+                        f"({config.rate_per_s}/s)",
+                        retry_after=round(retry_after, 3),
+                        reason="rate",
+                    )
+            if (
+                config.max_concurrent is not None
+                and state.inflight >= config.max_concurrent
+            ):
+                self._throttle_locked(state, "concurrency")
+                raise ThrottledError(
+                    f"tenant {namespace!r} at concurrency quota "
+                    f"({config.max_concurrent})",
+                    retry_after=self._load_hint(
+                        state.inflight, config.max_concurrent
+                    ),
+                    reason="concurrency",
+                )
+            if (
+                config.memory_quota_mb is not None
+                and state.inflight_mb + memory_mb > config.memory_quota_mb
+            ):
+                self._throttle_locked(state, "memory")
+                raise ThrottledError(
+                    f"tenant {namespace!r} over memory quota "
+                    f"({config.memory_quota_mb}MB)",
+                    retry_after=self._load_hint(
+                        state.inflight_mb, config.memory_quota_mb
+                    ),
+                    reason="memory",
+                )
+            if (
+                config.max_pending is not None
+                and state.pending >= config.max_pending
+            ):
+                self._throttle_locked(state, "queue")
+                raise ThrottledError(
+                    f"tenant {namespace!r} dispatch queue full "
+                    f"({config.max_pending} pending)",
+                    retry_after=self._load_hint(
+                        state.pending, config.max_pending
+                    ),
+                    reason="queue",
+                )
+            if config.rate_per_s is not None:
+                state.tokens -= 1.0
+            state.inflight += 1
+            state.inflight_mb += memory_mb
+            state.pending += 1
+            state.admitted += 1
+        return state
+
+    @staticmethod
+    def _load_hint(current: float, quota: float) -> float:
+        """``Retry-After`` seconds scaled with quota pressure (cf. the
+        controller's per-namespace hint)."""
+        fraction = min(1.0, current / max(1.0, quota))
+        return round(0.25 + 0.75 * fraction, 3)
+
+    def _throttle_locked(self, state: TenantState, reason: str) -> None:
+        state.throttled[reason] = state.throttled.get(reason, 0) + 1
+        self._throttled_total += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle accounting (controller-facing)
+    # ------------------------------------------------------------------
+    def on_dispatched(self, namespace: str) -> None:
+        """An admitted invocation left the queue for an invoker."""
+        state = self._state(namespace)
+        with self._lock:
+            state.pending -= 1
+            state.dispatched += 1
+
+    def on_complete(self, namespace: str, memory_mb: int) -> None:
+        """An in-flight invocation finished (any status)."""
+        state = self._state(namespace)
+        with self._lock:
+            state.inflight -= 1
+            state.inflight_mb -= memory_mb
+            state.completed += 1
+
+    def release_admission(self, namespace: str, memory_mb: int) -> None:
+        """Roll back an admission that never reached the queue (the
+        chaos plane's synthetic 429 fires after quota admission)."""
+        state = self._state(namespace)
+        with self._lock:
+            state.inflight -= 1
+            state.inflight_mb -= memory_mb
+            state.pending -= 1
+            state.admitted -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def inflight(self, namespace: str) -> int:
+        return self._state(namespace).inflight
+
+    def pending(self, namespace: str) -> int:
+        return self._state(namespace).pending
+
+    @property
+    def throttled_total(self) -> int:
+        with self._lock:
+            return self._throttled_total
+
+    def stats(self) -> dict[str, dict]:
+        """Per-tenant accounting snapshot, keyed by namespace."""
+        with self._lock:
+            return {
+                name: state.snapshot() for name, state in self._states.items()
+            }
+
+    def weights(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                name: state.config.weight
+                for name, state in self._states.items()
+            }

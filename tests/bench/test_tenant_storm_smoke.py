@@ -1,0 +1,42 @@
+"""Fast smoke of the tenant-storm bench harness (tiny scale).
+
+The real run (``make bench-tenant-storm``) is nightly-tier; here we
+verify the harness machinery — mode runner, per-tenant metrics, report
+shape — on a workload small enough for the unit suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import bench_tenant_storm as bench
+from repro.chaos import ChaosProfile
+
+TINY = dict(n_tenants=6, tasks_per_tenant=2, task_s=5.0, seed=99)
+
+
+class TestTenantStormHarness:
+    @pytest.mark.parametrize("policy", ["fifo", "drr"])
+    def test_mode_runs_and_reports(self, policy):
+        report = bench.run_mode(policy, **TINY)
+        assert report["policy"] == policy
+        assert report["tenants"] == TINY["n_tenants"]
+        assert 0.0 < report["jain_fairness_index"] <= 1.0
+        assert report["throughput_tasks_per_s"] > 0
+        assert report["billing"]["tenants_billed"] == TINY["n_tenants"]
+        spread = report["makespan_s"]
+        assert spread["min"] <= spread["p50"] <= spread["p95"] <= spread["max"]
+
+    def test_storm_mode_records_faults(self):
+        report = bench.run_mode(
+            "drr",
+            chaos=ChaosProfile("tenant-storm", seed=3, crash_prob=0.0, hang_prob=0.0),
+            **TINY,
+        )
+        assert report["chaos"] == "tenant-storm"
+        assert "faults" in report
+
+    def test_same_seed_modes_are_reproducible(self):
+        first = bench.run_mode("drr", **TINY)
+        second = bench.run_mode("drr", **TINY)
+        assert first == second

@@ -1,0 +1,97 @@
+"""The frozen workload behind the multi-tenant golden trace.
+
+The multi-tenant control plane (tenant admission + weighted-fair
+dispatch) must be *deterministic*: a same-seed run of a concurrent
+three-tenant workload produces a byte-identical trace export — same
+events, same DRR dispatch order, same timestamps, same JSON.  This
+module pins that bar the same way ``tests.exchange.golden_workload``
+pins the exchange refactor's:
+
+* ``golden_trace_multitenant.jsonl`` holds the full region trace of the
+  workload below (three tenants, weights 4/2/1, a cluster small enough
+  that dispatch queues and the deficit-round-robin order shows);
+* ``test_golden_multitenant.py`` re-runs it on every test run and
+  asserts the export still matches the committed bytes.
+
+Everything here must stay importable at the stable module path
+``tests.faas.golden_workload_multitenant`` so the shipped function
+pickles by reference with deterministic bytes; regenerate (only for an
+intentional, documented behaviour change) with::
+
+    PYTHONPATH=src:. python -c \
+        "from tests.faas.golden_workload_multitenant import write_golden; write_golden()"
+"""
+
+from __future__ import annotations
+
+import os
+
+SEED = 321
+N_TASKS = 6
+TASK_SLEEP_S = 3.0
+#: name -> DRR weight; deliberately skewed so the dispatch order is
+#: weight-shaped, not round-robin
+TENANT_WEIGHTS = {"tenant-a": 4.0, "tenant-b": 2.0, "tenant-c": 1.0}
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_trace_multitenant.jsonl"
+)
+
+
+def spin(x):
+    import repro as pw
+
+    pw.sleep(TASK_SLEEP_S)
+    return x
+
+
+def run_traced() -> str:
+    """One traced same-seed three-tenant run on a queue-forcing cluster.
+
+    Returns the exported region trace JSONL (every layer, every tenant).
+    Executor ids are environment-scoped serials, so the export is a pure
+    function of the seed — no normalization needed.
+    """
+    from repro.config import TenantConfig
+    from repro.core.environment import CloudEnvironment
+    from repro.faas import SystemLimits
+    from repro.trace import export
+
+    env = CloudEnvironment.create(
+        seed=SEED,
+        trace=True,
+        # 2 invokers x 512 MB = four 256 MB actions in flight: 18 queued
+        # tasks must leave the dispatch queue in DRR order
+        limits=SystemLimits(invoker_count=2, invoker_memory_mb=512),
+        tenants=[
+            TenantConfig(name, weight=weight)
+            for name, weight in TENANT_WEIGHTS.items()
+        ],
+    )
+
+    def main():
+        executors = {
+            name: env.executor(namespace=name) for name in TENANT_WEIGHTS
+        }
+        futures = {
+            name: executors[name].map(spin, list(range(N_TASKS)))
+            for name in TENANT_WEIGHTS
+        }
+        return {
+            name: executors[name].get_result(futures[name])
+            for name in TENANT_WEIGHTS
+        }
+
+    results = env.run(main)
+    assert results == {name: list(range(N_TASKS)) for name in TENANT_WEIGHTS}, (
+        "golden workload result drifted"
+    )
+    return export.to_jsonl(env.tracer.events())
+
+
+def write_golden() -> str:
+    """(Re)generate the committed golden trace.  Intentional changes only."""
+    jsonl = run_traced()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        fh.write(jsonl)
+    print(f"wrote {GOLDEN_PATH} ({len(jsonl.splitlines())} events)")
+    return GOLDEN_PATH
