@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-cache bench-resume bench-exchange bench-tenant-storm docs-check examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-dag-swarm bench-cache bench-resume bench-exchange bench-tenant-storm docs-check examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -37,6 +37,14 @@ bench-kernel-scale:
 # (acceptance: DAG wins mergesort wall-clock, same-seed traces identical)
 bench-dag:
 	PYTHONPATH=src python benchmarks/bench_dag_pipeline.py
+
+# centralized vs worker-driven (swarm) DAG scheduling on the Fig. 4
+# merge tree, a 100-level chain, and a wide-then-deep ML graph; writes
+# BENCH_dag_swarm.json (acceptance: swarm wins the chain wall-clock with
+# one client invocation total, no duplicate activations, same-seed swarm
+# traces byte-identical)
+bench-dag-swarm:
+	PYTHONPATH=src python benchmarks/bench_dag_swarm.py
 
 # COS-only vs memory-tier cached intermediate exchange on the Fig. 4
 # mergesort + shuffle wordcount; writes BENCH_cache_exchange.json

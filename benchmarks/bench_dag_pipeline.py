@@ -103,7 +103,12 @@ def run_barriered_mergesort():
     return {"makespan_s": round(env.now(), 1), "activations": activations}
 
 
-def _build_merge_tree(builder, array):
+def build_merge_tree(builder, array):
+    """The Fig. 4 shape: uneven sort leaves feeding a binary merge tree.
+
+    Shared with ``bench_dag_swarm.py`` so both benches sweep the exact
+    same graph.  Returns the root node.
+    """
     level = [
         builder.call(chunk_sort, spec, name=f"sort[{i}]", stage="sort")
         for i, spec in enumerate(_leaf_specs(array))
@@ -123,6 +128,75 @@ def _build_merge_tree(builder, array):
     return level[0]
 
 
+# ---------------------------------------------------------- deep/wide shapes
+def chain_step(x):
+    """One 2 s pipeline stage; deliberately cheap so per-level scheduling
+    overhead (client WAN round-trips + poll staleness) dominates."""
+    pw.sleep(2)
+    return x + 1
+
+
+def build_chain(builder, depth=100):
+    """A ``depth``-level linear chain of *non-fusable* stages.
+
+    ``fusable=False`` models stages pinned to distinct activations
+    (different resource needs); with fusion on, the whole chain would
+    collapse into one node and there would be nothing to schedule.  This
+    is the shape where worker-driven scheduling wins most: the critical
+    path crosses ``depth`` scheduling decisions.
+    """
+    node = builder.call(
+        chain_step, 0, name="step[0]", stage="chain", fusable=False
+    )
+    for index in range(1, depth):
+        node = node.then(
+            chain_step, name=f"step[{index}]", stage="chain", fusable=False
+        )
+    return node
+
+
+def extract_features(spec):
+    """Wide phase: skewed per-shard feature extraction."""
+    pw.sleep(4 + (spec["shard"] % 3) * 3)
+    return spec["shard"] + 1
+
+
+def aggregate_features(counts):
+    pw.sleep(3)
+    return sum(counts)
+
+
+def train_epoch(value):
+    pw.sleep(2)
+    return value + 1
+
+
+def build_wide_deep(builder, width=12, depth=12):
+    """Wide-then-deep ML-style graph (feature sweep -> iterative train).
+
+    ``width`` parallel feature-extraction shards reduce into one
+    aggregate, which feeds a ``depth``-long non-fusable training chain —
+    the fan-out exercises counter decrements under contention, the chain
+    exercises the per-level handoff latency.
+    """
+    shards = [
+        builder.call(
+            extract_features, {"shard": index},
+            name=f"extract[{index}]", stage="extract",
+        )
+        for index in range(width)
+    ]
+    node = builder.reduce(
+        aggregate_features, shards, name="aggregate", stage="aggregate",
+        fusable=False,
+    )
+    for index in range(depth):
+        node = node.then(
+            train_epoch, name=f"epoch[{index}]", stage="train", fusable=False
+        )
+    return node
+
+
 def run_dag_mergesort(trace=False):
     env = CloudEnvironment.create(seed=SEED, trace=trace)
     array = _array()
@@ -130,7 +204,7 @@ def run_dag_mergesort(trace=False):
     def main():
         executor = pw.ibm_cf_executor()
         builder = DagBuilder()
-        root = _build_merge_tree(builder, array)
+        root = build_merge_tree(builder, array)
         run = DagScheduler(executor).submit(builder.build())
         result = run.expose(root).result()
         jsonl = executor.trace_jsonl() if trace else ""

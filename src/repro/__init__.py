@@ -28,6 +28,7 @@ from repro.cache import CachePlane
 from repro.chaos import ChaosPlane, ChaosProfile
 from repro.config import (
     CacheConfig,
+    DagConfig,
     EventsConfig,
     ExchangeConfig,
     InvokerMode,
@@ -109,6 +110,7 @@ __all__ = [
     "sequence",
     "Dag",
     "DagBuilder",
+    "DagConfig",
     "DagNode",
     "DagRun",
     "DagScheduler",

@@ -189,6 +189,12 @@ def _cmd_dag(args: Sequence[str]) -> int:
     )
     parser.add_argument("--dot", metavar="OUT", help="write DOT here")
     parser.add_argument("--svg", metavar="OUT", help="write SVG here")
+    parser.add_argument(
+        "--swarm-trace",
+        metavar="JSONL",
+        help="a swarm-scheduled run's trace JSONL; colors DOT edges by "
+        "the invoking site (who invoked whom)",
+    )
     opts = parser.parse_args(list(args))
 
     from repro.dag import DagBuilder, render
@@ -237,7 +243,14 @@ def _cmd_dag(args: Sequence[str]) -> int:
 
     dag = builder.build(fuse=not opts.no_fuse)
     print(render.describe(dag))
-    dot = render.to_dot(dag)
+    invoked_by = None
+    if opts.swarm_trace:
+        from repro.trace import export
+
+        with open(opts.swarm_trace, encoding="utf-8") as fh:
+            invoked_by = render.swarm_invoked_by(export.from_jsonl(fh.read()))
+        print(f"swarm trace: {len(invoked_by)} worker-fired nodes")
+    dot = render.to_dot(dag, invoked_by=invoked_by)
     if opts.dot:
         with open(opts.dot, "w", encoding="utf-8") as fh:
             fh.write(dot)

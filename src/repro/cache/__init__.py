@@ -3,7 +3,7 @@
 A tiered data-exchange path for intermediates (shuffle partitions, DAG
 node outputs, mergesort runs): write-through to COS, read cache-first —
 local memory hit, then a peer node over the emulated network, then the
-COS fallback that correctness always rests on.  See ARCHITECTURE.md §9.
+COS fallback that correctness always rests on.  See ARCHITECTURE.md §10.
 """
 
 from repro.cache.node_cache import NodeCache

@@ -1,7 +1,7 @@
 """The cache plane: per-node memory caches + a consistent-hash directory.
 
 :class:`CachePlane` is the cluster-wide view of the intermediate-data
-cache tier (ARCHITECTURE.md §9).  It owns one
+cache tier (ARCHITECTURE.md §10).  It owns one
 :class:`~repro.cache.node_cache.NodeCache` per invoker node and the
 directory that records *which* nodes hold a key.  The directory metadata
 itself is free at simulation granularity — registration piggybacks on the

@@ -98,7 +98,7 @@ class RetryConfig:
 
 @dataclass(frozen=True)
 class CacheConfig:
-    """The memory-tier intermediate-data cache plane (ARCHITECTURE.md §9).
+    """The memory-tier intermediate-data cache plane (ARCHITECTURE.md §10).
 
     Disabled by default: with ``enabled=False`` no plane is built, no
     ``cache.*`` trace events are emitted and every data exchange behaves
@@ -109,7 +109,7 @@ class CacheConfig:
     local memory hit → peer transfer over the emulated network → COS.
 
     Enabling this is shorthand for selecting the ``cached-cos`` exchange
-    backend (:class:`ExchangeConfig`, ARCHITECTURE.md §10), which owns
+    backend (:class:`ExchangeConfig`, ARCHITECTURE.md §11), which owns
     the plane since the backend seam was introduced.
     """
 
@@ -259,7 +259,7 @@ class TenantConfig:
 
 @dataclass(frozen=True)
 class EventsConfig:
-    """Durable event-sourced orchestration journal (ARCHITECTURE.md §11).
+    """Durable event-sourced orchestration journal (ARCHITECTURE.md §12).
 
     Disabled by default: with ``enabled=False`` no journal is built, no
     ``events.*`` trace events are emitted and nothing changes in any
@@ -294,6 +294,54 @@ class EventsConfig:
                 f"events backend must be one of {self.BACKENDS}, "
                 f"got {self.backend!r}"
             )
+
+
+@dataclass(frozen=True)
+class DagConfig:
+    """How :class:`~repro.dag.DagScheduler` drives a submitted graph
+    (ARCHITECTURE.md "Decentralized DAG scheduling").
+
+    The default ``scheduler="centralized"`` is the PR 4 client-side
+    watcher: every node completion is discovered by the client's poll
+    loop (a WAN round-trip) before dependents launch, and same-seed
+    traces are byte-identical to pre-swarm code.  ``"swarm"`` ships a
+    static schedule to COS at submit and lets each finishing worker
+    decrement its dependents' dependency counters with conditional PUTs
+    and invoke every dependent that became ready from *inside* the cloud
+    (in-cloud RTT instead of WAN), carrying a placement hint for its own
+    invoker node.  The client is reduced to a supervisor: it observes
+    status commits, retries failed nodes, buries dependents of terminal
+    failures, and re-drives any node whose handoff was orphaned by a
+    worker crash once ``orphan_grace_s`` of virtual time passes without
+    a status.
+    """
+
+    #: ``"centralized"`` (client-driven watcher) or ``"swarm"``
+    #: (worker-driven handoff, client as supervisor)
+    scheduler: str = "centralized"
+    #: swarm only: how long the supervisor waits for a dependency-complete
+    #: node's status before re-driving it itself (seconds, virtual)
+    orphan_grace_s: float = 8.0
+    #: swarm only: once the supervisor sees the node's fire token claimed
+    #: (a worker committed to invoking it — the node is almost certainly
+    #: just still running), the redrive fuse stretches to
+    #: ``orphan_grace_s * claimed_grace_factor``; it still fires
+    #: eventually, covering a worker that crashed between claiming the
+    #: token and issuing the invocation
+    claimed_grace_factor: float = 4.0
+
+    SCHEDULERS = ("centralized", "swarm")
+
+    def validate(self) -> None:
+        if self.scheduler not in self.SCHEDULERS:
+            raise ValueError(
+                f"dag scheduler must be one of {self.SCHEDULERS}, "
+                f"got {self.scheduler!r}"
+            )
+        if self.orphan_grace_s <= 0:
+            raise ValueError("orphan_grace_s must be positive")
+        if self.claimed_grace_factor < 1.0:
+            raise ValueError("claimed_grace_factor must be >= 1")
 
 
 @dataclass
@@ -342,6 +390,8 @@ class PyWrenConfig:
     exchange: ExchangeConfig = field(default_factory=ExchangeConfig)
     #: event-sourced orchestration journal + resume (disabled by default)
     events: EventsConfig = field(default_factory=EventsConfig)
+    #: DAG scheduling mode (default: the centralized client-side watcher)
+    dag: DagConfig = field(default_factory=DagConfig)
     #: times a *lost* call (its activation died without writing a status
     #: object) is re-invoked before it is failed; ``map(..., retries=N)``
     #: overrides this per job
@@ -384,6 +434,9 @@ class PyWrenConfig:
         if not isinstance(self.events, EventsConfig):
             raise ValueError("events must be an EventsConfig")
         self.events.validate()
+        if not isinstance(self.dag, DagConfig):
+            raise ValueError("dag must be a DagConfig")
+        self.dag.validate()
         if self.invocation_retries < 0:
             raise ValueError("invocation_retries must be non-negative")
         if self.recover_lost not in (True, False, "auto"):
@@ -416,6 +469,7 @@ class PyWrenConfig:
             "cache": CacheConfig,
             "exchange": ExchangeConfig,
             "events": EventsConfig,
+            "dag": DagConfig,
         }
         for section, section_cls in nested.items():
             if not isinstance(data.get(section), dict):

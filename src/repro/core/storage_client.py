@@ -325,6 +325,117 @@ class InternalStorage:
             return None
         return blob.decode("utf-8")
 
+    # -- swarm scheduling plane -------------------------------------------------
+    def swarm_prefix(self, executor_id: str, dag_id: str) -> str:
+        return f"{self.prefix}/{executor_id}/{dag_id}/swarm"
+
+    def swarm_schedule_key(self, executor_id: str, dag_id: str) -> str:
+        return f"{self.swarm_prefix(executor_id, dag_id)}/schedule.pickle"
+
+    def swarm_marker_key(
+        self, executor_id: str, dag_id: str, node_key: str, dep_key: str
+    ) -> str:
+        """The append-once "dependency ``dep_key`` of ``node_key`` is done"
+        marker — one per DAG edge, written by the dependency's worker."""
+        return (
+            f"{self.swarm_prefix(executor_id, dag_id)}/{node_key}"
+            f"/dep-{dep_key}.done"
+        )
+
+    def swarm_token_key(
+        self, executor_id: str, dag_id: str, node_key: str
+    ) -> str:
+        """The node's fire token: whoever creates it invokes the node."""
+        return f"{self.swarm_prefix(executor_id, dag_id)}/{node_key}/fire.token"
+
+    def put_swarm_schedule(
+        self, executor_id: str, dag_id: str, schedule: dict[str, Any]
+    ) -> str:
+        """Ship the static schedule once at submit (client side, one PUT)."""
+        key = self.swarm_schedule_key(executor_id, dag_id)
+        self.cos.put_object(self.bucket, key, serializer.serialize(schedule))
+        return key
+
+    def get_swarm_schedule_steps(self, executor_id: str, dag_id: str):
+        """Steps twin: workers fetch the schedule over the in-cloud link."""
+        blob = yield from self.cos.get_object_steps(
+            self.bucket, self.swarm_schedule_key(executor_id, dag_id)
+        )
+        return serializer.deserialize(blob)
+
+    def commit_swarm_marker_steps(
+        self,
+        executor_id: str,
+        dag_id: str,
+        node_key: str,
+        dep_key: str,
+        payload: dict[str, Any],
+    ):
+        """Decrement one dependency counter: create the edge's done marker.
+
+        Conditional (``If-None-Match: *``, the same append-once primitive
+        as :meth:`commit_status` and :meth:`append_journal_record`), so a
+        re-run of the producing node cannot decrement twice.  Returns
+        whether this attempt created the marker.
+        """
+        try:
+            yield from self.cos.put_object_steps(
+                self.bucket,
+                self.swarm_marker_key(executor_id, dag_id, node_key, dep_key),
+                serializer.serialize(payload),
+                if_none_match=True,
+            )
+        except PreconditionFailed:
+            return False
+        return True
+
+    def claim_swarm_token_steps(
+        self,
+        executor_id: str,
+        dag_id: str,
+        node_key: str,
+        payload: dict[str, Any],
+    ):
+        """Claim the exclusive right to invoke ``node_key``.
+
+        Several workers can observe the same counter hit zero (their LIST
+        responses race); the conditional PUT on the fire token picks
+        exactly one winner, so a node is never worker-invoked twice.
+        Returns whether this attempt won the token.
+        """
+        try:
+            yield from self.cos.put_object_steps(
+                self.bucket,
+                self.swarm_token_key(executor_id, dag_id, node_key),
+                serializer.serialize(payload),
+                if_none_match=True,
+            )
+        except PreconditionFailed:
+            return False
+        return True
+
+    def swarm_token_claimed(
+        self, executor_id: str, dag_id: str, node_key: str
+    ) -> bool:
+        """Whether some worker already claimed ``node_key``'s fire token.
+
+        Client side: the supervisor checks this before re-driving an
+        overdue delegated node — a claimed token means the invocation
+        (almost certainly) happened and the node is merely still running,
+        so the redrive fuse is extended rather than fired.
+        """
+        return self.cos.object_exists(
+            self.bucket, self.swarm_token_key(executor_id, dag_id, node_key)
+        )
+
+    def count_swarm_markers_steps(
+        self, executor_id: str, dag_id: str, node_key: str
+    ):
+        """Done markers present for ``node_key``, via one LIST request."""
+        prefix = f"{self.swarm_prefix(executor_id, dag_id)}/{node_key}/"
+        keys = yield from self.cos.list_keys_steps(self.bucket, prefix)
+        return sum(1 for key in keys if key.endswith(".done"))
+
     # -- job traces ------------------------------------------------------------
     def trace_key(self, executor_id: str, callset_id: str) -> str:
         return f"{self.callset_prefix(executor_id, callset_id)}/trace.jsonl"

@@ -187,6 +187,14 @@ def runner_handler(params: dict[str, Any], ctx: ExecutionContext):
             run_end=end_time,
         )
 
+    if params.get("swarm") is not None and committed and success:
+        # swarm-scheduled DAG node: the winning, successful commit carries
+        # the scheduling baton — decrement dependents' counters and invoke
+        # whatever became ready, from inside the cloud (see repro.dag.swarm)
+        from repro.dag.swarm import swarm_handoff_steps
+
+        yield from swarm_handoff_steps(params, ctx, storage, status)
+
     monitor_queue = params.get("monitor_queue")
     if monitor_queue and committed:
         # push-monitoring transport: notify the client directly, in

@@ -181,6 +181,11 @@ class COSClient:
         self._request(0, op="list")
         return self.store.list_keys(bucket, prefix)
 
+    def list_keys_steps(self, bucket: str, prefix: str = ""):
+        """Steps twin of :meth:`list_keys` (model tasks ``yield from``)."""
+        yield from self._request_steps(0, op="list")
+        return self.store.list_keys(bucket, prefix)
+
     # -- internals -----------------------------------------------------------
     def _request(self, payload_bytes: int, op: str = "request") -> None:
         """One COS request: network round trip + chaos faults + retries.

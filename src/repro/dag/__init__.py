@@ -3,13 +3,16 @@
 Declarative graph construction (:class:`DagBuilder`), barrier-free
 dependency-driven scheduling on the virtual-time kernel
 (:class:`DagScheduler`), locality-aware placement hints, linear-chain
-fusion, and graph rendering.  See docs/ARCHITECTURE.md §8.
+fusion, graph rendering, and decentralized worker-driven scheduling
+(:mod:`repro.dag.swarm`, opt-in via ``scheduler="swarm"``).  See
+docs/ARCHITECTURE.md §8 and §9.
 """
 
 from repro.dag.graph import Dag, DagBuilder
 from repro.dag.node import DagNode, NodeState
-from repro.dag.render import to_dot, to_svg
+from repro.dag.render import swarm_invoked_by, to_dot, to_svg
 from repro.dag.scheduler import DagRun, DagScheduler
+from repro.dag.swarm import build_schedule, swarm_handoff_steps
 
 __all__ = [
     "Dag",
@@ -18,6 +21,9 @@ __all__ = [
     "DagRun",
     "DagScheduler",
     "NodeState",
+    "build_schedule",
+    "swarm_handoff_steps",
+    "swarm_invoked_by",
     "to_dot",
     "to_svg",
 ]

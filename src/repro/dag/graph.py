@@ -159,6 +159,30 @@ class DagBuilder:
         _compute_levels(nodes)
         return Dag(nodes)
 
+    def submit(
+        self,
+        executor,
+        *,
+        fuse: bool = True,
+        scheduler: Optional[str] = None,
+        **scheduler_kwargs,
+    ):
+        """Build and submit in one call; returns the :class:`DagRun`.
+
+        ``scheduler`` picks the driving mode per submission —
+        ``"centralized"`` (default) or ``"swarm"`` — overriding the
+        executor's :class:`~repro.config.DagConfig`; the remaining
+        keyword arguments go to :class:`~repro.dag.DagScheduler` (e.g.
+        ``node_retries``, ``poll_interval``).  The built graph stays
+        reachable as ``run.dag``.
+        """
+        from repro.dag.scheduler import DagScheduler
+
+        if scheduler is not None:
+            scheduler_kwargs["scheduler"] = scheduler
+        dag = self.build(fuse=fuse)
+        return DagScheduler(executor, **scheduler_kwargs).submit(dag)
+
     # -- internals -----------------------------------------------------------
     def _add(self, node: DagNode) -> DagNode:
         if self._built:

@@ -27,10 +27,17 @@ class NodeState:
     PENDING = "pending"      # waiting on at least one dependency
     READY = "ready"          # all in-edges resolved, not yet invoked
     SUBMITTED = "submitted"  # invocation in flight
+    #: swarm mode only: all in-edges resolved and the invocation is the
+    #: finishing *worker's* job — the supervisor just watches for the
+    #: status, re-driving the node itself if none appears within the
+    #: orphan grace (worker died mid-handoff)
+    DELEGATED = "delegated"
     DONE = "done"
     FAILED = "failed"
 
     TERMINAL = (DONE, FAILED)
+    #: believed in flight somewhere in the cloud
+    IN_FLIGHT = (SUBMITTED, DELEGATED)
 
 
 class DagNode:
@@ -47,6 +54,7 @@ class DagNode:
         # runtime fields, owned by the scheduler
         "state", "future", "call_params", "level", "unresolved",
         "error_attempts", "retry_at", "invoker_id", "submit_time",
+        "swarm_ready_at", "swarm_token_seen",
     )
 
     def __init__(
@@ -92,6 +100,12 @@ class DagNode:
         self.retry_at = 0.0
         self.invoker_id: Optional[int] = None
         self.submit_time = 0.0
+        #: swarm mode: when the supervisor saw the last dependency commit
+        #: (start of the orphan-grace clock); 0.0 until then
+        self.swarm_ready_at = 0.0
+        #: swarm mode: the supervisor observed a claimed fire token for
+        #: this node, i.e. some worker committed to invoking it
+        self.swarm_token_seen = False
 
     # -- builder sugar -------------------------------------------------------
     def then(

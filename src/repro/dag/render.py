@@ -3,9 +3,19 @@
 The SVG needs no graphviz binary: nodes are laid out on a grid by
 topological level (one row per level, builder order within a row), which
 is exact for the stage-shaped graphs the builder produces.
+
+Fused linear-chain groups (``build(fuse=True)``) render annotated: the
+node label carries a ``⊕ fused ×N`` line and the box gets a double
+border, so a collapsed ``f -> g -> h`` chain is visibly one activation.
+Given a swarm trace (``invoked_by`` from :func:`swarm_invoked_by`), DOT
+edges are additionally colored by the *invoking site* — the invoker node
+whose worker fired the dependent — with the firing edge drawn bold, so
+"who invoked whom" is readable straight off the graph.
 """
 
 from __future__ import annotations
+
+from typing import Any, Iterable, Optional
 
 from xml.sax.saxutils import escape
 
@@ -15,17 +25,77 @@ from repro.dag.node import DagNode
 #: fill colors cycled per topological level (matches the trace SVG accents)
 _LEVEL_FILLS = ("#dbeafe", "#dcfce7", "#fef9c3", "#fde2e2", "#ede9fe", "#e0f2fe")
 
+#: edge colors cycled per invoking site (invoker node id) in swarm renders
+_SITE_COLORS = (
+    "#2563eb", "#16a34a", "#d97706", "#dc2626", "#7c3aed", "#0891b2",
+    "#be185d", "#65a30d",
+)
+
 
 def _fill(level: int) -> str:
     return _LEVEL_FILLS[level % len(_LEVEL_FILLS)]
+
+
+def _site_color(invoker_id: int) -> str:
+    return _SITE_COLORS[invoker_id % len(_SITE_COLORS)]
 
 
 def _dot_quote(text: str) -> str:
     return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
 
 
-def to_dot(dag: Dag) -> str:
-    """Graphviz source for ``dag``; stages become same-rank clusters."""
+def swarm_invoked_by(events: Iterable[Any]) -> dict[str, dict[str, Any]]:
+    """Extract "who invoked whom" from a swarm trace.
+
+    Accepts :class:`~repro.trace.events.TraceEvent` objects (e.g. from
+    ``repro.trace.export.from_jsonl``) and returns
+    ``{node_display_name: {"by": firing_node_name, "invoker_id": site}}``
+    for every ``swarm.invoke`` span — the mapping :func:`to_dot` takes to
+    color edges by invoking site.
+    """
+    invoked: dict[str, dict[str, Any]] = {}
+    for event in events:
+        if event.layer != "swarm" or event.name != "swarm.invoke":
+            continue
+        node = event.get_attr("node")
+        if node is None:
+            continue
+        invoked[node] = {
+            "by": event.get_attr("by"),
+            "invoker_id": event.get_attr("invoker_id"),
+        }
+    return invoked
+
+
+def _edge_attrs(
+    dep: DagNode, node: DagNode, invoked_by: Optional[dict[str, dict[str, Any]]]
+) -> str:
+    if not invoked_by:
+        return ""
+    entry = invoked_by.get(node.display_name)
+    if entry is None or entry.get("invoker_id") is None:
+        return ""
+    invoker = entry["invoker_id"]
+    attrs = [f'color="{_site_color(invoker)}"']
+    if entry.get("by") == dep.display_name:
+        # the edge whose worker actually fired this node
+        attrs.append("penwidth=2.2")
+        attrs.append(f'label={_dot_quote(f"inv{invoker}")}')
+        attrs.append(f'fontcolor="{_site_color(invoker)}"')
+    else:
+        attrs.append('style="dashed"')
+    return " [" + ", ".join(attrs) + "]"
+
+
+def to_dot(
+    dag: Dag,
+    invoked_by: Optional[dict[str, dict[str, Any]]] = None,
+) -> str:
+    """Graphviz source for ``dag``; stages become same-rank clusters.
+
+    ``invoked_by`` (see :func:`swarm_invoked_by`) colors each in-edge of
+    a worker-fired node by its invoking site and bolds the firing edge.
+    """
     lines = [
         "digraph dag {",
         "  rankdir=TB;",
@@ -34,16 +104,21 @@ def to_dot(dag: Dag) -> str:
     for level_nodes in dag.levels():
         for node in level_nodes:
             label = f"{node.display_name}\\n[{dag.stage_name(node)}]"
+            extra = ""
+            if len(node.fns) > 1:
+                label += f"\\n⊕ fused ×{len(node.fns)}"
+                extra = ", peripheries=2"
             lines.append(
                 f"  n{node.node_id} [label={_dot_quote(label)}"
-                f', fillcolor="{_fill(node.level)}"];'
+                f', fillcolor="{_fill(node.level)}"{extra}];'
             )
         if len(level_nodes) > 1:
             rank = " ".join(f"n{n.node_id};" for n in level_nodes)
             lines.append(f"  {{ rank=same; {rank} }}")
     for node in dag.nodes:
         for dep in node.deps:
-            lines.append(f"  n{dep.node_id} -> n{node.node_id};")
+            attrs = _edge_attrs(dep, node, invoked_by)
+            lines.append(f"  n{dep.node_id} -> n{node.node_id}{attrs};")
     lines.append("}")
     return "\n".join(lines) + "\n"
 
@@ -68,10 +143,17 @@ def to_svg(dag: Dag) -> str:
             x = x0 + col * (box_w + gap_x)
             centers[node.node_id] = (x + box_w / 2, y + box_h / 2)
             title = escape(f"{node.display_name} [{dag.stage_name(node)}]")
+            stroke_w = ""
+            if len(node.fns) > 1:
+                title = escape(
+                    f"{node.display_name} [{dag.stage_name(node)}]"
+                    f" — fused ×{len(node.fns)}"
+                )
+                stroke_w = ' stroke-width="2.5"'
             boxes.append(
                 f'<g><rect x="{x:.1f}" y="{y:.1f}" width="{box_w}" '
                 f'height="{box_h}" rx="8" fill="{_fill(node.level)}" '
-                f'stroke="#64748b"/>'
+                f'stroke="#64748b"{stroke_w}/>'
                 f'<text x="{x + box_w / 2:.1f}" y="{y + box_h / 2 - 3:.1f}" '
                 f'text-anchor="middle" font-size="12" '
                 f'font-family="Helvetica,sans-serif">'

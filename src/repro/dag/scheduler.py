@@ -130,7 +130,11 @@ class DagScheduler:
         node_retries: int = 0,
         retries: Optional[int] = None,
         poll_interval: Optional[float] = None,
+        scheduler: Optional[str] = None,
+        orphan_grace: Optional[float] = None,
     ) -> None:
+        from repro.config import DagConfig
+
         self.executor = executor
         self.kernel = executor.kernel
         self.label = label
@@ -142,6 +146,23 @@ class DagScheduler:
             if poll_interval is not None
             else executor.config.poll_interval
         )
+        dag_config = getattr(executor.config, "dag", None) or DagConfig()
+        self.scheduler = (
+            scheduler if scheduler is not None else dag_config.scheduler
+        )
+        if self.scheduler not in DagConfig.SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {DagConfig.SCHEDULERS}, "
+                f"got {self.scheduler!r}"
+            )
+        #: swarm mode: workers fire dependents in-cloud, this object is
+        #: only the supervisor (recovery, retries, burials, re-drives)
+        self.swarm = self.scheduler == "swarm"
+        self.orphan_grace = (
+            orphan_grace if orphan_grace is not None
+            else dag_config.orphan_grace_s
+        )
+        self.claimed_grace_factor = dag_config.claimed_grace_factor
         self._policy = RetryPolicy(
             executor.config.retry, seed=executor.environment.seed
         )
@@ -203,14 +224,24 @@ class DagScheduler:
                     NodeState.READY if node.unresolved == 0 else NodeState.PENDING
                 )
 
+        if self.swarm:
+            self._ship_schedule(dag, dag_id)
+
         tracer = executor.tracer
         if tracer is not None and tracer.enabled:
-            tracer.point(
-                "dag.submit", "dag",
-                ids={"executor_id": executor.executor_id, "dag_id": dag_id},
+            attrs = dict(
                 nodes=len(dag.nodes),
                 activations=len(internal),
                 levels=len(by_level),
+            )
+            if self.swarm:
+                # swarm-only attribute: centralized submits stay
+                # byte-identical to pre-swarm traces
+                attrs["scheduler"] = self.scheduler
+            tracer.point(
+                "dag.submit", "dag",
+                ids={"executor_id": executor.executor_id, "dag_id": dag_id},
+                **attrs,
             )
 
         if self.journal is not None:
@@ -265,6 +296,37 @@ class DagScheduler:
             for fn in node.fns:
                 if isinstance(fn, _types.FunctionType):
                     validate_runtime(fn, executor._runtime_image)
+
+    def _ship_schedule(self, dag: Dag, dag_id: str) -> None:
+        """Stamp params with their swarm fan-out and ship the schedule.
+
+        The stamp rides inside every node's call parameters (so both
+        client- and worker-issued invocations carry it), then the frozen
+        schedule — stamped params included — goes to COS as one object.
+        Workers whose node has no drivable dependents skip the schedule
+        fetch entirely thanks to the ``fan_out`` field.
+        """
+        from repro.dag import swarm as _swarm
+
+        executor = self.executor
+        for node in dag.internal_nodes:
+            fan_out = sum(
+                1 for dep in node.dependents if _swarm.is_drivable(dep)
+            )
+            params = {
+                **node.call_params,
+                "swarm": {"dag_id": dag_id, "fan_out": fan_out},
+            }
+            node.call_params = params
+            node.future._call_params = params
+        schedule = _swarm.build_schedule(
+            dag, dag_id,
+            namespace=executor.config.namespace,
+            action=executor._runner_action,
+        )
+        executor._storage.put_swarm_schedule(
+            executor.executor_id, dag_id, schedule
+        )
 
     def _payload(self, node: DagNode) -> dict[str, Any]:
         payload: dict[str, Any] = {"mode": node.mode, "fns": node.fns}
@@ -374,7 +436,7 @@ class DagScheduler:
         storage = self.executor._storage
         groups: dict[tuple[str, str], list[DagNode]] = {}
         for node in run.dag.nodes:
-            if node.state != NodeState.SUBMITTED:
+            if node.state not in NodeState.IN_FLIGHT:
                 continue
             future = node.future
             groups.setdefault(
@@ -425,9 +487,26 @@ class DagScheduler:
                 if dependent.state == NodeState.PENDING and self._node_ready(
                     dependent
                 ):
-                    dependent.state = NodeState.READY
+                    dependent.state = self._ready_state(dependent)
         else:
             self._on_failure(run, node, status)
+
+    def _ready_state(self, node: DagNode) -> str:
+        """Where a dependency-complete node goes next.
+
+        Centralized: READY, the next ``_submit_ready`` invokes it.  Swarm:
+        drivable nodes are the finishing worker's job — DELEGATED starts
+        the orphan-grace clock instead of an invocation; only nodes with
+        external dependencies (invisible to workers) stay supervisor-fired.
+        """
+        if self.swarm:
+            from repro import vtime
+            from repro.dag import swarm as _swarm
+
+            if _swarm.is_drivable(node):
+                node.swarm_ready_at = vtime.now()
+                return NodeState.DELEGATED
+        return NodeState.READY
 
     def _node_ready(self, node: DagNode) -> bool:
         """Readiness of a pending node after one of its deps resolved.
@@ -576,6 +655,8 @@ class DagScheduler:
 
         executor = self.executor
         now = vtime.now()
+        if self.swarm:
+            self._redrive_orphans(run, now)
         ready = sorted(
             (
                 n
@@ -614,6 +695,66 @@ class DagScheduler:
                 run._fired_batch.append(
                     [key[0], key[1], future.activation_id,
                      max(1, future.invoke_count)]
+                )
+
+    def _redrive_orphans(self, run: DagRun, now: float) -> None:
+        """Adopt delegated nodes whose handoff never produced a status.
+
+        A worker that died between committing its own status and invoking
+        a ready dependent (or whose invoked dependent activation was lost
+        before the gateway recorded it for the client) leaves the node
+        orphaned: dependency-complete, durable markers on COS, no status,
+        and no activation id the lost-call scan could poll.  After the
+        orphan grace the supervisor demotes the node to READY and invokes
+        it itself — the at-most-once status commit makes this safe even
+        if the worker-side invocation is merely slow.
+
+        A status only appears at *completion*, so a long-running node
+        would look orphaned too.  Before re-driving, the supervisor
+        checks the node's fire token (one client GET, at most once per
+        node): a claimed token means a worker committed to the
+        invocation and the node is almost certainly running, so the fuse
+        stretches to ``orphan_grace * claimed_grace_factor`` — long
+        enough not to duplicate healthy work, finite so a worker that
+        crashed between claim and invoke still gets covered.
+        """
+        from repro.dag import swarm as _swarm
+
+        tracer = self.executor.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        for node in run.dag.nodes:
+            if node.state != NodeState.DELEGATED:
+                continue
+            deadline = self.orphan_grace
+            if node.swarm_token_seen:
+                deadline *= self.claimed_grace_factor
+            if now - node.swarm_ready_at < deadline:
+                continue
+            if not node.swarm_token_seen:
+                future = node.future
+                claimed = self.executor._storage.swarm_token_claimed(
+                    future.executor_id,
+                    run.dag_id,
+                    _swarm.node_key(future.callset_id, future.call_id),
+                )
+                if claimed:
+                    node.swarm_token_seen = True
+                    continue
+            node.state = NodeState.READY
+            if tracer is not None:
+                future = node.future
+                tracer.point(
+                    "swarm.redrive", "swarm",
+                    ids={
+                        "executor_id": future.executor_id,
+                        "callset_id": future.callset_id,
+                        "call_id": future.call_id,
+                        "dag_id": run.dag_id,
+                    },
+                    node=node.display_name,
+                    waited=round(now - node.swarm_ready_at, 6),
+                    claimed=node.swarm_token_seen,
                 )
 
     # ------------------------------------------------------------------

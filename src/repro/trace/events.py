@@ -14,6 +14,7 @@ from typing import Any, Mapping, Optional
 #: the layers of the emulated cloud that emit onto the spine, in stack order
 LAYERS = (
     "dag",         # DagScheduler: graph submissions, node spans, burials, retries
+    "swarm",       # worker-driven scheduling: counter commits, in-cloud handoffs
     "events",      # event journal: appends, replays, resume reconciliation
     "client",      # FunctionExecutor: submissions, invocations, burials, progress
     "gateway",     # CloudFunctionsClient: invoke round trips, 429 throttles

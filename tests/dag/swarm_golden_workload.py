@@ -1,0 +1,75 @@
+"""The frozen workload behind the swarm scheduling golden trace.
+
+``golden_trace_swarm.jsonl`` pins the full event stream — kernel, COS,
+FaaS, dag *and* swarm layers — of one same-seed swarm-scheduled run: a
+diamond feeding a short non-fusable chain, so the export covers both the
+fan-in (marker + token) and the chain (token-only) handoff paths.  The
+regression test re-runs the identical workload every test run and
+asserts the export still matches the committed bytes.
+
+Everything here must stay importable at the stable module path
+``tests.dag.swarm_golden_workload`` so the shipped functions pickle by
+reference with deterministic bytes; regenerate (only for an intentional,
+documented behaviour change) with::
+
+    PYTHONPATH=src:. python -c \
+        "from tests.dag.swarm_golden_workload import write_golden; write_golden()"
+"""
+
+from __future__ import annotations
+
+import os
+
+SEED = 123
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_trace_swarm.jsonl"
+)
+
+
+def inc(x):
+    return x + 1
+
+
+def double(x):
+    return x * 2
+
+
+def total(values):
+    return sum(values)
+
+
+EXPECTED = ((2 * 2) + (2 + 1)) * 2 + 1  # diamond -> double -> inc
+
+
+def run_traced() -> str:
+    """One traced same-seed swarm run; executor id normalized to EXEC."""
+    import repro as pw
+    from repro.core.environment import CloudEnvironment
+    from repro.dag import DagBuilder
+
+    env = CloudEnvironment.create(seed=SEED, trace=True)
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        builder = DagBuilder()
+        src = builder.call(inc, 1)                    # 2
+        left = builder.call(double, src, fusable=False)   # 4
+        right = builder.call(inc, src, fusable=False)     # 3
+        top = builder.reduce(total, [left, right])        # 7
+        tail = top.then(double, fusable=False).then(inc, fusable=False)
+        run = builder.submit(executor, fuse=False, scheduler="swarm")
+        result = run.expose(tail).result()
+        return result, executor.executor_id, executor.trace_jsonl()
+
+    result, executor_id, jsonl = env.run(main)
+    assert result == EXPECTED, "golden swarm workload result drifted"
+    return jsonl.replace(executor_id, "EXEC")
+
+
+def write_golden() -> str:
+    """(Re)generate the committed golden trace.  Intentional changes only."""
+    jsonl = run_traced()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        fh.write(jsonl)
+    print(f"wrote {GOLDEN_PATH} ({len(jsonl.splitlines())} events)")
+    return GOLDEN_PATH

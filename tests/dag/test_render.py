@@ -47,6 +47,65 @@ class TestDot:
         assert "[merge]" in dot
 
 
+class _Event:
+    """Minimal stand-in for TraceEvent (layer / name / get_attr)."""
+
+    def __init__(self, layer, name, **attrs):
+        self.layer = layer
+        self.name = name
+        self._attrs = attrs
+
+    def get_attr(self, key):
+        return self._attrs.get(key)
+
+
+class TestSwarmRender:
+    def test_fused_chain_annotated_in_dot(self):
+        builder = DagBuilder()
+        node = builder.call(inc, 1, name="f0", stage="seq")
+        node = node.then(inc, name="f1").then(inc, name="f2")
+        dot = render.to_dot(builder.build(fuse=True))
+        assert "⊕ fused ×3" in dot
+        assert "peripheries=2" in dot
+        # an unfused graph carries neither annotation
+        plain = render.to_dot(_diamond_dag())
+        assert "fused" not in plain and "peripheries" not in plain
+
+    def test_fused_chain_annotated_in_svg(self):
+        builder = DagBuilder()
+        builder.call(inc, 1, name="f0").then(inc, name="f1")
+        svg = render.to_svg(builder.build(fuse=True))
+        assert 'stroke-width="2.5"' in svg
+        assert "fused ×2" in svg
+
+    def test_swarm_invoked_by_extracts_invoke_spans(self):
+        events = [
+            _Event("dag", "dag.node", node="noise"),
+            _Event("swarm", "swarm.ready", node="join", by="left"),
+            _Event("swarm", "swarm.invoke", node="join", by="left",
+                   invoker_id=2),
+        ]
+        invoked = render.swarm_invoked_by(events)
+        assert invoked == {"join": {"by": "left", "invoker_id": 2}}
+
+    def test_invoked_by_colors_edges_by_site(self):
+        dag = _diamond_dag()
+        invoked = {"join": {"by": "left", "invoker_id": 2}}
+        dot = render.to_dot(dag, invoked_by=invoked)
+        lines = dot.splitlines()
+        firing = [l for l in lines if "penwidth" in l]
+        assert len(firing) == 1  # exactly one firing edge: left -> join
+        assert 'label="inv2"' in firing[0]
+        dashed = [l for l in lines if "dashed" in l]
+        assert len(dashed) == 1  # the other in-edge of join: right -> join
+        # both in-edges of join share the invoking site's color
+        color = render._site_color(2)
+        assert firing[0].count(color) == 2  # edge + label
+        assert color in dashed[0]
+        # edges into nodes the workers did not fire stay unstyled
+        assert sum("->" in l and "[" not in l for l in lines) == 2
+
+
 class TestSvg:
     def test_svg_is_well_formed_with_all_nodes(self):
         dag = _diamond_dag()
@@ -101,6 +160,28 @@ class TestCli:
         assert str(dot_path) in out and str(svg_path) in out
         assert dot_path.read_text().startswith("digraph dag {")
         assert svg_path.read_text().startswith("<svg ")
+
+    def test_render_with_swarm_trace_reports_fired_nodes(self, capsys):
+        import pathlib
+
+        golden = pathlib.Path(__file__).parent / "golden_trace_swarm.jsonl"
+        code = cli_main(
+            [
+                "dag",
+                "render",
+                "--example",
+                "sequence",
+                "--no-fuse",
+                "--swarm-trace",
+                str(golden),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the golden workload reuses function names, so the five fired
+        # nodes collapse to three distinct display names
+        assert "swarm trace: 3 worker-fired nodes" in out
+        assert "digraph dag {" in out
 
     def test_render_sequence_fuses(self, capsys):
         assert cli_main(["dag", "render", "--example", "sequence"]) == 0

@@ -1,0 +1,252 @@
+"""Swarm scheduling end-to-end: worker-driven handoffs, supervisor tail.
+
+Centralized-mode behaviour (including its byte-identical traces) is
+covered by ``test_scheduler.py`` and the pipeline bench; this file pins
+the ``scheduler="swarm"`` opt-in — in-cloud fan-out, exactly-once
+invocation, token-aware orphan grace, config plumbing, and the swarm
+trace layer, plus the byte-pinned golden trace.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro as pw
+from repro.config import DagConfig
+from repro.core.environment import CloudEnvironment
+from repro.dag import DagBuilder, DagScheduler
+
+from tests.dag.swarm_golden_workload import GOLDEN_PATH, run_traced
+
+GOLDEN = pathlib.Path(GOLDEN_PATH)
+
+
+def inc(x):
+    return x + 1
+
+
+def double(x):
+    return x * 2
+
+
+def total(values):
+    return sum(values)
+
+
+def slow_merge(values):
+    pw.sleep(12)  # longer than the default 8 s orphan grace
+    return sum(values)
+
+
+def _runner_activations(env):
+    return [
+        r
+        for r in env.platform.activations()
+        if r.action_name.startswith("pywren_runner")
+    ]
+
+
+def _build_diamond(builder):
+    src = builder.call(inc, 1)                      # 2
+    left = builder.call(double, src, fusable=False)  # 4
+    right = builder.call(inc, src, fusable=False)    # 3
+    return builder.reduce(total, [left, right])      # 7
+
+
+def _build_chain(builder, depth):
+    node = builder.call(inc, 0, fusable=False)
+    for _ in range(depth - 1):
+        node = node.then(inc, fusable=False)
+    return node
+
+
+class TestExecution:
+    def test_diamond_matches_centralized(self, cloud):
+        results = {}
+        for mode in ("centralized", "swarm"):
+            env = cloud()
+
+            def main():
+                executor = pw.ibm_cf_executor()
+                builder = DagBuilder()
+                top = _build_diamond(builder)
+                run = builder.submit(executor, fuse=False, scheduler=mode)
+                return run.expose(top).result()
+
+            results[mode] = env.run(main)
+        assert results["centralized"] == results["swarm"] == 7
+
+    def test_chain_needs_one_client_invocation(self, env):
+        """Every hop past the root is fired in-cloud by the finishing
+        worker: the client's WAN gateway sees exactly one invocation."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            builder = DagBuilder()
+            tail = _build_chain(builder, depth=5)
+            run = builder.submit(executor, fuse=False, scheduler="swarm")
+            value = run.expose(tail).result()
+            return value, executor._functions.invocations
+
+        value, client_invocations = env.run(main)
+        assert value == 5
+        assert client_invocations == 1
+        assert len(_runner_activations(env)) == 5  # no duplicates either
+
+    def test_fan_in_fires_every_node_exactly_once(self, env):
+        """Two reduce levels: racing dependency completions decrement via
+        done markers and exactly one worker wins each fire token."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            builder = DagBuilder()
+            leaves = builder.map(inc, [1, 2, 3, 4])
+            mid = [
+                builder.reduce(total, leaves[:2]),
+                builder.reduce(total, leaves[2:]),
+            ]
+            top = builder.reduce(total, mid)
+            run = builder.submit(executor, scheduler="swarm")
+            return run.expose(top).result()
+
+        assert env.run(main) == 2 + 3 + 4 + 5
+        assert len(_runner_activations(env)) == 7
+
+    def test_long_running_node_is_not_redriven(self, env):
+        """A claimed fire token stretches the orphan fuse: a node merely
+        running longer than the grace must not be duplicated."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            builder = DagBuilder()
+            leaves = builder.map(inc, [1, 2])
+            top = builder.reduce(slow_merge, leaves)
+            run = builder.submit(executor, scheduler="swarm")
+            return run.expose(top).result()
+
+        assert env.run(main) == 2 + 3
+        assert len(_runner_activations(env)) == 3  # slow merge ran once
+
+    def test_chain_lands_on_parent_invoker(self, env):
+        """The handoff's placement hint points at the firing worker's own
+        invoker, so chain hops reuse the warm container by the data."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            builder = DagBuilder()
+            head = builder.call(inc, 1, fusable=False)
+            tail = head.then(inc, fusable=False)
+            run = builder.submit(executor, fuse=False, scheduler="swarm")
+            run.expose(tail).result()
+            return run.future(head).status(), run.future(tail).status()
+
+        head_status, tail_status = env.run(main)
+        assert tail_status["invoker_id"] == head_status["invoker_id"]
+        assert tail_status["cold_start"] is False
+
+    def test_external_dependency_stays_supervisor_fired(self, env):
+        """Nodes consuming external futures are invisible to workers
+        (no schedule entry can decrement them) — the supervisor drives
+        them, and the run still completes under swarm."""
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            adopted = executor.call_async(inc, 10)  # plain executor call
+            builder = DagBuilder()
+            ext = builder.external(adopted)
+            internal = builder.call(inc, 1, fusable=False)
+            top = builder.reduce(total, [ext, internal])
+            run = builder.submit(executor, fuse=False, scheduler="swarm")
+            return run.expose(top).result()
+
+        assert env.run(main) == 11 + 2
+
+
+class TestConfig:
+    def test_scheduler_resolves_from_dag_config(self, cloud):
+        env = cloud(dag=DagConfig(scheduler="swarm"))
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            scheduler = DagScheduler(executor)
+            builder = DagBuilder()
+            tail = _build_chain(builder, depth=3)
+            run = scheduler.submit(builder.build(fuse=False))
+            value = run.expose(tail).result()
+            return scheduler.scheduler, value, executor._functions.invocations
+
+        mode, value, client_invocations = env.run(main)
+        assert mode == "swarm"
+        assert value == 3
+        assert client_invocations == 1
+
+    def test_explicit_argument_overrides_config(self, cloud):
+        env = cloud(dag=DagConfig(scheduler="swarm"))
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return DagScheduler(executor, scheduler="centralized").scheduler
+
+        assert env.run(main) == "centralized"
+
+    def test_invalid_scheduler_rejected(self, env):
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(ValueError, match="scheduler"):
+                DagScheduler(executor, scheduler="bogus")
+            return True
+
+        assert env.run(main) is True
+
+    def test_dag_config_validation(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            DagConfig(scheduler="bogus").validate()
+        with pytest.raises(ValueError, match="orphan_grace_s"):
+            DagConfig(orphan_grace_s=0).validate()
+        with pytest.raises(ValueError, match="claimed_grace_factor"):
+            DagConfig(claimed_grace_factor=0.5).validate()
+        DagConfig(scheduler="swarm").validate()  # defaults are valid
+
+
+class TestTracing:
+    def _traced_chain(self, scheduler):
+        env = CloudEnvironment.create(seed=123, trace=True)
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            builder = DagBuilder()
+            tail = _build_chain(builder, depth=3)
+            run = builder.submit(executor, fuse=False, scheduler=scheduler)
+            run.expose(tail).result()
+            return executor.executor_id, executor.trace_jsonl()
+
+        executor_id, jsonl = env.run(main)
+        return jsonl.replace(executor_id, "EXEC")
+
+    def test_swarm_trace_has_swarm_layer_events(self):
+        jsonl = self._traced_chain("swarm")
+        assert '"swarm.ready"' in jsonl
+        assert '"swarm.invoke"' in jsonl
+        assert '"scheduler":"swarm"' in jsonl  # on the dag.submit point
+
+    def test_centralized_trace_has_no_swarm_events(self):
+        jsonl = self._traced_chain("centralized")
+        assert '"swarm' not in jsonl
+        assert '"scheduler"' not in jsonl
+
+    def test_same_seed_swarm_traces_byte_identical(self):
+        assert self._traced_chain("swarm") == self._traced_chain("swarm")
+
+
+class TestGoldenSwarmTrace:
+    def test_swarm_trace_matches_committed_golden(self):
+        got = run_traced()
+        want = GOLDEN.read_text(encoding="utf-8")
+        assert want, "golden fixture missing or empty"
+        # compare prefixes first for a readable diff on regression
+        if got != want:
+            for i, (a, b) in enumerate(zip(got.splitlines(), want.splitlines())):
+                assert a == b, f"first divergence at trace line {i + 1}"
+        assert got == want
