@@ -1,4 +1,4 @@
-.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-dag-swarm bench-cache bench-resume bench-exchange bench-tenant-storm docs-check examples all clean
+.PHONY: install test lint chaos bench bench-trace bench-kernel-scale bench-dag bench-dag-swarm bench-cache bench-resume bench-exchange bench-tenant-storm bench-workloads bench-workloads-smoke docs-check examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -65,6 +65,19 @@ bench-exchange:
 # first-come baseline clearly below, equal aggregate throughput)
 bench-tenant-storm:
 	PYTHONPATH=src python benchmarks/bench_tenant_storm.py
+
+# BI/analytics workload suite: pushdown-scan sweep (selectivity x
+# partitions x exchange backend) vs full-scan+client-filter, plus the
+# windowed-streaming reuse sweep; writes BENCH_workloads.json
+# (acceptance: pushdown wins wall and bytes at <=10% selectivity,
+# overlapping windows reuse cached partials, same-seed scan and
+# streaming traces byte-identical)
+bench-workloads:
+	PYTHONPATH=src python benchmarks/bench_workloads.py
+
+# reduced matrix for CI; does not rewrite BENCH_workloads.json
+bench-workloads-smoke:
+	PYTHONPATH=src python benchmarks/bench_workloads.py --smoke
 
 # event-journal overhead (off vs on, Fig. 3-shaped map) plus
 # time-to-recover after a client crash; writes BENCH_resume_overhead.json

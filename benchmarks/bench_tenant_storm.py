@@ -54,6 +54,11 @@ CHAOS_SEED = 9
 N_TENANTS = 200
 TASKS_PER_TENANT = 8
 TASK_S = 60.0
+#: the mixed-workload region: tenants run one of three BI/analytics job
+#: shapes (PR 10's workload suite) — short scan partitions, mid-sized
+#: streaming window maps, long batch stages.  DRR equalizes *dispatches*,
+#: not busy-seconds, so fairness is asserted within each class.
+MIXED_CLASSES = (("scan", 20.0), ("stream", 45.0), ("batch", 90.0))
 #: tenants arrive over a 10 s window — enough spread that first-come
 #: order is a staircase, far less than any tenant's fair makespan
 ARRIVAL_STAGGER_S = 0.05
@@ -92,8 +97,14 @@ def run_mode(
     tasks_per_tenant: int = TASKS_PER_TENANT,
     task_s: float = TASK_S,
     seed: int = SEED,
+    classes=None,
 ):
-    """One full storm from ``seed``; returns the per-mode report dict."""
+    """One full storm from ``seed``; returns the per-mode report dict.
+
+    With ``classes`` (a tuple of ``(name, task_s)``), tenant *i* runs the
+    ``i % len(classes)``-th job shape and the report adds a per-class
+    Jain fairness breakdown — the mixed scan/stream/batch region.
+    """
     limits = SystemLimits(**LIMITS)
     env = CloudEnvironment.create(
         seed=seed,
@@ -104,6 +115,18 @@ def run_mode(
         ),
     )
     namespaces = [f"tenant-{i:03d}" for i in range(n_tenants)]
+    if classes is not None:
+        class_of = {
+            namespace: classes[i % len(classes)][0]
+            for i, namespace in enumerate(namespaces)
+        }
+        task_s_of = {
+            namespace: classes[i % len(classes)][1]
+            for i, namespace in enumerate(namespaces)
+        }
+    else:
+        class_of = {namespace: "uniform" for namespace in namespaces}
+        task_s_of = {namespace: task_s for namespace in namespaces}
     for namespace in namespaces:
         env.platform.create_action(namespace, ACTION, fig3_handler)
     clients: dict[str, CloudFunctionsClient] = {}
@@ -116,7 +139,7 @@ def run_mode(
                 index,
                 namespace,
                 tasks_per_tenant,
-                task_s,
+                task_s_of[namespace],
                 clients,
                 name=f"client-{namespace}",
             )
@@ -146,7 +169,7 @@ def run_mode(
     # are in scope (a tenant fully served during the initial idle-cluster
     # fill was never contended for); a fair dispatcher gives each scoped
     # tenant a near-equal number of dispatches.
-    window_start = n_tenants * ARRIVAL_STAGGER_S + task_s
+    window_start = n_tenants * ARRIVAL_STAGGER_S + max(task_s_of.values())
     # the window closes when the dispatch queue drains: the moment the
     # last `capacity` tasks start, nothing is left to be fair about
     dispatch_times = sorted(
@@ -160,18 +183,31 @@ def run_mode(
         for namespace in namespaces
         if any(r.dispatch_time >= window_start for r in records[namespace])
     ]
-    service = [
-        sum(
+    def _jain(xs):
+        squares = sum(x * x for x in xs)
+        return (sum(xs) ** 2) / (len(xs) * squares) if squares else 1.0
+
+    service_of = {
+        namespace: sum(
             1
             for r in records[namespace]
             if window_start <= r.dispatch_time < window_end
         )
         for namespace in scoped
-    ]
-    squares = sum(x * x for x in service)
-    jain = (
-        (sum(service) ** 2) / (len(service) * squares) if squares else 1.0
-    )
+    }
+    service = list(service_of.values())
+    jain = _jain(service)
+    jain_by_class = {
+        name: round(
+            _jain([
+                service_of[namespace]
+                for namespace in scoped
+                if class_of[namespace] == name
+            ]),
+            4,
+        )
+        for name, _ in (classes or ())
+    }
     ordered = sorted(makespans)
 
     def pct(p):
@@ -188,7 +224,11 @@ def run_mode(
         "chaos": getattr(chaos, "name", "none"),
         "tenants": n_tenants,
         "tasks_per_tenant": tasks_per_tenant,
-        "task_s": task_s,
+        "task_s": (
+            {name: duration for name, duration in classes}
+            if classes is not None
+            else task_s
+        ),
         "cluster_slots": capacity,
         "jain_fairness_index": round(jain, 4),
         "fairness_window_s": [round(window_start, 1), round(window_end, 1)],
@@ -216,6 +256,8 @@ def run_mode(
             "tenants_billed": len(rollup) - 1,
         },
     }
+    if classes is not None:
+        report["jain_by_class"] = jain_by_class
     if chaos is not None:
         by_tenant = env.chaos.fault_counts_by_tenant()
         tenant_hits = {t: c for t, c in by_tenant.items() if t}
@@ -232,6 +274,7 @@ def main() -> int:
     fifo = run_mode("fifo")
     drr = run_mode("drr")
     storm = run_mode("drr", chaos=ChaosProfile("tenant-storm", seed=CHAOS_SEED))
+    mixed = run_mode("drr", classes=MIXED_CLASSES)
 
     report = {
         "seed": SEED,
@@ -243,6 +286,7 @@ def main() -> int:
         "fifo_baseline": fifo,
         "drr": drr,
         "drr_tenant_storm": storm,
+        "drr_mixed_workloads": mixed,
         "criteria": {
             "drr_jain_at_least_0_9": bool(
                 drr["jain_fairness_index"] >= 0.9
@@ -263,6 +307,12 @@ def main() -> int:
             ),
             "storm_absorbed_throttles": bool(
                 storm["throttle_retries"] > 0
+            ),
+            "mixed_fair_within_every_class": bool(
+                all(
+                    jain >= 0.9
+                    for jain in mixed["jain_by_class"].values()
+                )
             ),
         },
     }

@@ -1,0 +1,55 @@
+"""Review analytics: scan -> tone -> per-city roll-ups as one DAG.
+
+The reviewlens-style pipeline over the §6.4 Airbnb dataset: partition
+scan nodes chain into tone-analysis nodes (the DAG builder fuses each
+linear pair into a single activation — no intermediate COS round trip),
+per-city reduce nodes roll partials into scorecards, and a summary node
+ranks cities by positivity.  The same graph runs under the centralized
+scheduler and the worker-driven swarm scheduler and produces identical
+results.
+
+Run:  python examples/review_analytics.py
+"""
+
+import repro as pw
+from repro.datasets import airbnb
+
+TOTAL_SIZE = 6_000_000
+CHUNK_SIZE = 256 * 1024
+
+
+def main(env):
+    airbnb.load_dataset(env.storage, total_size=TOTAL_SIZE)
+
+    executor = pw.ibm_cf_executor()
+    t0 = pw.now()
+    summary = pw.review_analytics(executor, chunk_size=CHUNK_SIZE)
+    elapsed = pw.now() - t0
+
+    swarm_executor = pw.ibm_cf_executor()
+    t0 = pw.now()
+    swarm_summary = pw.review_analytics(
+        swarm_executor, chunk_size=CHUNK_SIZE, scheduler="swarm"
+    )
+    swarm_elapsed = pw.now() - t0
+    assert summary == swarm_summary, "schedulers disagree"
+
+    print(
+        f"rolled up {summary['total_comments']} comments across "
+        f"{len(summary['cities'])} cities "
+        f"(centralized {elapsed:.1f}s, swarm {swarm_elapsed:.1f}s virtual)"
+    )
+    print("happiest:", ", ".join(summary["happiest"]))
+    print("grumpiest:", ", ".join(summary["grumpiest"]))
+    for city in summary["happiest"][:3]:
+        card = summary["cities"][city]
+        print(
+            f"  {city:<12} {card['comments']:>6} comments, "
+            f"{100 * card['positivity']:.0f}% positive, "
+            f"dominant tone {card['dominant']}"
+        )
+
+
+if __name__ == "__main__":
+    env = pw.CloudEnvironment.create()
+    env.run(main, env)

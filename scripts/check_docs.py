@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation guards, run by the CI docs job and `make docs-check`.
 
-Two checks, both offline:
+Four checks, all offline:
 
 1. **Link check** — every relative markdown link in README.md and
    docs/*.md must resolve to a file (or directory) in the repository.
@@ -12,6 +12,11 @@ Two checks, both offline:
    statically from ``src/repro/__init__.py``, no import needed) must be
    mentioned in docs/API.md.  New exports therefore fail CI until they
    are documented.
+3. **Example coverage** — every ``examples/*.py`` must be referenced by
+   name from at least one doc (README.md or docs/*.md).  New examples
+   therefore fail CI until a doc says what they demonstrate.
+4. **Bench report coverage** — every committed ``BENCH_*.json`` must be
+   named in docs/PERFORMANCE.md, which explains what each number means.
 
 Exits non-zero listing every violation.
 """
@@ -87,15 +92,45 @@ def check_api_coverage() -> list[str]:
     return errors
 
 
+def check_example_references() -> list[str]:
+    corpus = "\n".join(
+        doc.read_text(encoding="utf-8") for doc in DOC_FILES
+    )
+    return [
+        f"examples/{example.name}: not referenced from any doc"
+        for example in sorted((REPO / "examples").glob("*.py"))
+        if example.name not in corpus
+    ]
+
+
+def check_bench_reports() -> list[str]:
+    performance = (REPO / "docs" / "PERFORMANCE.md").read_text(
+        encoding="utf-8"
+    )
+    return [
+        f"{report.name}: not mentioned in docs/PERFORMANCE.md"
+        for report in sorted(REPO.glob("BENCH_*.json"))
+        if report.name not in performance
+    ]
+
+
 def main() -> int:
-    errors = check_links() + check_api_coverage()
+    errors = (
+        check_links()
+        + check_api_coverage()
+        + check_example_references()
+        + check_bench_reports()
+    )
     for error in errors:
         print(f"FAIL {error}")
     checked = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)
     if errors:
         print(f"{len(errors)} documentation problem(s) in: {checked}")
         return 1
-    print(f"docs OK: links + API coverage over {checked}")
+    print(
+        "docs OK: links + API + example + bench-report coverage over "
+        f"{checked}"
+    )
     return 0
 
 

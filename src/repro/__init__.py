@@ -76,6 +76,20 @@ from repro.faas import FairDispatchQueue, TenantRegistry
 from repro.retry import RetryPolicy
 from repro.trace import TraceEvent, Tracer
 from repro.vtime import now, sleep
+from repro.workloads import (
+    Col,
+    Predicate,
+    ScanResult,
+    ScanSpec,
+    StreamSource,
+    TableInfo,
+    WindowResult,
+    load_table,
+    review_analytics,
+    scan,
+    windowed_map_reduce,
+    windows_for,
+)
 
 
 def compute(seconds: float) -> None:
@@ -149,6 +163,18 @@ __all__ = [
     "compute",
     "JobStats",
     "collect_job_stats",
+    "Col",
+    "Predicate",
+    "ScanSpec",
+    "ScanResult",
+    "scan",
+    "TableInfo",
+    "load_table",
+    "StreamSource",
+    "WindowResult",
+    "windowed_map_reduce",
+    "windows_for",
+    "review_analytics",
     "Tracer",
     "TraceEvent",
     "__version__",

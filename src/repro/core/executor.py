@@ -209,6 +209,26 @@ class FunctionExecutor:
             return []
         return self._submit(map_function, items=items, label="M", retries=retries)
 
+    def map_partitions(
+        self,
+        map_function: Callable[[StoragePartition], Any],
+        partitions: Iterable[StoragePartition],
+        retries: Optional[int] = None,
+    ) -> list[ResponseFuture]:
+        """One function executor per *prepared* :class:`StoragePartition`.
+
+        ``map()`` with a ``cos://`` spec partitions whole objects by chunk
+        size; this entry point instead accepts partitions the caller built
+        itself — e.g. the pushdown scan planner's pruned, zone-map-aligned
+        byte ranges (:func:`repro.workloads.scan`).  The worker binds each
+        partition to its in-cloud COS client exactly as in the dataset
+        path.
+        """
+        parts = list(partitions)
+        if not parts:
+            return []
+        return self._submit(map_function, partitions=parts, label="M", retries=retries)
+
     def map_reduce(
         self,
         map_function: Callable[[Any], Any],

@@ -16,6 +16,8 @@ LAYERS = (
     "dag",         # DagScheduler: graph submissions, node spans, burials, retries
     "swarm",       # worker-driven scheduling: counter commits, in-cloud handoffs
     "events",      # event journal: appends, replays, resume reconciliation
+    "scan",        # pushdown scans: plans, per-partition selectivity, merges
+    "stream",      # micro-batch streaming: ingests, window fires, late events
     "client",      # FunctionExecutor: submissions, invocations, burials, progress
     "gateway",     # CloudFunctionsClient: invoke round trips, 429 throttles
     "controller",  # CloudFunctions: accepted activations, placement, image pulls

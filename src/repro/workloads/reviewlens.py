@@ -1,0 +1,136 @@
+"""Review analytics: scan → tone analysis → per-city roll-ups, as one DAG.
+
+A reviewlens-style pipeline over the synthetic Airbnb dataset (§6.4's
+data): every partition of every city object is read with line-split
+semantics, each comment is tone-classified by the lexicon analyzer, and
+per-city reduce nodes roll partials up into a city scorecard; a final
+summary node ranks cities by positivity.  The scan and tone stages are
+built as separate chained nodes — the DAG builder's linear-chain fusion
+collapses them into one activation, so no intermediate bytes ever touch
+COS — and the whole graph runs under either the centralized or the
+swarm scheduler (``scheduler="swarm"``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analytics import tone
+from repro.core import context as ambient
+from repro.core.partitioner import StoragePartition, build_partitions
+from repro.datasets import airbnb
+
+
+def _read_partition(spec: dict) -> bytes:
+    """Scan stage: one partition's review lines (fused into the tone node)."""
+    ctx = ambient.require_context()
+    partition = StoragePartition.from_spec(
+        spec, cos=ctx.execution_context.cos
+    )
+    return partition.read_lines()
+
+
+def _tone_partition(data: bytes) -> dict:
+    """Tone stage: classify every comment of one partition."""
+    stats, _points = tone.analyze_csv_reviews(data)
+    return {"counts": dict(stats.counts), "comments": stats.comments}
+
+
+def _city_key(object_key: str) -> str:
+    """``reviews/{city}.csv`` → ``{city}``."""
+    name = object_key.rsplit("/", 1)[-1]
+    return name[:-4] if name.endswith(".csv") else name
+
+
+def _make_city_rollup(city: str):
+    def rollup_city(partials: list[dict]) -> dict:
+        counts = {t: 0 for t in tone.TONES}
+        comments = 0
+        for partial in partials:
+            for t in tone.TONES:
+                counts[t] += partial["counts"][t]
+            comments += partial["comments"]
+        positive = counts[tone.POSITIVE]
+        negative = counts[tone.NEGATIVE]
+        classified = positive + negative
+        return {
+            "city": city,
+            "comments": comments,
+            "counts": counts,
+            "dominant": max(tone.TONES, key=lambda t: counts[t]),
+            "positivity": positive / classified if classified else 0.0,
+        }
+
+    return rollup_city
+
+
+def _make_summary(top_k: int):
+    def summarize(cities: list[dict]) -> dict:
+        ranked = sorted(
+            cities, key=lambda c: (-c["positivity"], c["city"])
+        )
+        return {
+            "cities": {c["city"]: c for c in sorted(cities, key=lambda c: c["city"])},
+            "happiest": [c["city"] for c in ranked[:top_k]],
+            "grumpiest": [c["city"] for c in ranked[::-1][:top_k]],
+            "total_comments": sum(c["comments"] for c in cities),
+        }
+
+    return summarize
+
+
+def review_analytics(
+    executor,
+    *,
+    bucket: str = airbnb.DEFAULT_BUCKET,
+    chunk_size: Optional[int] = 256 * 1024,
+    scheduler: Optional[str] = None,
+    top_k: int = 5,
+    retries: Optional[int] = None,
+) -> dict:
+    """Run the review-analytics pipeline; returns the summary dict.
+
+    ``{"cities": {city: {comments, counts, dominant, positivity}},
+    "happiest": [...], "grumpiest": [...], "total_comments": N}``.
+
+    ``scheduler`` selects the DAG driving mode (``"centralized"`` default,
+    ``"swarm"`` for worker-driven in-cloud handoff) — results are
+    identical under both, which ``tests/workloads`` asserts.
+    """
+    from repro.dag import DagBuilder
+
+    partitions = build_partitions(executor._cos, [bucket], chunk_size)
+    if not partitions:
+        raise ValueError(f"no review objects found in bucket {bucket!r}")
+    builder = DagBuilder()
+    by_city: dict[str, list] = {}
+    for partition in partitions:
+        scan_node = builder.call(
+            _read_partition,
+            partition.spec(),
+            name=f"scan:{partition.key}[{partition.partition_index}]",
+            stage="scan",
+        )
+        tone_node = builder.then(
+            scan_node,
+            _tone_partition,
+            name=f"tone:{partition.key}[{partition.partition_index}]",
+            stage="tone",
+        )
+        by_city.setdefault(_city_key(partition.key), []).append(tone_node)
+    city_nodes = [
+        builder.reduce(
+            _make_city_rollup(city),
+            nodes,
+            name=f"city:{city}",
+            stage="rollup",
+        )
+        for city, nodes in sorted(by_city.items())
+    ]
+    summary_node = builder.reduce(
+        _make_summary(top_k), city_nodes, name="summary", stage="summary"
+    )
+    run = builder.submit(
+        executor, scheduler=scheduler, label="V", retries=retries
+    )
+    return executor.get_result(run.expose(summary_node))

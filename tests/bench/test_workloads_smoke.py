@@ -1,0 +1,66 @@
+"""Fast smoke of the workloads bench harness (reduced matrix).
+
+The full sweep (``make bench-workloads``) is nightly-tier; here we verify
+the harness machinery — scan cell runner, streaming config runner, trace
+identity — at a scale small enough for the unit suite, plus the mixed
+scan/stream/batch mode of the tenant-storm bench.
+"""
+
+from __future__ import annotations
+
+from benchmarks import bench_tenant_storm
+from benchmarks import bench_workloads as bench
+
+SCAN_ROWS = 8_000
+
+
+class TestScanHarness:
+    def test_pushdown_cell_beats_baseline_bytes(self):
+        baseline = bench.run_scan_cell(
+            "10pct", 8, "cos", pushdown=False, table_rows=SCAN_ROWS
+        )
+        push = bench.run_scan_cell(
+            "10pct", 8, "cos", pushdown=True, table_rows=SCAN_ROWS
+        )
+        assert push["value"] == baseline["value"]
+        assert push["bytes_read"] < baseline["bytes_read"]
+        assert push["groups_pruned"] > 0
+        assert baseline["groups_pruned"] == 0
+        assert baseline["rows_scanned"] == SCAN_ROWS
+
+    def test_same_seed_cell_is_reproducible(self):
+        first = bench.run_scan_cell(
+            "1pct", 8, "cos", pushdown=True, table_rows=SCAN_ROWS
+        )
+        second = bench.run_scan_cell(
+            "1pct", 8, "cos", pushdown=True, table_rows=SCAN_ROWS
+        )
+        assert first == second
+
+
+class TestStreamingHarness:
+    def test_reuse_config_reports_reuse(self):
+        report = bench.run_stream_config(
+            "overlap_reuse", bench.STREAM_CONFIGS["overlap_reuse"]
+        )
+        assert report["windows_fired"] > 0
+        assert report["reused_partials"] > 0
+        assert report["cache_local_hits"] + report["cache_peer_hits"] > 0
+
+    def test_traced_runs_are_byte_identical(self):
+        assert bench.traced_scan_jsonl() == bench.traced_scan_jsonl()
+        assert bench.traced_stream_jsonl() == bench.traced_stream_jsonl()
+
+
+class TestMixedTenantClasses:
+    def test_mixed_mode_reports_per_class_jain(self):
+        report = bench_tenant_storm.run_mode(
+            "drr",
+            n_tenants=6,
+            tasks_per_tenant=2,
+            seed=99,
+            classes=bench_tenant_storm.MIXED_CLASSES,
+        )
+        assert set(report["jain_by_class"]) == {"scan", "stream", "batch"}
+        assert all(0.0 < j <= 1.0 for j in report["jain_by_class"].values())
+        assert report["task_s"] == {"scan": 20.0, "stream": 45.0, "batch": 90.0}

@@ -24,6 +24,9 @@ EXPECTED_OUTPUT = {
     "push_monitoring.py": "MQ push",
     "operations_demo.py": "billing summary",
     "resume_mergesort.py": "resumed after the crash",
+    "scan_pushdown.py": "pruned",
+    "streaming_windows.py": "map partials reused across overlaps",
+    "review_analytics.py": "rolled up",
 }
 
 

@@ -1,0 +1,127 @@
+"""Frozen scan and streaming workloads behind the golden workload traces.
+
+ISSUE acceptance bar for the workload suite: a same-seed pushdown scan and
+a same-seed windowed-streaming run must each export a **byte-identical**
+trace — same events, same virtual timestamps, same JSON serialization —
+on every run.  This module pins both:
+
+* ``golden_scan_trace.jsonl`` — a traced pushdown scan (count aggregate
+  with a selective predicate) over a fixed seeded table;
+* ``golden_stream_trace.jsonl`` — a traced overlapping-window streaming
+  run with one refired late straggler.
+
+Everything here must stay importable at the stable module path
+``tests.workloads.golden_workloads`` so the shipped functions pickle by
+reference with deterministic bytes; regenerate (only for an intentional,
+documented behaviour change) with::
+
+    PYTHONPATH=src:. python -c \
+        "from tests.workloads.golden_workloads import write_golden; write_golden()"
+"""
+
+from __future__ import annotations
+
+import os
+
+SEED = 123
+GOLDEN_SCAN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_scan_trace.jsonl"
+)
+GOLDEN_STREAM_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_stream_trace.jsonl"
+)
+
+#: scan workload shape
+SCAN_ROWS = 1_600
+SCAN_CITIES = 3
+SCAN_ROWS_PER_GROUP = 32
+SCAN_EXPECTED_COUNT = 104
+
+#: streaming workload shape
+STREAM_OBJECTS = 8
+STREAM_PERIOD_S = 10.0
+STREAM_WINDOW_S = 40.0
+STREAM_SLIDE_S = 20.0
+
+
+def window_sum(payload):
+    return sum(payload)
+
+
+def sum_partials(parts):
+    return sum(parts)
+
+
+def run_scan_traced() -> str:
+    """One traced same-seed pushdown scan; executor id normalized."""
+    import repro as pw
+
+    env = pw.CloudEnvironment.create(seed=SEED, trace=True)
+    info = pw.load_table(
+        env.storage,
+        total_rows=SCAN_ROWS,
+        n_cities=SCAN_CITIES,
+        rows_per_group=SCAN_ROWS_PER_GROUP,
+    )
+    spec = pw.ScanSpec(
+        columns=("id",),
+        predicate=(pw.Col("day") < 60) & (pw.Col("price") < 200),
+        aggregate="count",
+    )
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        result = pw.scan(executor, info, spec)
+        return result, executor.executor_id, executor.trace_jsonl()
+
+    result, executor_id, jsonl = env.run(main)
+    assert result.value == SCAN_EXPECTED_COUNT, "golden scan result drifted"
+    assert result.groups_pruned > 0, "golden scan stopped pruning"
+    return jsonl.replace(executor_id, "EXEC")
+
+
+def run_stream_traced() -> str:
+    """One traced same-seed streaming run; executor id normalized."""
+    import repro as pw
+
+    env = pw.CloudEnvironment.create(seed=SEED, trace=True)
+    source = pw.StreamSource.synthetic(
+        STREAM_OBJECTS,
+        STREAM_PERIOD_S,
+        seed=SEED,
+        jitter_s=2.0,
+        late_every=5,
+        late_by_s=45.0,
+    )
+
+    def main():
+        executor = pw.ibm_cf_executor()
+        windows = pw.windowed_map_reduce(
+            executor,
+            source,
+            window_sum,
+            sum_partials,
+            window_s=STREAM_WINDOW_S,
+            slide_s=STREAM_SLIDE_S,
+            late_policy="refire",
+        )
+        return windows, executor.executor_id, executor.trace_jsonl()
+
+    windows, executor_id, jsonl = env.run(main)
+    assert any(w.revision > 0 for w in windows), "golden stream lost its refire"
+    assert sum(w.reused_partials for w in windows) > 0, (
+        "golden stream stopped reusing partials"
+    )
+    return jsonl.replace(executor_id, "EXEC")
+
+
+def write_golden() -> None:
+    """(Re)generate the committed goldens.  Intentional changes only."""
+    for path, run in (
+        (GOLDEN_SCAN_PATH, run_scan_traced),
+        (GOLDEN_STREAM_PATH, run_stream_traced),
+    ):
+        jsonl = run()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(jsonl)
+        print(f"wrote {path} ({len(jsonl.splitlines())} events)")

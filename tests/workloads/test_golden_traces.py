@@ -1,0 +1,39 @@
+"""Workload determinism gate: same-seed scan and streaming traces are
+byte-identical to the committed goldens (ISSUE acceptance criterion)."""
+
+from __future__ import annotations
+
+import pathlib
+
+from tests.workloads.golden_workloads import (
+    GOLDEN_SCAN_PATH,
+    GOLDEN_STREAM_PATH,
+    run_scan_traced,
+    run_stream_traced,
+)
+
+
+def assert_matches_golden(got: str, golden_path: str) -> None:
+    want = pathlib.Path(golden_path).read_text(encoding="utf-8")
+    assert want, f"golden fixture missing or empty: {golden_path}"
+    # compare prefixes first for a readable diff on regression
+    if got != want:
+        for i, (a, b) in enumerate(zip(got.splitlines(), want.splitlines())):
+            assert a == b, f"first divergence at trace line {i + 1}"
+    assert got == want
+
+
+class TestGoldenScanTrace:
+    def test_scan_trace_matches_golden(self):
+        assert_matches_golden(run_scan_traced(), GOLDEN_SCAN_PATH)
+
+    def test_scan_run_is_self_deterministic(self):
+        assert run_scan_traced() == run_scan_traced()
+
+
+class TestGoldenStreamTrace:
+    def test_stream_trace_matches_golden(self):
+        assert_matches_golden(run_stream_traced(), GOLDEN_STREAM_PATH)
+
+    def test_stream_run_is_self_deterministic(self):
+        assert run_stream_traced() == run_stream_traced()

@@ -1,0 +1,111 @@
+"""Review analytics: scheduler equivalence and a direct tone reference."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.analytics import tone
+from repro.core.partitioner import build_partitions
+from repro.datasets import airbnb
+
+TOTAL_SIZE = 1_200_000
+CHUNK_SIZE = 96 * 1024
+
+
+@pytest.fixture()
+def dataset_env():
+    env = pw.CloudEnvironment.create()
+    airbnb.load_dataset(env.storage, total_size=TOTAL_SIZE)
+    return env
+
+
+def reference_summary(executor) -> tuple[int, dict]:
+    """Analyze every partition client-side, no DAG involved."""
+    from repro.core.partitioner import StoragePartition
+
+    partitions = build_partitions(
+        executor._cos, [airbnb.DEFAULT_BUCKET], CHUNK_SIZE
+    )
+    by_city: dict[str, dict] = {}
+    total = 0
+    for partition in partitions:
+        bound = StoragePartition.from_spec(
+            partition.spec(), cos=executor._cos
+        )
+        city = partition.key.rsplit("/", 1)[-1][:-4]
+        stats, _ = tone.analyze_csv_reviews(bound.read_lines())
+        card = by_city.setdefault(
+            city, {"comments": 0, "counts": {t: 0 for t in tone.TONES}}
+        )
+        card["comments"] += stats.comments
+        for t in tone.TONES:
+            card["counts"][t] += stats.counts[t]
+        total += stats.comments
+    return total, by_city
+
+
+class TestReviewAnalytics:
+    def test_summary_matches_direct_reference(self, dataset_env):
+        env = dataset_env
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            reference = reference_summary(executor)
+            return reference, pw.review_analytics(executor, chunk_size=CHUNK_SIZE)
+
+        (total, by_city), summary = env.run(main)
+        assert summary["total_comments"] == total
+        assert set(summary["cities"]) == set(by_city)
+        for city, card in summary["cities"].items():
+            assert card["comments"] == by_city[city]["comments"]
+            assert card["counts"] == by_city[city]["counts"]
+            positive = card["counts"][tone.POSITIVE]
+            negative = card["counts"][tone.NEGATIVE]
+            want = positive / (positive + negative) if positive + negative else 0.0
+            assert card["positivity"] == pytest.approx(want)
+
+    def test_centralized_and_swarm_agree(self, dataset_env):
+        env = dataset_env
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            central = pw.review_analytics(
+                executor, chunk_size=CHUNK_SIZE, scheduler="centralized"
+            )
+            swarm = pw.review_analytics(
+                executor, chunk_size=CHUNK_SIZE, scheduler="swarm"
+            )
+            return central, swarm
+
+        central, swarm = env.run(main)
+        assert central == swarm
+
+    def test_rankings_are_consistent(self, dataset_env):
+        env = dataset_env
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return pw.review_analytics(executor, chunk_size=CHUNK_SIZE, top_k=3)
+
+        summary = env.run(main)
+        assert len(summary["happiest"]) == 3
+        assert len(summary["grumpiest"]) == 3
+        cities = summary["cities"]
+        ranked = sorted(
+            cities.values(), key=lambda c: (-c["positivity"], c["city"])
+        )
+        assert summary["happiest"] == [c["city"] for c in ranked[:3]]
+        assert summary["grumpiest"] == [c["city"] for c in ranked[::-1][:3]]
+
+    def test_empty_bucket_rejected(self):
+        env = pw.CloudEnvironment.create()
+        env.storage.create_bucket("empty")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            with pytest.raises(ValueError):
+                pw.review_analytics(executor, bucket="empty")
+            return True
+
+        assert env.run(main)

@@ -1,0 +1,288 @@
+"""Scan operator units: predicate algebra, aggregation core, planning,
+and the distributed operator against the emulated cloud."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as pw
+from repro.workloads import table as tbl
+
+# the package re-exports the scan() driver under the submodule's name, so
+# reach the module itself through sys.modules
+import repro.workloads.scan  # noqa: F401  (ensure the module is loaded)
+import sys
+
+sc = sys.modules["repro.workloads.scan"]
+
+
+def rows_fixture() -> list[dict]:
+    return [
+        {"id": 0, "day": 10, "city": "rome", "price": 50, "stars": 1, "nights": 2},
+        {"id": 1, "day": 20, "city": "rome", "price": 150, "stars": 3, "nights": 7},
+        {"id": 2, "day": 30, "city": "oslo", "price": 90, "stars": 5, "nights": 1},
+        {"id": 3, "day": 40, "city": "oslo", "price": 260, "stars": 4, "nights": 14},
+    ]
+
+
+class TestPredicates:
+    def test_comparison_builders(self):
+        rows = rows_fixture()
+        assert [r["id"] for r in rows if (sc.Col("price") < 100).matches(r)] == [0, 2]
+        assert [r["id"] for r in rows if (sc.Col("city") == "oslo").matches(r)] == [2, 3]
+        assert [r["id"] for r in rows if (sc.Col("stars") >= 4).matches(r)] == [2, 3]
+        assert [r["id"] for r in rows if (sc.Col("day") != 20).matches(r)] == [0, 2, 3]
+
+    def test_combinators_and_negation(self):
+        rows = rows_fixture()
+        pred = (sc.Col("price") < 100) & (sc.Col("stars") >= 5)
+        assert [r["id"] for r in rows if pred.matches(r)] == [2]
+        pred = (sc.Col("day") <= 10) | (sc.Col("day") >= 40)
+        assert [r["id"] for r in rows if pred.matches(r)] == [0, 3]
+        inverted = ~pred
+        for row in rows:
+            assert inverted.matches(row) != pred.matches(row)
+
+    def test_negated_is_exact_for_every_op(self):
+        rows = rows_fixture()
+        for op_pred in [
+            sc.Col("price") < 100, sc.Col("price") <= 90,
+            sc.Col("price") > 100, sc.Col("price") >= 150,
+            sc.Col("price") == 90, sc.Col("price") != 90,
+        ]:
+            negated = op_pred.negated()
+            for row in rows:
+                assert negated.matches(row) != op_pred.matches(row)
+
+    def test_possible_is_sound_on_zones(self):
+        lo = {"price": 50, "day": 10}
+        hi = {"price": 90, "day": 30}
+        assert not (sc.Col("price") > 90).possible(lo, hi)
+        assert not (sc.Col("price") < 50).possible(lo, hi)
+        assert (sc.Col("price") >= 90).possible(lo, hi)
+        assert (sc.Col("price") == 70).possible(lo, hi)
+        assert not (sc.Col("price") == 40).possible(lo, hi)
+        # unknown column: no statistics, never prunable
+        assert (sc.Col("stars") == 99).possible(lo, hi)
+        # all-equal zone pinned to the value is the only != prune
+        assert not (sc.Col("day") != 5).possible({"day": 5}, {"day": 5})
+        assert (sc.Col("day") != 5).possible({"day": 5}, {"day": 6})
+
+
+class TestScanSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sc.ScanSpec(columns=())
+        with pytest.raises(ValueError):
+            sc.ScanSpec(columns=("a",), aggregate="median")
+        with pytest.raises(ValueError):
+            sc.ScanSpec(columns=("a",), aggregate="sum")  # no agg_column
+        with pytest.raises(ValueError):
+            sc.ScanSpec(columns=("a",), agg_column="a")  # no aggregate
+        with pytest.raises(ValueError):
+            sc.ScanSpec(columns=("a",), group_by="a")  # no aggregate
+
+    def test_required_columns(self):
+        spec = sc.ScanSpec(
+            columns=("city",),
+            predicate=sc.Col("day") < 10,
+            aggregate="avg",
+            agg_column="price",
+            group_by="stars",
+        )
+        assert spec.required_columns() == {"city", "day", "price", "stars"}
+
+
+class TestAggregationCore:
+    def test_each_aggregate_and_merge(self):
+        rows = rows_fixture()
+        cases = {
+            ("count", None): 4,
+            ("sum", "price"): 550,
+            ("min", "price"): 50,
+            ("max", "price"): 260,
+            ("avg", "price"): 137.5,
+        }
+        for (agg, col), expected in cases.items():
+            spec = sc.ScanSpec(columns=("id",), aggregate=agg, agg_column=col)
+            whole, _, _ = sc.scan_rows(spec, rows)
+            split = sc.merge_partials(
+                spec,
+                [sc.scan_rows(spec, rows[:2])[0], sc.scan_rows(spec, rows[2:])[0]],
+            )
+            assert sc.finalize(spec, whole) == expected
+            assert sc.finalize(spec, split) == expected
+
+    def test_group_by_and_projection(self):
+        rows = rows_fixture()
+        spec = sc.ScanSpec(
+            columns=("city",), aggregate="count", group_by="city"
+        )
+        partial, scanned, matched = sc.scan_rows(spec, rows)
+        assert (scanned, matched) == (4, 4)
+        assert sc.finalize(spec, partial) == {"oslo": 2, "rome": 2}
+        proj = sc.ScanSpec(columns=("city", "price"), predicate=sc.Col("stars") > 2)
+        partial, _, matched = sc.scan_rows(proj, rows)
+        assert matched == 3
+        assert partial == [("rome", 150), ("oslo", 90), ("oslo", 260)]
+
+    def test_min_max_over_empty_selection(self):
+        spec = sc.ScanSpec(
+            columns=("price",), predicate=sc.Col("price") > 999,
+            aggregate="min", agg_column="price",
+        )
+        partial, _, matched = sc.scan_rows(spec, rows_fixture())
+        assert matched == 0
+        assert sc.finalize(spec, partial) is None
+
+
+class TestPlanning:
+    GROUPS = [
+        {"start": 0, "end": 100, "rows": 10, "min": {"day": 0}, "max": {"day": 9}},
+        {"start": 100, "end": 200, "rows": 10, "min": {"day": 10}, "max": {"day": 19}},
+        {"start": 200, "end": 300, "rows": 10, "min": {"day": 20}, "max": {"day": 29}},
+        {"start": 300, "end": 360, "rows": 6, "min": {"day": 30}, "max": {"day": 35}},
+    ]
+
+    def test_adjacent_survivors_coalesce(self):
+        assert sc.plan_ranges(self.GROUPS, None) == [(0, 360)]
+        assert sc.plan_ranges(self.GROUPS, sc.Col("day") < 20) == [(0, 200)]
+        assert sc.plan_ranges(
+            self.GROUPS, (sc.Col("day") < 10) | (sc.Col("day") >= 30)
+        ) == [(0, 100), (300, 360)]
+        assert sc.plan_ranges(self.GROUPS, sc.Col("day") > 99) == []
+
+    def test_plan_scan_counts_and_partition_chop(self):
+        manifest = {
+            "row_bytes": 10,
+            "rows_per_group": 10,
+            "objects": {"rows/a.csv": {"rows": 36, "size": 360, "groups": self.GROUPS}},
+        }
+        plan = sc.plan_scan(manifest, "b", sc.Col("day") < 30, 2)
+        assert plan.groups_total == 4
+        assert plan.groups_pruned == 1
+        assert plan.bytes_planned == 300
+        assert [(p.range_start, p.range_end) for p in plan.partitions] == [
+            (0, 200), (200, 300)
+        ]
+        assert all(p.bucket == "b" and p.key == "rows/a.csv" for p in plan.partitions)
+        assert plan.partitions[0].partitions_of_object == 2
+
+
+class TestScanInCloud:
+    TOTAL_ROWS = 2_000
+
+    def _reference_rows(self, info):
+        rows = []
+        for key in info.keys:
+            city = key.rsplit("/", 1)[-1][:-4]
+            object_rows = None
+            # per-object row counts: even split with remainder on the head
+            base = self.TOTAL_ROWS // len(info.keys)
+            extra = self.TOTAL_ROWS % len(info.keys)
+            index = list(info.keys).index(key)
+            object_rows = base + (1 if index < extra else 0)
+            n_groups = -(-object_rows // info.rows_per_group)
+            for g in range(n_groups):
+                rows += tbl.group_rows(city, g, object_rows, info.rows_per_group)
+        return rows
+
+    def test_pushdown_equals_baseline_and_reference(self):
+        env = pw.CloudEnvironment.create()
+        info = pw.load_table(
+            env.storage, total_rows=self.TOTAL_ROWS, n_cities=3,
+            rows_per_group=50,
+        )
+        reference = self._reference_rows(info)
+
+        specs = [
+            sc.ScanSpec(columns=("city",), predicate=sc.Col("day") < 40,
+                        aggregate="count"),
+            sc.ScanSpec(columns=("city", "price"),
+                        predicate=(sc.Col("day") < 120) & (sc.Col("price") < 60),
+                        aggregate="sum", agg_column="price"),
+            sc.ScanSpec(columns=("city", "price"), aggregate="avg",
+                        agg_column="price", group_by="city"),
+            sc.ScanSpec(columns=("id", "city"),
+                        predicate=sc.Col("day") >= 300),
+        ]
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            out = []
+            for spec in specs:
+                push = pw.scan(executor, info, spec, pushdown=True)
+                full = pw.scan(executor, info, spec, pushdown=False)
+                out.append((push, full))
+            return out
+
+        for spec, (push, full) in zip(specs, env.run(main)):
+            expected = sc.finalize(spec, sc.scan_rows(spec, reference)[0])
+            if spec.aggregate is None:
+                # row lists follow partition order, which need not match
+                # the reference's object order — compare as multisets
+                assert sorted(push.value) == sorted(expected)
+                assert sorted(full.value) == sorted(expected)
+            else:
+                assert push.value == expected
+                assert full.value == expected
+            assert full.rows_scanned == self.TOTAL_ROWS
+            assert push.rows_scanned <= full.rows_scanned
+            assert push.bytes_read <= full.bytes_read
+            assert full.groups_pruned == 0
+
+    def test_unselective_scan_prunes_nothing_but_still_agrees(self):
+        env = pw.CloudEnvironment.create()
+        info = pw.load_table(
+            env.storage, total_rows=400, n_cities=2, rows_per_group=32
+        )
+        spec = sc.ScanSpec(columns=("id",), predicate=sc.Col("day") >= 0,
+                           aggregate="count")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return pw.scan(executor, info, spec)
+
+        result = env.run(main)
+        assert result.value == 400
+        assert result.groups_pruned == 0
+
+    def test_fully_pruned_scan_never_invokes(self):
+        env = pw.CloudEnvironment.create()
+        info = pw.load_table(
+            env.storage, total_rows=300, n_cities=2, rows_per_group=32
+        )
+        spec = sc.ScanSpec(columns=("id",), predicate=sc.Col("day") > 999,
+                           aggregate="count")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            result = pw.scan(executor, info, spec)
+            return result, len(executor.futures)
+
+        result, n_futures = env.run(main)
+        assert result.value == 0
+        assert result.partitions == 0
+        assert n_futures == 0
+
+    def test_scan_layer_events_carry_selectivity(self):
+        env = pw.CloudEnvironment.create(trace=True)
+        info = pw.load_table(
+            env.storage, total_rows=600, n_cities=2, rows_per_group=32
+        )
+        spec = sc.ScanSpec(columns=("id",), predicate=sc.Col("day") < 90,
+                           aggregate="count")
+
+        def main():
+            executor = pw.ibm_cf_executor()
+            return pw.scan(executor, info, spec)
+
+        result = env.run(main)
+        events = [e for e in env.tracer.events() if e.layer == "scan"]
+        names = {e.name for e in events}
+        assert {"scan.plan", "scan.partition", "scan.merge", "scan.result"} <= names
+        partition_spans = [e for e in events if e.name == "scan.partition"]
+        assert sum(e.get_attr("rows_scanned") for e in partition_spans) == result.rows_scanned
+        assert all(0.0 <= e.get_attr("selectivity") <= 1.0 for e in partition_spans)
+        (plan,) = [e for e in events if e.name == "scan.plan"]
+        assert plan.get_attr("groups_pruned") == result.groups_pruned

@@ -1,0 +1,176 @@
+"""The scan correctness contract, property-tested.
+
+Two invariants, over arbitrary tables, partitionings and predicates:
+
+1. **Exactly-once equivalence** — running the pushdown pipeline's core
+   (per-partition byte scan → partial merge → finalize) over *any*
+   group-aligned partitioning of the table equals the unpartitioned
+   in-memory reference scan;
+2. **Pruning soundness** — a row group whose zone-map statistics make
+   ``predicate.possible()`` false contains no matching row, so dropping
+   it cannot change any answer.
+
+The predicate strategy composes comparisons over every column (including
+the string column) with ``&``/``|``/``~`` to arbitrary depth, which also
+exercises the exact-negation rewrite ``Not`` pruning relies on.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.workloads.scan  # noqa: F401  (load the module behind the driver)
+from repro.workloads import table as tbl
+
+sc = sys.modules["repro.workloads.scan"]
+
+CITIES = ("rome", "oslo", "lima")
+
+
+def rows_strategy():
+    row = st.fixed_dictionaries(
+        {
+            "day": st.integers(min_value=0, max_value=30),
+            "city": st.sampled_from(CITIES),
+            "price": st.integers(min_value=20, max_value=120),
+            "stars": st.integers(min_value=1, max_value=5),
+            "nights": st.integers(min_value=1, max_value=9),
+        }
+    )
+    return st.lists(row, min_size=1, max_size=120).map(
+        lambda rows: [{"id": i, **r} for i, r in enumerate(rows)]
+    )
+
+
+def comparison_strategy():
+    numeric = st.tuples(
+        st.sampled_from(("id", "day", "price", "stars", "nights")),
+        st.sampled_from(("<", "<=", ">", ">=", "==", "!=")),
+        st.integers(min_value=-5, max_value=130),
+    ).map(lambda t: sc.Cmp(*t))
+    string = st.tuples(
+        st.sampled_from(("==", "!=", "<", ">=")),
+        st.sampled_from(CITIES + ("zurich",)),
+    ).map(lambda t: sc.Cmp("city", t[0], t[1]))
+    return st.one_of(numeric, string)
+
+
+def predicate_strategy():
+    return st.recursive(
+        comparison_strategy(),
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda t: t[0] & t[1]),
+            st.tuples(inner, inner).map(lambda t: t[0] | t[1]),
+            inner.map(lambda p: ~p),
+        ),
+        max_leaves=6,
+    )
+
+
+def spec_strategy():
+    aggregate = st.sampled_from((None, "count", "sum", "min", "max", "avg"))
+    return st.tuples(
+        aggregate,
+        st.one_of(st.none(), predicate_strategy()),
+        st.booleans(),
+    ).map(
+        lambda t: sc.ScanSpec(
+            columns=("id", "city", "price"),
+            predicate=t[1],
+            aggregate=t[0],
+            agg_column="price" if t[0] not in (None, "count") else None,
+            group_by="city" if (t[2] and t[0] is not None) else None,
+        )
+    )
+
+
+def table_bytes(rows: list[dict]) -> bytes:
+    return b"".join(tbl.format_row(row) for row in rows)
+
+
+def group_zones(rows: list[dict], rows_per_group: int):
+    """(lo, hi, byte_range) zone statistics per group, like the manifest."""
+    zones = []
+    for start in range(0, len(rows), rows_per_group):
+        group = rows[start : start + rows_per_group]
+        lo = {c: min(r[c] for r in group) for c in tbl.COLUMNS}
+        hi = {c: max(r[c] for r in group) for c in tbl.COLUMNS}
+        zones.append(
+            (lo, hi, (start * tbl.ROW_BYTES,
+                      (start + len(group)) * tbl.ROW_BYTES))
+        )
+    return zones
+
+
+class TestScanEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        rows=rows_strategy(),
+        spec=spec_strategy(),
+        cut_seed=st.integers(min_value=0, max_value=2**31),
+        rows_per_group=st.integers(min_value=1, max_value=32),
+    )
+    def test_partitioned_pushdown_equals_reference(
+        self, rows, spec, cut_seed, rows_per_group
+    ):
+        import random
+
+        data = table_bytes(rows)
+        # an arbitrary group-aligned partitioning: every group boundary is
+        # independently a partition boundary
+        rng = random.Random(cut_seed)
+        boundaries = [0]
+        for start in range(rows_per_group, len(rows), rows_per_group):
+            if rng.random() < 0.5:
+                boundaries.append(start * tbl.ROW_BYTES)
+        boundaries.append(len(data))
+        partials = []
+        scanned = 0
+        for lo_b, hi_b in zip(boundaries, boundaries[1:]):
+            partial, n, _ = sc.scan_partition_bytes(spec, data[lo_b:hi_b])
+            partials.append(partial)
+            scanned += n
+        got = sc.finalize(spec, sc.merge_partials(spec, partials))
+        want = sc.finalize(spec, sc.scan_rows(spec, rows)[0])
+        assert scanned == len(rows), "rows must be scanned exactly once"
+        if spec.aggregate is None:
+            assert sorted(got) == sorted(want)
+        elif spec.aggregate == "avg" and spec.group_by is None:
+            if want is None:
+                assert got is None
+            else:
+                assert abs(got - want) < 1e-9
+        else:
+            assert got == want
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        rows=rows_strategy(),
+        predicate=predicate_strategy(),
+        rows_per_group=st.integers(min_value=1, max_value=16),
+    )
+    def test_zone_pruning_is_sound(self, rows, predicate, rows_per_group):
+        """A pruned group never contains a matching row — and therefore
+        scanning only unpruned groups equals scanning everything."""
+        data = table_bytes(rows)
+        spec = sc.ScanSpec(columns=("id",), predicate=predicate,
+                           aggregate="count")
+        kept_partials = []
+        for lo, hi, (b0, b1) in group_zones(rows, rows_per_group):
+            possible = predicate.possible(lo, hi)
+            partial, _, matched = sc.scan_partition_bytes(spec, data[b0:b1])
+            if not possible:
+                assert matched == 0, (
+                    f"unsound prune: {predicate!r} ruled out a group "
+                    f"with {matched} matching rows (zone lo={lo} hi={hi})"
+                )
+            else:
+                kept_partials.append(partial)
+        pruned_count = sc.finalize(
+            spec, sc.merge_partials(spec, kept_partials)
+        ) if kept_partials else 0
+        full_count = sc.finalize(spec, sc.scan_rows(spec, rows)[0])
+        assert pruned_count == full_count
